@@ -1,0 +1,64 @@
+//! Criterion benches mirroring the paper's figures, one scaled-down
+//! benchmark per figure. Each bench runs the figure's most contended cell
+//! (Epidemic/SnW at TTL 120) on a 20-minute horizon so `cargo bench`
+//! completes in minutes; the full 12-hour regeneration lives in the
+//! `figures` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vdtn::presets::{paper_scenario, PaperProtocol};
+use vdtn::{Scenario, World};
+
+fn scaled(proto: PaperProtocol, ttl: u64, seed: u64) -> Scenario {
+    let mut s = paper_scenario(proto, ttl, seed);
+    s.duration_secs = 1_200.0; // 20 simulated minutes per iteration
+    s
+}
+
+fn bench_fig(c: &mut Criterion, group_name: &str, protos: &[PaperProtocol]) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for &proto in protos {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(proto.label()),
+            &proto,
+            |b, &proto| {
+                b.iter(|| {
+                    let s = scaled(proto, 120, 7);
+                    World::build(&s).run().messages.delivered_unique
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figures 4-5: Epidemic under the three policy combinations.
+fn fig4_5_epidemic_policies(c: &mut Criterion) {
+    bench_fig(
+        c,
+        "fig4_5_epidemic_policies",
+        &PaperProtocol::epidemic_policies(),
+    );
+}
+
+/// Figures 6-7: Spray and Wait under the three policy combinations.
+fn fig6_7_snw_policies(c: &mut Criterion) {
+    bench_fig(c, "fig6_7_snw_policies", &PaperProtocol::snw_policies());
+}
+
+/// Figures 8-9: the four-protocol comparison.
+fn fig8_9_protocols(c: &mut Criterion) {
+    bench_fig(
+        c,
+        "fig8_9_protocols",
+        &PaperProtocol::protocol_comparison(),
+    );
+}
+
+criterion_group!(
+    figures,
+    fig4_5_epidemic_policies,
+    fig6_7_snw_policies,
+    fig8_9_protocols
+);
+criterion_main!(figures);

@@ -1,0 +1,150 @@
+//! Micro/ablation benches for the design choices called out in DESIGN.md:
+//! contact detection back-ends, policy ordering cost, buffer operations,
+//! and shortest-path algorithm choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vdtn_bundle::{Buffer, Message, MessageId, SchedulingPolicy};
+use vdtn_geo::{astar, dijkstra, GridMapGen, Point, SpatialGrid, SyntheticCityGen};
+use vdtn_sim_core::{NodeId, SimDuration, SimRng, SimTime};
+
+fn random_points(n: usize, w: f64, h: f64, seed: u64) -> Vec<Point> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.next_f64() * w, rng.next_f64() * h))
+        .collect()
+}
+
+/// Ablation: spatial-grid vs naive pair scan, across node counts.
+fn contact_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contact_detection");
+    for &n in &[45usize, 200, 1000] {
+        let pts = random_points(n, 1300.0, 1000.0, 42);
+        group.bench_with_input(BenchmarkId::new("grid", n), &pts, |b, pts| {
+            let mut grid = SpatialGrid::new(30.0);
+            let mut out = Vec::new();
+            b.iter(|| {
+                grid.rebuild(pts);
+                out.clear();
+                grid.pairs_within(30.0, &mut out);
+                out.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &pts, |b, pts| {
+            let mut grid = SpatialGrid::new(30.0);
+            let mut out = Vec::new();
+            b.iter(|| {
+                grid.rebuild(pts);
+                out.clear();
+                grid.pairs_within_naive(30.0, &mut out);
+                out.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn filled_buffer(n: usize) -> Buffer {
+    let mut b = Buffer::new(u64::MAX);
+    for i in 0..n {
+        let mut m = Message::new(
+            MessageId(i as u64),
+            NodeId(0),
+            NodeId(1),
+            1_000_000,
+            SimTime::from_secs_f64(i as f64),
+            SimDuration::from_mins(60 + (i % 120) as u64),
+        );
+        m.received = SimTime::from_secs_f64(i as f64);
+        b.insert(m).unwrap();
+    }
+    b
+}
+
+/// Ablation: cost of the scheduling policies at realistic buffer sizes.
+fn policy_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_ordering");
+    let now = SimTime::from_secs_f64(1_000.0);
+    for &n in &[50usize, 400] {
+        let buffer = filled_buffer(n);
+        for policy in [
+            SchedulingPolicy::Fifo,
+            SchedulingPolicy::Random,
+            SchedulingPolicy::LifetimeDesc,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(policy.label().replace(' ', "_"), n),
+                &buffer,
+                |b, buffer| {
+                    let mut rng = SimRng::seed_from_u64(3);
+                    b.iter(|| policy.order(buffer, now, &mut rng).len());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Buffer insert/remove churn at paper-scale sizes.
+fn buffer_ops(c: &mut Criterion) {
+    c.bench_function("buffer_ops/insert_remove_100", |b| {
+        b.iter(|| {
+            let mut buf = Buffer::new(u64::MAX);
+            for i in 0..100u64 {
+                buf.insert(Message::new(
+                    MessageId(i),
+                    NodeId(0),
+                    NodeId(1),
+                    1_000,
+                    SimTime::ZERO,
+                    SimDuration::from_mins(60),
+                ))
+                .unwrap();
+            }
+            for i in 0..100u64 {
+                buf.remove(MessageId(i));
+            }
+            buf.len()
+        });
+    });
+}
+
+/// Ablation: Dijkstra vs A* on the calibrated city and the full-city map.
+fn shortest_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shortest_path");
+    let mut rng = SimRng::seed_from_u64(11);
+    let maps = [
+        ("downtown", SyntheticCityGen::default().generate(&mut rng)),
+        ("full_city", SyntheticCityGen::full_city().generate(&mut rng)),
+        (
+            "grid20x20",
+            GridMapGen {
+                cols: 20,
+                rows: 20,
+                spacing: 100.0,
+            }
+            .generate(),
+        ),
+    ];
+    for (label, map) in &maps {
+        let from = map.nearest_vertex(Point::new(0.0, 0.0)).unwrap();
+        let to = map
+            .nearest_vertex(Point::new(map.bounds().max.x, map.bounds().max.y))
+            .unwrap();
+        group.bench_function(BenchmarkId::new("dijkstra", label), |b| {
+            b.iter(|| dijkstra(map, from, to).map(|r| r.vertices.len()));
+        });
+        group.bench_function(BenchmarkId::new("astar", label), |b| {
+            b.iter(|| astar(map, from, to).map(|r| r.vertices.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    contact_detection,
+    policy_ordering,
+    buffer_ops,
+    shortest_path
+);
+criterion_main!(micro);

@@ -1,0 +1,418 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! figures [FLAGS]
+//!   --all              regenerate Table I and Figures 4-9 (default)
+//!   --table1           print the policy-combination table
+//!   --fig4 … --fig9    regenerate a single figure
+//!   --ablation-copies  Spray-and-Wait quota sweep L ∈ {4, 8, 12, 16}
+//!   --ablation-tick    engine-tick sensitivity (0.5 s vs 1 s vs 2 s)
+//!   --ablation-map     calibrated map vs full-city extent
+//!   --seeds N          seeds per cell (default 3)
+//!   --quick            2-hour horizon, 1 seed (smoke mode)
+//!   --out DIR          output directory (default bench_results)
+//!   --replot           re-render tables and ASCII charts from DIR/<fig>.csv
+//!                      without re-running any simulation
+//! ```
+//!
+//! Each figure prints the value table the paper plots, the measured deltas
+//! against the FIFO–FIFO baseline side by side with the deltas the paper's
+//! text states, and writes `DIR/<fig>.csv`.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use vdtn::presets::{paper_scenario, PaperProtocol};
+use vdtn::scenario::{MapSpec, MobilitySpec};
+use vdtn::sweep::{average_reports, run_sweep, SweepPoint};
+use vdtn::Scenario;
+use vdtn_bench::harness::{
+    assemble_figure, format_csv, format_table, paper_ttls, run_cells, FigureSpec,
+};
+use vdtn_bench::reference::{paper_delta_reference, paper_ordering_claims};
+use vdtn_geo::SyntheticCityGen;
+
+struct Options {
+    figures: Vec<FigureSpec>,
+    table1: bool,
+    ablation_copies: bool,
+    ablation_tick: bool,
+    ablation_map: bool,
+    seeds: u64,
+    quick: bool,
+    out_dir: String,
+    replot: bool,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options {
+        figures: Vec::new(),
+        table1: false,
+        ablation_copies: false,
+        ablation_tick: false,
+        ablation_map: false,
+        seeds: 3,
+        quick: false,
+        out_dir: "bench_results".to_string(),
+        replot: false,
+    };
+    let mut explicit = false;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => {
+                opts.figures = FigureSpec::all();
+                opts.table1 = true;
+                explicit = true;
+            }
+            "--table1" => {
+                opts.table1 = true;
+                explicit = true;
+            }
+            "--fig4" => { opts.figures.push(FigureSpec::fig4()); explicit = true; }
+            "--fig5" => { opts.figures.push(FigureSpec::fig5()); explicit = true; }
+            "--fig6" => { opts.figures.push(FigureSpec::fig6()); explicit = true; }
+            "--fig7" => { opts.figures.push(FigureSpec::fig7()); explicit = true; }
+            "--fig8" => { opts.figures.push(FigureSpec::fig8()); explicit = true; }
+            "--fig9" => { opts.figures.push(FigureSpec::fig9()); explicit = true; }
+            "--ablation-copies" => { opts.ablation_copies = true; explicit = true; }
+            "--ablation-tick" => { opts.ablation_tick = true; explicit = true; }
+            "--ablation-map" => { opts.ablation_map = true; explicit = true; }
+            "--seeds" => {
+                opts.seeds = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seeds needs a number");
+            }
+            "--quick" => opts.quick = true,
+            "--replot" => {
+                opts.replot = true;
+                explicit = true;
+            }
+            "--out" => {
+                opts.out_dir = it.next().expect("--out needs a directory").clone();
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !explicit {
+        opts.figures = FigureSpec::all();
+        opts.table1 = true;
+    }
+    opts
+}
+
+fn print_table1() {
+    println!("## Table I — Combined scheduling-dropping policies\n");
+    println!("{:<16} | {}", "Scheduling", "Dropping");
+    println!("{}-+-{}", "-".repeat(16), "-".repeat(16));
+    for combo in vdtn::PolicyCombo::paper_table() {
+        println!(
+            "{:<16} | {}",
+            combo.scheduling.label(),
+            combo.dropping.label()
+        );
+    }
+    println!();
+}
+
+/// Print measured deltas vs FIFO-FIFO next to the paper's stated deltas.
+fn print_delta_comparison(
+    cache: &HashMap<(PaperProtocol, u64), SweepPoint>,
+    ttls: &[u64],
+) {
+    let rows = [
+        (
+            "Epidemic Random-FIFO",
+            PaperProtocol::EpidemicFifo,
+            PaperProtocol::EpidemicRandom,
+        ),
+        (
+            "Epidemic Lifetime DESC-Lifetime ASC",
+            PaperProtocol::EpidemicFifo,
+            PaperProtocol::EpidemicLifetime,
+        ),
+        (
+            "SnW Lifetime DESC-Lifetime ASC",
+            PaperProtocol::SnwFifo,
+            PaperProtocol::SnwLifetime,
+        ),
+    ];
+    let refs = paper_delta_reference();
+    println!("## Paper-vs-measured deltas against the FIFO-FIFO baseline\n");
+    for (label, base, variant) in rows {
+        let Some(reference) = refs.iter().find(|r| r.label == label) else {
+            continue;
+        };
+        let cells: Option<Vec<(&SweepPoint, &SweepPoint)>> = ttls
+            .iter()
+            .map(|&t| Some((cache.get(&(base, t))?, cache.get(&(variant, t))?)))
+            .collect();
+        let Some(cells) = cells else {
+            continue; // figure subset did not include these cells
+        };
+        println!("{label}:");
+        println!(
+            "  {:<28} {}",
+            "TTL (min)",
+            ttls.iter().map(|t| format!("{t:>8}")).collect::<Vec<_>>().join(" ")
+        );
+        let delay_meas: Vec<String> = cells
+            .iter()
+            .map(|(b, v)| format!("{:>8.1}", b.avg_delay_mins - v.avg_delay_mins))
+            .collect();
+        let delay_ref: Vec<String> = reference
+            .delay_gain_mins
+            .iter()
+            .take(ttls.len())
+            .map(|d| format!("{d:>8.1}"))
+            .collect();
+        println!("  {:<28} {}", "delay gain, measured (min)", delay_meas.join(" "));
+        println!("  {:<28} {}", "delay gain, paper (min)", delay_ref.join(" "));
+        let dp_meas: Vec<String> = cells
+            .iter()
+            .map(|(b, v)| format!("{:>+8.3}", v.delivery_probability - b.delivery_probability))
+            .collect();
+        let dp_ref: Vec<String> = reference
+            .delivery_gain
+            .iter()
+            .take(ttls.len())
+            .map(|d| format!("{d:>+8.3}"))
+            .collect();
+        println!("  {:<28} {}", "delivery gain, measured", dp_meas.join(" "));
+        println!("  {:<28} {}", "delivery gain, paper", dp_ref.join(" "));
+        println!();
+    }
+    println!("Paper ordering claims to check against the tables above:");
+    for claim in paper_ordering_claims() {
+        println!("  * {claim}");
+    }
+    println!();
+}
+
+fn ablation_copies(seeds: u64, tweak: &dyn Fn(&mut Scenario), out_dir: &str) {
+    println!("## Ablation — Spray and Wait initial copies L (paper fixes L = 12)\n");
+    let ttl = 120;
+    let mut rows = Vec::new();
+    for copies in [4u32, 8, 12, 16] {
+        let scenarios: Vec<Scenario> = (0..seeds)
+            .map(|seed| {
+                let mut s = paper_scenario(PaperProtocol::SnwLifetime, ttl, 1000 + seed);
+                s.router = vdtn::RouterKind::SprayAndWait {
+                    copies,
+                    binary: true,
+                };
+                s.name = format!("ablation/snw-L{copies}");
+                tweak(&mut s);
+                s
+            })
+            .collect();
+        let reports = run_sweep(&scenarios);
+        let p = average_reports(&format!("SnW L={copies}"), &reports);
+        println!("  {}", p.table_row());
+        rows.push(p);
+    }
+    write_csv_points(out_dir, "ablation_copies", &rows);
+    println!();
+}
+
+fn ablation_tick(seeds: u64, tweak: &dyn Fn(&mut Scenario), out_dir: &str) {
+    println!("## Ablation — engine tick length (metric drift vs 1 s baseline)\n");
+    let ttl = 120;
+    let mut rows = Vec::new();
+    for tick in [0.5, 1.0, 2.0] {
+        let scenarios: Vec<Scenario> = (0..seeds)
+            .map(|seed| {
+                let mut s = paper_scenario(PaperProtocol::EpidemicLifetime, ttl, 1000 + seed);
+                s.tick_secs = tick;
+                s.name = format!("ablation/tick{tick}");
+                tweak(&mut s);
+                s
+            })
+            .collect();
+        let reports = run_sweep(&scenarios);
+        let p = average_reports(&format!("tick={tick}s"), &reports);
+        println!("  {}", p.table_row());
+        rows.push(p);
+    }
+    write_csv_points(out_dir, "ablation_tick", &rows);
+    println!();
+}
+
+fn ablation_map(seeds: u64, tweak: &dyn Fn(&mut Scenario), out_dir: &str) {
+    println!("## Ablation — calibrated downtown map vs full-city extent\n");
+    let ttl = 120;
+    let mut rows = Vec::new();
+    for (label, gen) in [
+        ("downtown 1300x1000 (default)", SyntheticCityGen::default()),
+        ("full city 4500x3400", SyntheticCityGen::full_city()),
+    ] {
+        let scenarios: Vec<Scenario> = (0..seeds)
+            .map(|seed| {
+                let mut s = paper_scenario(PaperProtocol::EpidemicLifetime, ttl, 1000 + seed);
+                s.map = MapSpec::Synthetic(gen.clone());
+                s.name = format!("ablation/map/{label}");
+                tweak(&mut s);
+                s
+            })
+            .collect();
+        let reports = run_sweep(&scenarios);
+        let p = average_reports(label, &reports);
+        println!("  {}", p.table_row());
+        rows.push(p);
+    }
+    write_csv_points(out_dir, "ablation_map", &rows);
+    println!();
+}
+
+fn write_csv_points(out_dir: &str, name: &str, points: &[SweepPoint]) {
+    let path = format!("{out_dir}/{name}.csv");
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));
+    writeln!(f, "label,ttl_mins,delivery_probability,avg_delay_mins,seeds").unwrap();
+    for p in points {
+        writeln!(
+            f,
+            "{},{},{:.4},{:.2},{}",
+            p.label, p.ttl_mins, p.delivery_probability, p.avg_delay_mins, p.seeds
+        )
+        .unwrap();
+    }
+    println!("  -> {path}");
+}
+
+/// Re-render saved figure CSVs (tables + ASCII charts) without simulating.
+fn replot(out_dir: &str) {
+    for fig in FigureSpec::all() {
+        let path = format!("{out_dir}/{}.csv", fig.id);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            eprintln!("skipping {}: no {path} (run the sweep first)", fig.id);
+            continue;
+        };
+        // CSV layout: label,ttl_mins,value,sd,seeds — rows grouped by label.
+        let mut labels: Vec<String> = Vec::new();
+        let mut ttls: Vec<String> = Vec::new();
+        let mut values: HashMap<String, Vec<f64>> = HashMap::new();
+        for line in text.lines().skip(1) {
+            let cols: Vec<&str> = line.split(',').collect();
+            if cols.len() < 3 {
+                continue;
+            }
+            let label = cols[0].to_string();
+            let ttl = format!("{}", cols[1].parse::<f64>().unwrap_or(0.0) as u64);
+            if !labels.contains(&label) {
+                labels.push(label.clone());
+            }
+            if !ttls.contains(&ttl) {
+                ttls.push(ttl);
+            }
+            values
+                .entry(label)
+                .or_default()
+                .push(cols[2].parse().unwrap_or(f64::NAN));
+        }
+        if labels.is_empty() {
+            continue;
+        }
+        let series: Vec<vdtn_bench::Series> = labels
+            .iter()
+            .map(|l| vdtn_bench::Series {
+                label: l.clone(),
+                values: values[l].clone(),
+            })
+            .collect();
+        println!("## {} — {} (replotted from {path})\n", fig.id, fig.title);
+        println!("{}", vdtn_bench::render(fig.title, &ttls, &series, 60, 14));
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
+
+    if opts.replot {
+        replot(&opts.out_dir);
+        return;
+    }
+
+    let seeds = if opts.quick { 1 } else { opts.seeds };
+    let quick = opts.quick;
+    let tweak = move |s: &mut Scenario| {
+        if quick {
+            s.duration_secs = 7_200.0;
+            // Keep vehicles moving from the start in the short horizon.
+            for g in &mut s.groups {
+                if let MobilitySpec::ShortestPathMapBased(cfg) = &mut g.mobility {
+                    cfg.wait_hi = cfg.wait_hi.min(300.0);
+                }
+            }
+        }
+    };
+
+    if opts.table1 {
+        print_table1();
+    }
+
+    if !opts.figures.is_empty() {
+        let ttls = paper_ttls();
+        // Union of all cells needed by the requested figures, deduplicated.
+        let mut cells: Vec<(PaperProtocol, u64)> = Vec::new();
+        for fig in &opts.figures {
+            for &p in &fig.protocols {
+                for &t in &ttls {
+                    if !cells.contains(&(p, t)) {
+                        cells.push((p, t));
+                    }
+                }
+            }
+        }
+        eprintln!(
+            "running {} cells x {} seeds ({} simulations of {} simulated hours)…",
+            cells.len(),
+            seeds,
+            cells.len() * seeds as usize,
+            if quick { 2 } else { 12 },
+        );
+        let t0 = std::time::Instant::now();
+        let cache = run_cells(&cells, seeds, &tweak);
+        eprintln!("sweep finished in {:.0} s wall", t0.elapsed().as_secs_f64());
+
+        for fig in &opts.figures {
+            let result = assemble_figure(fig, &ttls, &cache);
+            println!("{}", format_table(&result));
+            // ASCII rendition of the figure so the line shapes (who wins,
+            // where curves cross) are visible in the terminal.
+            let series: Vec<vdtn_bench::Series> = result
+                .points
+                .iter()
+                .map(|row| vdtn_bench::Series {
+                    label: row[0].label.clone(),
+                    values: row.iter().map(|p| fig.metric.of(p)).collect(),
+                })
+                .collect();
+            let x_labels: Vec<String> = ttls.iter().map(|t| t.to_string()).collect();
+            println!(
+                "{}",
+                vdtn_bench::render(fig.title, &x_labels, &series, 60, 14)
+            );
+            let path = format!("{}/{}.csv", opts.out_dir, fig.id);
+            std::fs::write(&path, format_csv(&result)).expect("write csv");
+            println!("  -> {path}\n");
+        }
+        // Delta comparison needs the policy figures' cells; print whenever
+        // the epidemic set is present.
+        print_delta_comparison(&cache, &ttls);
+    }
+
+    if opts.ablation_copies {
+        ablation_copies(seeds, &tweak, &opts.out_dir);
+    }
+    if opts.ablation_tick {
+        ablation_tick(seeds, &tweak, &opts.out_dir);
+    }
+    if opts.ablation_map {
+        ablation_map(seeds, &tweak, &opts.out_dir);
+    }
+}

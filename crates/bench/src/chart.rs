@@ -1,0 +1,212 @@
+//! Terminal line charts: render figure series as ASCII plots.
+//!
+//! The paper's figures are line charts of metric vs TTL; the `figures`
+//! binary prints an ASCII rendition of each next to the value table, so the
+//! qualitative shape (who wins, where lines cross) is visible without
+//! external plotting.
+
+/// One line series: a label and y-values aligned with the shared x-axis.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Values, one per x position.
+    pub values: Vec<f64>,
+}
+
+/// Render series as an ASCII chart of the given plot size.
+///
+/// Each series is drawn with its own marker (`A`, `B`, `C`, …); collisions
+/// show the later series' marker. The legend maps markers to labels.
+pub fn render(
+    title: &str,
+    x_labels: &[String],
+    series: &[Series],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    assert!(!series.is_empty());
+    for s in series {
+        assert_eq!(
+            s.values.len(),
+            x_labels.len(),
+            "series '{}' length mismatch",
+            s.label
+        );
+    }
+
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .filter(|v| v.is_finite())
+        .collect();
+    let (min, max) = all
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    // Pad a degenerate range so flat lines render mid-chart.
+    let (min, max) = if (max - min).abs() < 1e-12 {
+        (min - 1.0, max + 1.0)
+    } else {
+        (min, max)
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    let x_at = |i: usize| {
+        if x_labels.len() <= 1 {
+            0
+        } else {
+            i * (width - 1) / (x_labels.len() - 1)
+        }
+    };
+    let y_at = |v: f64| {
+        let norm = (v - min) / (max - min);
+        // Row 0 is the top.
+        height - 1 - ((norm * (height - 1) as f64).round() as usize).min(height - 1)
+    };
+
+    for (si, s) in series.iter().enumerate() {
+        let marker = (b'A' + (si % 26) as u8) as char;
+        let mut prev: Option<(usize, usize)> = None;
+        for (i, &v) in s.values.iter().enumerate() {
+            if !v.is_finite() {
+                prev = None;
+                continue;
+            }
+            let (x, y) = (x_at(i), y_at(v));
+            // Simple segment fill between consecutive points.
+            if let Some((px, py)) = prev {
+                let steps = x.saturating_sub(px).max(1);
+                for step in 1..steps {
+                    let ix = px + step;
+                    let iy = (py as f64 + (y as f64 - py as f64) * step as f64 / steps as f64)
+                        .round() as usize;
+                    if grid[iy][ix] == ' ' {
+                        grid[iy][ix] = '.';
+                    }
+                }
+            }
+            grid[y][x] = marker;
+            prev = Some((x, y));
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    for (row_idx, row) in grid.iter().enumerate() {
+        let y_val = max - (max - min) * row_idx as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_val:>9.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(width)));
+    // X labels, roughly positioned (buffer extends past the plot so the
+    // last label is never truncated).
+    let max_label = x_labels.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+    let mut xline = vec![' '; width + 11 + max_label];
+    for (i, lab) in x_labels.iter().enumerate() {
+        let pos = 11 + x_at(i);
+        for (k, ch) in lab.chars().enumerate() {
+            xline[pos + k] = ch;
+        }
+    }
+    out.extend(xline.iter());
+    out.push('\n');
+    for (si, s) in series.iter().enumerate() {
+        let marker = (b'A' + (si % 26) as u8) as char;
+        out.push_str(&format!("  {marker} = {}\n", s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xs() -> Vec<String> {
+        ["60", "90", "120", "150", "180"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn renders_markers_and_legend() {
+        let chart = render(
+            "delay vs TTL",
+            &xs(),
+            &[
+                Series {
+                    label: "FIFO".into(),
+                    values: vec![40.0, 55.0, 70.0, 80.0, 95.0],
+                },
+                Series {
+                    label: "Lifetime".into(),
+                    values: vec![30.0, 35.0, 40.0, 45.0, 50.0],
+                },
+            ],
+            40,
+            10,
+        );
+        assert!(chart.contains("delay vs TTL"));
+        assert!(chart.contains('A'));
+        assert!(chart.contains('B'));
+        assert!(chart.contains("A = FIFO"));
+        assert!(chart.contains("B = Lifetime"));
+        assert!(chart.contains("60"));
+        assert!(chart.contains("180"));
+    }
+
+    #[test]
+    fn higher_values_render_higher() {
+        let chart = render(
+            "t",
+            &xs(),
+            &[Series {
+                label: "up".into(),
+                values: vec![0.0, 10.0, 20.0, 30.0, 40.0],
+            }],
+            40,
+            8,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        // First data row (top) contains the marker for the max value
+        // (rightmost), last data row for the min (leftmost).
+        let top = lines.iter().position(|l| l.contains('A')).unwrap();
+        let bottom = lines.iter().rposition(|l| l.contains('A')).unwrap();
+        assert!(top < bottom);
+        assert!(lines[top].rfind('A') > lines[bottom].rfind('A'));
+    }
+
+    #[test]
+    fn flat_series_renders() {
+        let chart = render(
+            "flat",
+            &xs(),
+            &[Series {
+                label: "c".into(),
+                values: vec![5.0; 5],
+            }],
+            30,
+            6,
+        );
+        assert!(chart.matches('A').count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_misaligned_series() {
+        render(
+            "bad",
+            &xs(),
+            &[Series {
+                label: "x".into(),
+                values: vec![1.0],
+            }],
+            30,
+            6,
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! The `figures` binary (and the criterion benches) are thin wrappers over
+//! this library: [`FigureSpec`] describes a figure as (configurations ×
+//! TTLs × metric), [`run_figure`] executes the sweep (averaging seeds), and
+//! [`format_table`] renders the same rows the paper plots. Paper-reported
+//! values, where the text states them, live in [`paper_reference`] so every
+//! regenerated figure prints measured-vs-paper side by side.
+
+pub mod chart;
+pub mod harness;
+pub mod reference;
+
+pub use chart::{render, Series};
+pub use harness::{format_table, run_figure, FigureResult, FigureSpec, Metric};
+pub use reference::{paper_delta_reference, DeltaReference};

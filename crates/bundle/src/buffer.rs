@@ -1,0 +1,376 @@
+//! Byte-capacity message buffers.
+//!
+//! A [`Buffer`] stores message copies up to a byte capacity, preserving
+//! insertion (reception) order — the order FIFO policies rely on — while
+//! providing O(1) id lookups through a hash index. Iteration always follows
+//! insertion order so every traversal is deterministic.
+
+use crate::message::{Message, MessageId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vdtn_sim_core::SimTime;
+
+/// Why an insertion failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferError {
+    /// The message alone exceeds the total capacity — no eviction can help.
+    TooLarge {
+        /// Size of the rejected message.
+        size: u64,
+        /// Total buffer capacity.
+        capacity: u64,
+    },
+    /// Free space is insufficient; the caller should evict via the drop
+    /// policy and retry.
+    NoSpace {
+        /// Bytes missing.
+        missing: u64,
+    },
+    /// A copy of this message is already stored.
+    Duplicate(MessageId),
+}
+
+impl std::fmt::Display for BufferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BufferError::TooLarge { size, capacity } => {
+                write!(f, "message of {size} B exceeds buffer capacity {capacity} B")
+            }
+            BufferError::NoSpace { missing } => write!(f, "buffer lacks {missing} B"),
+            BufferError::Duplicate(id) => write!(f, "duplicate message {id}"),
+        }
+    }
+}
+
+impl std::error::Error for BufferError {}
+
+/// A node's message store.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Buffer {
+    capacity: u64,
+    used: u64,
+    /// Reception order (front = oldest). Drives FIFO semantics.
+    order: Vec<MessageId>,
+    /// Id → message copy.
+    store: HashMap<MessageId, Message>,
+}
+
+impl Buffer {
+    /// Create a buffer with the given byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        Buffer {
+            capacity,
+            used: 0,
+            order: Vec::new(),
+            store: HashMap::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently occupied.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Occupancy in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            1.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+
+    /// Number of stored messages.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// True if a copy of `id` is stored.
+    pub fn contains(&self, id: MessageId) -> bool {
+        self.store.contains_key(&id)
+    }
+
+    /// Read access to a stored copy.
+    pub fn get(&self, id: MessageId) -> Option<&Message> {
+        self.store.get(&id)
+    }
+
+    /// Mutable access to a stored copy (e.g. Spray-and-Wait halving).
+    pub fn get_mut(&mut self, id: MessageId) -> Option<&mut Message> {
+        self.store.get_mut(&id)
+    }
+
+    /// Insert a message copy. Fails without modifying the buffer if the
+    /// message cannot fit or is already present.
+    pub fn insert(&mut self, msg: Message) -> Result<(), BufferError> {
+        if self.store.contains_key(&msg.id) {
+            return Err(BufferError::Duplicate(msg.id));
+        }
+        if msg.size > self.capacity {
+            return Err(BufferError::TooLarge {
+                size: msg.size,
+                capacity: self.capacity,
+            });
+        }
+        if msg.size > self.free() {
+            return Err(BufferError::NoSpace {
+                missing: msg.size - self.free(),
+            });
+        }
+        self.used += msg.size;
+        self.order.push(msg.id);
+        self.store.insert(msg.id, msg);
+        Ok(())
+    }
+
+    /// Remove and return a copy.
+    pub fn remove(&mut self, id: MessageId) -> Option<Message> {
+        let msg = self.store.remove(&id)?;
+        self.used -= msg.size;
+        // Linear removal keeps `order` exact; buffers hold at most a few
+        // hundred messages in the paper's scenario, and the hash index keeps
+        // lookups O(1) (see `buffer_ops` bench for the ablation).
+        let pos = self
+            .order
+            .iter()
+            .position(|&m| m == id)
+            .expect("order and store must agree");
+        self.order.remove(pos);
+        Some(msg)
+    }
+
+    /// Oldest-received message id (FIFO head).
+    pub fn head(&self) -> Option<MessageId> {
+        self.order.first().copied()
+    }
+
+    /// Ids in reception order (front = oldest).
+    pub fn ids_in_order(&self) -> &[MessageId] {
+        &self.order
+    }
+
+    /// Iterate stored messages in reception order.
+    pub fn iter(&self) -> impl Iterator<Item = &Message> + '_ {
+        self.order.iter().map(move |id| &self.store[id])
+    }
+
+    /// Remove every expired message, returning them (for stats recording).
+    pub fn drain_expired(&mut self, now: SimTime) -> Vec<Message> {
+        let expired: Vec<MessageId> = self
+            .iter()
+            .filter(|m| m.is_expired(now))
+            .map(|m| m.id)
+            .collect();
+        expired
+            .into_iter()
+            .map(|id| self.remove(id).expect("id just listed"))
+            .collect()
+    }
+
+    /// True if `size` bytes could ever fit (possibly after evictions).
+    pub fn could_fit(&self, size: u64) -> bool {
+        size <= self.capacity
+    }
+
+    /// True if `size` bytes fit right now without eviction.
+    pub fn fits_now(&self, size: u64) -> bool {
+        size <= self.free()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdtn_sim_core::{NodeId, SimDuration};
+
+    fn msg(id: u64, size: u64, created_s: f64, ttl_min: u64) -> Message {
+        Message::new(
+            MessageId(id),
+            NodeId(0),
+            NodeId(1),
+            size,
+            SimTime::from_secs_f64(created_s),
+            SimDuration::from_mins(ttl_min),
+        )
+    }
+
+    #[test]
+    fn insert_and_accounting() {
+        let mut b = Buffer::new(1000);
+        b.insert(msg(1, 400, 0.0, 60)).unwrap();
+        b.insert(msg(2, 300, 1.0, 60)).unwrap();
+        assert_eq!(b.used(), 700);
+        assert_eq!(b.free(), 300);
+        assert_eq!(b.len(), 2);
+        assert!((b.occupancy() - 0.7).abs() < 1e-12);
+        assert!(b.contains(MessageId(1)));
+        assert_eq!(b.head(), Some(MessageId(1)));
+    }
+
+    #[test]
+    fn rejects_duplicate() {
+        let mut b = Buffer::new(1000);
+        b.insert(msg(1, 100, 0.0, 60)).unwrap();
+        assert_eq!(
+            b.insert(msg(1, 100, 5.0, 60)),
+            Err(BufferError::Duplicate(MessageId(1)))
+        );
+        assert_eq!(b.used(), 100);
+    }
+
+    #[test]
+    fn rejects_oversized_and_full() {
+        let mut b = Buffer::new(1000);
+        assert_eq!(
+            b.insert(msg(1, 2000, 0.0, 60)),
+            Err(BufferError::TooLarge {
+                size: 2000,
+                capacity: 1000
+            })
+        );
+        b.insert(msg(2, 800, 0.0, 60)).unwrap();
+        assert_eq!(
+            b.insert(msg(3, 400, 0.0, 60)),
+            Err(BufferError::NoSpace { missing: 200 })
+        );
+        // Failure must not corrupt accounting.
+        assert_eq!(b.used(), 800);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn remove_restores_space_and_order() {
+        let mut b = Buffer::new(1000);
+        b.insert(msg(1, 300, 0.0, 60)).unwrap();
+        b.insert(msg(2, 300, 1.0, 60)).unwrap();
+        b.insert(msg(3, 300, 2.0, 60)).unwrap();
+        let removed = b.remove(MessageId(2)).unwrap();
+        assert_eq!(removed.size, 300);
+        assert_eq!(b.used(), 600);
+        assert_eq!(b.ids_in_order(), &[MessageId(1), MessageId(3)]);
+        assert!(b.remove(MessageId(2)).is_none());
+    }
+
+    #[test]
+    fn iteration_follows_reception_order() {
+        let mut b = Buffer::new(10_000);
+        for i in 0..10 {
+            b.insert(msg(i, 10, i as f64, 60)).unwrap();
+        }
+        let ids: Vec<u64> = b.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_expired_removes_only_expired() {
+        let mut b = Buffer::new(10_000);
+        b.insert(msg(1, 10, 0.0, 1)).unwrap(); // expires at 60 s
+        b.insert(msg(2, 10, 0.0, 60)).unwrap(); // expires at 3600 s
+        b.insert(msg(3, 10, 30.0, 1)).unwrap(); // expires at 90 s
+        let dead = b.drain_expired(SimTime::from_secs_f64(61.0));
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].id, MessageId(1));
+        assert_eq!(b.len(), 2);
+        let dead = b.drain_expired(SimTime::from_secs_f64(10_000.0));
+        assert_eq!(dead.len(), 2);
+        assert!(b.is_empty());
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_buffer() {
+        let mut b = Buffer::new(0);
+        assert!(!b.could_fit(1));
+        assert_eq!(b.occupancy(), 1.0);
+        assert!(matches!(
+            b.insert(msg(1, 1, 0.0, 60)),
+            Err(BufferError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn fits_now_vs_could_fit() {
+        let mut b = Buffer::new(100);
+        b.insert(msg(1, 80, 0.0, 60)).unwrap();
+        assert!(b.could_fit(100));
+        assert!(!b.fits_now(30));
+        assert!(b.fits_now(20));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use vdtn_sim_core::{NodeId, SimDuration};
+
+    proptest! {
+        /// Arbitrary insert/remove sequences keep byte accounting exact and
+        /// order/store views consistent.
+        #[test]
+        fn accounting_under_random_ops(ops in proptest::collection::vec((0u64..30, 1u64..500, any::<bool>()), 1..200)) {
+            let mut b = Buffer::new(5_000);
+            let mut expected_used = 0u64;
+            for (id, size, remove) in ops {
+                if remove {
+                    if let Some(m) = b.remove(MessageId(id)) {
+                        expected_used -= m.size;
+                    }
+                } else if !b.contains(MessageId(id)) && b.fits_now(size) {
+                    b.insert(Message::new(
+                        MessageId(id),
+                        NodeId(0),
+                        NodeId(1),
+                        size,
+                        SimTime::ZERO,
+                        SimDuration::from_mins(10),
+                    ))
+                    .unwrap();
+                    expected_used += size;
+                }
+                prop_assert_eq!(b.used(), expected_used);
+                prop_assert!(b.used() <= b.capacity());
+                prop_assert_eq!(b.ids_in_order().len(), b.len());
+                let sum: u64 = b.iter().map(|m| m.size).sum();
+                prop_assert_eq!(sum, b.used());
+            }
+        }
+
+        /// Insertion order is exactly the reception order of surviving ids.
+        #[test]
+        fn order_is_subsequence_of_insertions(ids in proptest::collection::vec(0u64..50, 1..60)) {
+            let mut b = Buffer::new(u64::MAX);
+            let mut inserted = Vec::new();
+            for id in ids {
+                if b.insert(Message::new(
+                    MessageId(id),
+                    NodeId(0),
+                    NodeId(1),
+                    1,
+                    SimTime::ZERO,
+                    SimDuration::from_mins(10),
+                ))
+                .is_ok()
+                {
+                    inserted.push(MessageId(id));
+                }
+            }
+            prop_assert_eq!(b.ids_in_order(), inserted.as_slice());
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! The DTN bundle layer: messages, buffers, and the paper's policies.
+//!
+//! This crate is the heart of the reproduction. The paper's contribution is
+//! not a routing protocol but a pair of *buffer policies*:
+//!
+//! * a **scheduling policy** ([`SchedulingPolicy`]) decides the order in
+//!   which stored messages are offered to a peer at a contact, and
+//! * a **dropping policy** ([`DropPolicy`]) decides which stored message is
+//!   evicted when an incoming message does not fit in the buffer.
+//!
+//! The paper's combinations (its Table I): `FIFO–FIFO`, `Random–FIFO`, and
+//! `LifetimeDesc–LifetimeAsc`. Extensions beyond the paper (ascending
+//! lifetime scheduling, size-based policies, random drop) are provided for
+//! the ablation benches.
+
+pub mod buffer;
+pub mod message;
+pub mod policy;
+pub mod traffic;
+
+pub use buffer::{Buffer, BufferError};
+pub use message::{Message, MessageId};
+pub use policy::{DropPolicy, PolicyCombo, SchedulingPolicy};
+pub use traffic::{TrafficConfig, TrafficGenerator};

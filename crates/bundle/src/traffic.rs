@@ -1,0 +1,236 @@
+//! Traffic generation.
+//!
+//! The paper's workload: messages are created with an inter-creation
+//! interval uniform in \[15, 30\] s, sizes uniform in \[500 kB, 2 MB\], with
+//! source and destination drawn uniformly among the *vehicles* (relay nodes
+//! only store and forward; they never originate traffic).
+
+use crate::message::{Message, MessageId};
+use serde::{Deserialize, Serialize};
+use vdtn_sim_core::{NodeId, SimDuration, SimRng, SimTime};
+
+/// Workload parameters. Defaults are the paper's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Minimum inter-creation interval, seconds.
+    pub interval_lo: f64,
+    /// Maximum inter-creation interval, seconds.
+    pub interval_hi: f64,
+    /// Minimum message size, bytes.
+    pub size_lo: u64,
+    /// Maximum message size, bytes.
+    pub size_hi: u64,
+    /// Message time-to-live.
+    pub ttl: SimDuration,
+    /// Nodes eligible as sources and destinations (the scenario's vehicles).
+    pub endpoints: Vec<NodeId>,
+}
+
+impl TrafficConfig {
+    /// Paper defaults for the given endpoint set and TTL.
+    pub fn paper(endpoints: Vec<NodeId>, ttl: SimDuration) -> Self {
+        TrafficConfig {
+            interval_lo: 15.0,
+            interval_hi: 30.0,
+            size_lo: 500_000,
+            size_hi: 2_000_000,
+            ttl,
+            endpoints,
+        }
+    }
+
+    /// Validate parameters; panics with a descriptive message on nonsense.
+    pub fn validate(&self) {
+        assert!(
+            self.interval_lo > 0.0 && self.interval_hi >= self.interval_lo,
+            "invalid interval range [{}, {}]",
+            self.interval_lo,
+            self.interval_hi
+        );
+        assert!(
+            self.size_lo > 0 && self.size_hi >= self.size_lo,
+            "invalid size range [{}, {}]",
+            self.size_lo,
+            self.size_hi
+        );
+        assert!(
+            self.endpoints.len() >= 2,
+            "traffic needs at least two endpoints"
+        );
+        assert!(!self.ttl.is_zero(), "zero TTL would expire messages at birth");
+    }
+
+    /// Expected messages created over `horizon` (mean-interval estimate).
+    pub fn expected_messages(&self, horizon: SimDuration) -> f64 {
+        horizon.as_secs_f64() / ((self.interval_lo + self.interval_hi) / 2.0)
+    }
+}
+
+/// Deterministic message-creation stream.
+///
+/// Acts as an iterator of messages tagged with creation times; the engine
+/// feeds them into its event queue. Ids are assigned sequentially from 0.
+pub struct TrafficGenerator {
+    cfg: TrafficConfig,
+    rng: SimRng,
+    next_time: SimTime,
+    next_id: u64,
+}
+
+impl TrafficGenerator {
+    /// Create a generator; the first message appears one interval after t=0.
+    pub fn new(cfg: TrafficConfig, mut rng: SimRng) -> Self {
+        cfg.validate();
+        let first = SimDuration::from_secs_f64(rng.range_f64(cfg.interval_lo, cfg.interval_hi));
+        TrafficGenerator {
+            cfg,
+            rng,
+            next_time: SimTime::ZERO + first,
+            next_id: 0,
+        }
+    }
+
+    /// Time of the next message creation.
+    pub fn peek_time(&self) -> SimTime {
+        self.next_time
+    }
+
+    /// Produce the next message (advancing the internal clock).
+    pub fn next_message(&mut self) -> Message {
+        let (si, di) = self.rng.choose_two_distinct(self.cfg.endpoints.len());
+        let src = self.cfg.endpoints[si];
+        let dst = self.cfg.endpoints[di];
+        let size = self.rng.range_u64(self.cfg.size_lo, self.cfg.size_hi);
+        let msg = Message::new(
+            MessageId(self.next_id),
+            src,
+            dst,
+            size,
+            self.next_time,
+            self.cfg.ttl,
+        );
+        self.next_id += 1;
+        let gap = self
+            .rng
+            .range_f64(self.cfg.interval_lo, self.cfg.interval_hi);
+        self.next_time += SimDuration::from_secs_f64(gap);
+        msg
+    }
+
+    /// Drain every message due at or before `now`.
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<Message> {
+        let mut out = Vec::new();
+        while self.next_time <= now {
+            out.push(self.next_message());
+        }
+        out
+    }
+
+    /// Messages created so far.
+    pub fn created_count(&self) -> u64 {
+        self.next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TrafficConfig {
+        TrafficConfig::paper(
+            (0..40).map(NodeId).collect(),
+            SimDuration::from_mins(60),
+        )
+    }
+
+    #[test]
+    fn intervals_within_range() {
+        let mut g = TrafficGenerator::new(cfg(), SimRng::seed_from_u64(1));
+        let mut prev = SimTime::ZERO;
+        for _ in 0..1_000 {
+            let t = g.peek_time();
+            let gap = t.since(prev).as_secs_f64();
+            assert!(
+                (15.0..=30.0).contains(&gap),
+                "inter-creation gap {gap} outside [15, 30]"
+            );
+            prev = t;
+            g.next_message();
+        }
+    }
+
+    #[test]
+    fn sizes_within_range_and_endpoints_distinct() {
+        let mut g = TrafficGenerator::new(cfg(), SimRng::seed_from_u64(2));
+        for _ in 0..1_000 {
+            let m = g.next_message();
+            assert!((500_000..=2_000_000).contains(&m.size));
+            assert_ne!(m.src, m.dst);
+            assert!(m.src.0 < 40 && m.dst.0 < 40);
+            assert_eq!(m.ttl, SimDuration::from_mins(60));
+            assert_eq!(m.hops, 0);
+        }
+    }
+
+    #[test]
+    fn ids_sequential_and_unique() {
+        let mut g = TrafficGenerator::new(cfg(), SimRng::seed_from_u64(3));
+        for i in 0..100 {
+            assert_eq!(g.next_message().id, MessageId(i));
+        }
+        assert_eq!(g.created_count(), 100);
+    }
+
+    #[test]
+    fn drain_due_respects_clock() {
+        let mut g = TrafficGenerator::new(cfg(), SimRng::seed_from_u64(4));
+        let first = g.peek_time();
+        assert!(g.drain_due(first - SimDuration::from_millis(1)).is_empty());
+        let batch = g.drain_due(first + SimDuration::from_secs(120));
+        // 120 s window with gaps of 15–30 s: between 4 and 9 messages.
+        assert!(
+            (4..=9).contains(&batch.len()),
+            "unexpected batch size {}",
+            batch.len()
+        );
+        for m in &batch {
+            assert!(m.created <= first + SimDuration::from_secs(120));
+        }
+    }
+
+    #[test]
+    fn rate_matches_expectation_over_long_horizon() {
+        let mut g = TrafficGenerator::new(cfg(), SimRng::seed_from_u64(5));
+        let horizon = SimDuration::from_hours(12);
+        let batch = g.drain_due(SimTime::ZERO + horizon);
+        let expected = cfg().expected_messages(horizon); // 43200 / 22.5 = 1920
+        let actual = batch.len() as f64;
+        assert!(
+            (actual - expected).abs() / expected < 0.05,
+            "created {actual}, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = TrafficGenerator::new(cfg(), SimRng::seed_from_u64(6));
+        let mut b = TrafficGenerator::new(cfg(), SimRng::seed_from_u64(6));
+        for _ in 0..200 {
+            assert_eq!(a.next_message(), b.next_message());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two endpoints")]
+    fn rejects_single_endpoint() {
+        TrafficConfig::paper(vec![NodeId(0)], SimDuration::from_mins(60)).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval range")]
+    fn rejects_bad_interval() {
+        let mut c = cfg();
+        c.interval_hi = 1.0;
+        c.validate();
+    }
+}

@@ -1,0 +1,55 @@
+//! Calibration helper: protocol comparison across map extents.
+//!
+//! Used to size the synthetic-Helsinki substitute so the paper's qualitative
+//! ordering (SnW ≥ MaxProp > PRoPHET, Lifetime > Random > FIFO) reproduces.
+//! Usage: `cargo run --release -p vdtn --example calibrate -- [w h cols rows ttl]`
+
+use vdtn::presets::{paper_scenario, PaperProtocol};
+use vdtn::scenario::MapSpec;
+use vdtn_geo::SyntheticCityGen;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let width: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2000.0);
+    let height: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1600.0);
+    let cols: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let rows: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let ttl: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(120);
+
+    println!("map {width}x{height} ({cols}x{rows}), ttl {ttl}m");
+    let protos = [
+        PaperProtocol::EpidemicFifo,
+        PaperProtocol::EpidemicLifetime,
+        PaperProtocol::SnwFifo,
+        PaperProtocol::SnwLifetime,
+        PaperProtocol::MaxProp,
+        PaperProtocol::Prophet,
+    ];
+    let scenarios: Vec<_> = protos
+        .iter()
+        .map(|&p| {
+            let mut s = paper_scenario(p, ttl, 1);
+            s.map = MapSpec::Synthetic(SyntheticCityGen {
+                width,
+                height,
+                cols,
+                rows,
+                ..SyntheticCityGen::default()
+            });
+            s
+        })
+        .collect();
+    let reports = vdtn::run_sweep(&scenarios);
+    for (p, r) in protos.iter().zip(&reports) {
+        println!(
+            "{:<40} P={:.3} delay={:>6.1}m relayed={:>6} aborted={:>5} contacts={} meanContact={:.1}s",
+            p.label(),
+            r.delivery_probability(),
+            r.avg_delay_mins(),
+            r.messages.relayed,
+            r.messages.transfers_aborted,
+            r.contacts,
+            r.mean_contact_secs,
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! Offline analysis of simulation logs.
+//!
+//! Two tools, both standard in the DTN literature:
+//!
+//! * [`oracle_delays`] — the omniscient-routing lower bound: the earliest
+//!   time each message *could* have been delivered given the actual contact
+//!   intervals, assuming instantaneous transfers and infinite buffers. Any
+//!   protocol's delay/delivery sits between this bound and nothing.
+//! * [`MeetingModel`] — the exponential inter-contact approximation used for
+//!   back-of-envelope checks (expected pair meeting rate, expected epidemic
+//!   first-delivery delay in a homogeneous-mixing model).
+
+use crate::logging::SimLog;
+use vdtn_sim_core::{SimDuration, SimTime};
+
+/// Earliest possible delivery time per message under omniscient routing.
+///
+/// Classic time-ordered relaxation over contact intervals: a copy at node
+/// `u` with arrival time `t_u` crosses contact `(u, v, [s, e])` if
+/// `t_u ≤ e`, arriving at `max(s, t_u)`. Instant transfers make a single
+/// pass over contacts sorted by *end* time insufficient (copies can hop
+/// across several concurrent contacts at one instant), so we iterate to a
+/// fixed point — contact lists are small enough that this converges in a
+/// couple of passes.
+///
+/// Returns, per message (in `log.messages` order), `Some(delay)` if the
+/// destination was reachable before the TTL and the horizon, else `None`.
+pub fn oracle_delays(log: &SimLog) -> Vec<Option<SimDuration>> {
+    log.messages
+        .iter()
+        .map(|msg| {
+            let deadline = msg.expiry().min(log.horizon);
+            let mut arrival: Vec<SimTime> = vec![SimTime::MAX; log.node_count];
+            arrival[msg.src.index()] = msg.created;
+            // Fixed-point relaxation.
+            loop {
+                let mut changed = false;
+                for c in &log.contacts {
+                    if c.start > deadline {
+                        break; // contacts are sorted by start time
+                    }
+                    for (from, to) in [(c.a, c.b), (c.b, c.a)] {
+                        let t_from = arrival[from.index()];
+                        if t_from == SimTime::MAX || t_from > c.end {
+                            continue;
+                        }
+                        let t_arrive = t_from.max(c.start);
+                        if t_arrive <= deadline && t_arrive < arrival[to.index()] {
+                            arrival[to.index()] = t_arrive;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            let t_dst = arrival[msg.dst.index()];
+            (t_dst != SimTime::MAX && t_dst <= deadline).then(|| t_dst.since(msg.created))
+        })
+        .collect()
+}
+
+/// Summary of the oracle bound over a whole log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleSummary {
+    /// Messages whose destination was reachable in time.
+    pub deliverable: usize,
+    /// Total messages.
+    pub total: usize,
+    /// Mean oracle delay over deliverable messages, minutes.
+    pub mean_delay_mins: f64,
+}
+
+/// Run the oracle and summarise.
+pub fn oracle_summary(log: &SimLog) -> OracleSummary {
+    let delays = oracle_delays(log);
+    let deliverable: Vec<f64> = delays
+        .iter()
+        .flatten()
+        .map(|d| d.as_mins_f64())
+        .collect();
+    OracleSummary {
+        deliverable: deliverable.len(),
+        total: delays.len(),
+        mean_delay_mins: if deliverable.is_empty() {
+            0.0
+        } else {
+            deliverable.iter().sum::<f64>() / deliverable.len() as f64
+        },
+    }
+}
+
+/// Homogeneous-mixing meeting model (exponential inter-contact times).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeetingModel {
+    /// Pairwise meeting rate λ (contacts per second per pair).
+    pub lambda: f64,
+    /// Number of nodes.
+    pub n: usize,
+}
+
+impl MeetingModel {
+    /// Fit λ from a log: total contacts / (pairs × horizon).
+    pub fn fit(log: &SimLog) -> MeetingModel {
+        let pairs = log.node_count * (log.node_count.saturating_sub(1)) / 2;
+        let horizon = log.horizon.as_secs_f64();
+        let lambda = if pairs == 0 || horizon == 0.0 {
+            0.0
+        } else {
+            log.contacts.len() as f64 / (pairs as f64 * horizon)
+        };
+        MeetingModel {
+            lambda,
+            n: log.node_count,
+        }
+    }
+
+    /// Expected delay of *direct delivery* (wait for the destination):
+    /// `1 / λ` seconds.
+    pub fn expected_direct_delay_secs(&self) -> f64 {
+        if self.lambda == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.lambda
+        }
+    }
+
+    /// Expected epidemic first-delivery delay in the Markov flooding model
+    /// (Zhang et al.): time for an infection starting at one node to reach
+    /// one designated node, `E[T] ≈ (1/λ) · H(n−1) / (n−1)` where
+    /// `H` is the harmonic number — the standard closed form
+    /// `sum_{k=1}^{n-1} 1 / (k (n - k))` rewritten.
+    pub fn expected_epidemic_delay_secs(&self) -> f64 {
+        if self.lambda == 0.0 || self.n < 2 {
+            return f64::INFINITY;
+        }
+        let n = self.n as f64;
+        let sum: f64 = (1..self.n).map(|k| 1.0 / (k as f64 * (n - k as f64))).sum();
+        sum / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logging::ContactRecord;
+    use vdtn_bundle::{Message, MessageId};
+    use vdtn_sim_core::NodeId;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn msg(id: u64, src: u32, dst: u32, created: f64, ttl_min: u64) -> Message {
+        Message::new(
+            MessageId(id),
+            NodeId(src),
+            NodeId(dst),
+            1000,
+            t(created),
+            SimDuration::from_mins(ttl_min),
+        )
+    }
+
+    fn contact(a: u32, b: u32, s: f64, e: f64) -> ContactRecord {
+        ContactRecord {
+            a: NodeId(a),
+            b: NodeId(b),
+            start: t(s),
+            end: t(e),
+        }
+    }
+
+    #[test]
+    fn oracle_direct_contact() {
+        let log = SimLog {
+            contacts: vec![contact(0, 1, 100.0, 110.0)],
+            messages: vec![msg(0, 0, 1, 50.0, 60)],
+            node_count: 2,
+            horizon: t(1000.0),
+        };
+        let d = oracle_delays(&log);
+        // Created at 50, contact opens at 100 → delay 50 s.
+        assert_eq!(d[0], Some(SimDuration::from_secs(50)));
+    }
+
+    #[test]
+    fn oracle_multi_hop_chain() {
+        // 0→1 at [10,20], 1→2 at [30,40]: message 0→2 created at 0
+        // arrives at 30 via the chain.
+        let log = SimLog {
+            contacts: vec![contact(0, 1, 10.0, 20.0), contact(1, 2, 30.0, 40.0)],
+            messages: vec![msg(0, 0, 2, 0.0, 60)],
+            node_count: 3,
+            horizon: t(1000.0),
+        };
+        assert_eq!(oracle_delays(&log)[0], Some(SimDuration::from_secs(30)));
+    }
+
+    #[test]
+    fn oracle_respects_contact_order() {
+        // The relay contact happens BEFORE the source contact: unusable.
+        let log = SimLog {
+            contacts: vec![contact(1, 2, 10.0, 20.0), contact(0, 1, 30.0, 40.0)],
+            messages: vec![msg(0, 0, 2, 0.0, 60)],
+            node_count: 3,
+            horizon: t(1000.0),
+        };
+        assert_eq!(oracle_delays(&log)[0], None);
+    }
+
+    #[test]
+    fn oracle_instantaneous_multi_hop_within_overlap() {
+        // Overlapping contacts allow a same-instant two-hop path at t=35.
+        let log = SimLog {
+            contacts: vec![contact(0, 1, 30.0, 50.0), contact(1, 2, 35.0, 55.0)],
+            messages: vec![msg(0, 0, 2, 0.0, 60)],
+            node_count: 3,
+            horizon: t(1000.0),
+        };
+        assert_eq!(oracle_delays(&log)[0], Some(SimDuration::from_secs(35)));
+    }
+
+    #[test]
+    fn oracle_ttl_and_horizon_cut_off() {
+        let log = SimLog {
+            contacts: vec![contact(0, 1, 120.0, 130.0)],
+            messages: vec![
+                msg(0, 0, 1, 0.0, 1), // TTL 60 s < contact at 120 s
+                msg(1, 0, 1, 0.0, 60),
+            ],
+            node_count: 2,
+            horizon: t(90.0), // horizon also before the contact
+        };
+        let d = oracle_delays(&log);
+        assert_eq!(d[0], None);
+        assert_eq!(d[1], None);
+    }
+
+    #[test]
+    fn oracle_needs_backward_pass() {
+        // Contacts listed by start time: (1,2) starts first but stays open;
+        // (0,1) opens later. The copy must traverse (0,1) then the still-open
+        // (1,2) — catching this requires the fixed-point iteration.
+        let log = SimLog {
+            contacts: vec![contact(1, 2, 10.0, 100.0), contact(0, 1, 50.0, 60.0)],
+            messages: vec![msg(0, 0, 2, 0.0, 60)],
+            node_count: 3,
+            horizon: t(1000.0),
+        };
+        assert_eq!(oracle_delays(&log)[0], Some(SimDuration::from_secs(50)));
+    }
+
+    #[test]
+    fn oracle_summary_aggregates() {
+        let log = SimLog {
+            contacts: vec![contact(0, 1, 60.0, 70.0)],
+            messages: vec![msg(0, 0, 1, 0.0, 60), msg(1, 1, 0, 3000.0, 10)],
+            node_count: 2,
+            horizon: t(5000.0),
+        };
+        let s = oracle_summary(&log);
+        assert_eq!(s.total, 2);
+        assert_eq!(s.deliverable, 1);
+        assert!((s.mean_delay_mins - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meeting_model_fit_and_bounds() {
+        let log = SimLog {
+            contacts: (0..100)
+                .map(|i| contact(0, 1, i as f64 * 10.0, i as f64 * 10.0 + 1.0))
+                .collect(),
+            messages: vec![],
+            node_count: 2,
+            horizon: t(1000.0),
+        };
+        let m = MeetingModel::fit(&log);
+        // 100 contacts / (1 pair × 1000 s) = 0.1 per second.
+        assert!((m.lambda - 0.1).abs() < 1e-12);
+        assert!((m.expected_direct_delay_secs() - 10.0).abs() < 1e-9);
+        // With n = 2 the epidemic bound equals direct delivery.
+        assert!((m.expected_epidemic_delay_secs() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epidemic_model_faster_with_more_nodes() {
+        let a = MeetingModel { lambda: 0.001, n: 5 };
+        let b = MeetingModel { lambda: 0.001, n: 40 };
+        assert!(b.expected_epidemic_delay_secs() < a.expected_epidemic_delay_secs());
+        assert!(a.expected_epidemic_delay_secs() < a.expected_direct_delay_secs());
+    }
+
+    #[test]
+    fn degenerate_models() {
+        let m = MeetingModel { lambda: 0.0, n: 10 };
+        assert!(m.expected_direct_delay_secs().is_infinite());
+        assert!(m.expected_epidemic_delay_secs().is_infinite());
+        let empty = SimLog::default();
+        let f = MeetingModel::fit(&empty);
+        assert_eq!(f.lambda, 0.0);
+    }
+}

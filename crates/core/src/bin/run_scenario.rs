@@ -1,0 +1,83 @@
+//! `run_scenario` — execute a scenario description from JSON.
+//!
+//! ```text
+//! run_scenario SCENARIO.json [--report REPORT.json] [--csv] [--oracle]
+//! ```
+//!
+//! Reads a [`vdtn::Scenario`] (the same structure `serde_json` serialises),
+//! runs it, prints the one-line summary, optionally writes the full report
+//! as JSON, a CSV row, and the omniscient-routing oracle bound.
+//!
+//! Generate a template to start from:
+//!
+//! ```text
+//! run_scenario --template > my_scenario.json
+//! ```
+
+use vdtn::presets::{paper_scenario, PaperProtocol};
+use vdtn::{oracle_summary, Scenario, World};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" {
+        eprintln!("usage: run_scenario SCENARIO.json [--report OUT.json] [--csv] [--oracle]");
+        eprintln!("       run_scenario --template   # print a scenario template to stdout");
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+
+    if args[0] == "--template" {
+        let template = paper_scenario(PaperProtocol::EpidemicLifetime, 60, 1);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&template).expect("template serialises")
+        );
+        return;
+    }
+
+    let path = &args[0];
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read scenario {path}: {e}"));
+    let scenario: Scenario =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("invalid scenario JSON: {e}"));
+
+    let want_oracle = args.iter().any(|a| a == "--oracle");
+    let want_csv = args.iter().any(|a| a == "--csv");
+    let report_path = args
+        .iter()
+        .position(|a| a == "--report")
+        .map(|i| args.get(i + 1).expect("--report needs a path").clone());
+
+    let world = World::build(&scenario);
+    if want_oracle {
+        let (report, log) = world.run_logged();
+        println!("{}", report.summary());
+        let oracle = oracle_summary(&log);
+        println!(
+            "oracle bound: {}/{} deliverable, mean optimal delay {:.1} min \
+             (protocol achieved {}/{} at {:.1} min)",
+            oracle.deliverable,
+            oracle.total,
+            oracle.mean_delay_mins,
+            report.messages.delivered_unique,
+            report.messages.created,
+            report.avg_delay_mins(),
+        );
+        finish(&report, want_csv, report_path);
+    } else {
+        let report = world.run();
+        println!("{}", report.summary());
+        finish(&report, want_csv, report_path);
+    }
+}
+
+fn finish(report: &vdtn::SimReport, want_csv: bool, report_path: Option<String>) {
+    if want_csv {
+        println!("{}", vdtn::report::csv_header());
+        println!("{}", report.csv_row());
+    }
+    if let Some(path) = report_path {
+        let json = serde_json::to_string_pretty(report).expect("report serialises");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("report written to {path}");
+    }
+}

@@ -1,0 +1,56 @@
+//! `vdtn` — the Vehicular Delay-Tolerant Network simulator.
+//!
+//! This is the top-level crate of the reproduction suite for *"Improvement
+//! of Messages Delivery Time on Vehicular Delay-Tolerant Networks"* (Soares
+//! et al., ICPP Workshops 2009). It composes the substrate crates into a
+//! runnable simulator:
+//!
+//! * [`Scenario`] — a fully serialisable experiment description (map, node
+//!   groups, radio, traffic, routing protocol, buffer policies, duration);
+//! * [`World`] — the engine: per-tick movement → connectivity → transfers →
+//!   routing round → TTL sweep, with deterministic RNG lanes throughout;
+//! * [`SimReport`] — every metric the paper reports (and more), derived
+//!   from engine events;
+//! * [`presets`] — the paper's Helsinki scenario parameterised by protocol,
+//!   policy combination and TTL;
+//! * [`sweep`] — a rayon-parallel runner for TTL sweeps and multi-seed
+//!   averaging, which is how every figure is regenerated.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vdtn::presets::{paper_scenario, PaperProtocol};
+//! use vdtn::World;
+//!
+//! // Epidemic routing with the paper's winning Lifetime policies, 60-minute
+//! // TTL, scaled down to a 30-minute run for the doctest.
+//! let mut scenario = paper_scenario(
+//!     PaperProtocol::EpidemicLifetime,
+//!     60,   // TTL minutes
+//!     42,   // seed
+//! );
+//! scenario.duration_secs = 1800.0;
+//! let report = World::build(&scenario).run();
+//! assert!(report.messages.created > 0);
+//! ```
+
+pub mod analysis;
+pub mod engine;
+pub mod logging;
+pub mod report;
+pub mod scenario;
+pub mod presets;
+pub mod sweep;
+
+pub use analysis::{oracle_delays, oracle_summary, MeetingModel, OracleSummary};
+pub use engine::World;
+pub use logging::{ContactRecord, SimLog};
+pub use report::{DropCause, MessageStats, SimReport};
+pub use scenario::{MapSpec, MobilitySpec, NodeGroup, RelayPlacement, Scenario};
+pub use sweep::{average_reports, run_sweep, SweepPoint};
+
+// Convenience re-exports so downstream users need only `vdtn`.
+pub use vdtn_bundle::{DropPolicy, PolicyCombo, SchedulingPolicy};
+pub use vdtn_net::DetectorBackend;
+pub use vdtn_routing::{MaxPropConfig, ProphetConfig, RouterKind};
+pub use vdtn_sim_core::{NodeId, SimDuration, SimTime};

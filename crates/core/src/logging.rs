@@ -1,0 +1,142 @@
+//! Full simulation logs: contact intervals and created messages.
+//!
+//! [`World::run_logged`](crate::World::run_logged) records every contact
+//! interval and every created message alongside the normal report. The log
+//! feeds the [`crate::analysis`] module — most importantly the offline
+//! *delivery oracle*, which computes the earliest possible delivery time of
+//! every message given the contact history (the lower bound an omniscient
+//! router with infinite bandwidth would achieve). Comparing protocols
+//! against the oracle separates "the contact structure made it impossible"
+//! from "the protocol missed it".
+
+use serde::{Deserialize, Serialize};
+use vdtn_bundle::Message;
+use vdtn_sim_core::{NodeId, SimTime};
+
+/// One closed contact interval between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContactRecord {
+    /// One endpoint (lower id).
+    pub a: NodeId,
+    /// Other endpoint (higher id).
+    pub b: NodeId,
+    /// Link-up time.
+    pub start: SimTime,
+    /// Link-down time (or end of run for still-open contacts).
+    pub end: SimTime,
+}
+
+impl ContactRecord {
+    /// Contact duration.
+    pub fn duration(&self) -> vdtn_sim_core::SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Everything needed to re-analyse a run offline.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimLog {
+    /// All contact intervals, in link-up order.
+    pub contacts: Vec<ContactRecord>,
+    /// All messages created during the run (source copies).
+    pub messages: Vec<Message>,
+    /// Number of nodes in the scenario.
+    pub node_count: usize,
+    /// Simulation horizon.
+    pub horizon: SimTime,
+}
+
+/// Accumulates the log during a run (engine-internal).
+#[derive(Debug, Default)]
+pub(crate) struct SimLogBuilder {
+    contacts: Vec<ContactRecord>,
+    open: std::collections::HashMap<(u32, u32), SimTime>,
+    messages: Vec<Message>,
+}
+
+impl SimLogBuilder {
+    pub(crate) fn on_up(&mut self, a: NodeId, b: NodeId, now: SimTime) {
+        let key = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        self.open.insert(key, now);
+    }
+
+    pub(crate) fn on_down(&mut self, a: NodeId, b: NodeId, now: SimTime) {
+        let key = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        if let Some(start) = self.open.remove(&key) {
+            self.contacts.push(ContactRecord {
+                a: NodeId(key.0),
+                b: NodeId(key.1),
+                start,
+                end: now,
+            });
+        }
+    }
+
+    pub(crate) fn on_created(&mut self, msg: &Message) {
+        self.messages.push(*msg);
+    }
+
+    pub(crate) fn finish(mut self, node_count: usize, horizon: SimTime) -> SimLog {
+        // Close any still-open contacts at the horizon.
+        let mut open: Vec<_> = self.open.drain().collect();
+        open.sort_unstable_by_key(|&(k, _)| k);
+        for (key, start) in open {
+            self.contacts.push(ContactRecord {
+                a: NodeId(key.0),
+                b: NodeId(key.1),
+                start,
+                end: horizon,
+            });
+        }
+        self.contacts.sort_by_key(|c| (c.start, c.a, c.b));
+        SimLog {
+            contacts: self.contacts,
+            messages: self.messages,
+            node_count,
+            horizon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn builder_records_closed_and_open_contacts() {
+        let mut b = SimLogBuilder::default();
+        b.on_up(NodeId(1), NodeId(0), t(10.0));
+        b.on_down(NodeId(0), NodeId(1), t(25.0));
+        b.on_up(NodeId(2), NodeId(3), t(30.0));
+        let log = b.finish(4, t(100.0));
+        assert_eq!(log.contacts.len(), 2);
+        assert_eq!(log.contacts[0].a, NodeId(0));
+        assert_eq!(log.contacts[0].duration().as_secs_f64(), 15.0);
+        // Open contact closed at horizon.
+        assert_eq!(log.contacts[1].end, t(100.0));
+        assert_eq!(log.node_count, 4);
+    }
+
+    #[test]
+    fn down_without_up_ignored() {
+        let mut b = SimLogBuilder::default();
+        b.on_down(NodeId(0), NodeId(1), t(5.0));
+        let log = b.finish(2, t(10.0));
+        assert!(log.contacts.is_empty());
+    }
+
+    #[test]
+    fn log_serde_round_trip() {
+        let mut b = SimLogBuilder::default();
+        b.on_up(NodeId(0), NodeId(1), t(1.0));
+        b.on_down(NodeId(0), NodeId(1), t(2.0));
+        let log = b.finish(2, t(10.0));
+        let json = serde_json::to_string(&log).unwrap();
+        let back: SimLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.contacts.len(), 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! Scenario descriptions: everything needed to reproduce a run.
+//!
+//! A [`Scenario`] is plain serialisable data (JSON via serde) so experiments
+//! can be stored next to their results. `Scenario::validate` catches
+//! configuration nonsense before the engine ever runs.
+
+use serde::{Deserialize, Serialize};
+use vdtn_bundle::PolicyCombo;
+use vdtn_geo::{GridMapGen, Point, RoadGraph, SyntheticCityGen};
+use vdtn_mobility::SpmbConfig;
+use vdtn_net::{DetectorBackend, RadioInterface};
+use vdtn_routing::RouterKind;
+use vdtn_sim_core::{SimDuration, SimRng};
+
+/// Which road map the scenario runs on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MapSpec {
+    /// Regular grid (tests, analytic scenarios).
+    Grid(GridMapGen),
+    /// Synthetic city — the Helsinki substitute (see DESIGN.md).
+    Synthetic(SyntheticCityGen),
+    /// Inline WKT text (drop-in for a real map extract).
+    WktText(String),
+}
+
+impl MapSpec {
+    /// Materialise the road graph (deterministic given `rng`).
+    pub fn build(&self, rng: &mut SimRng) -> RoadGraph {
+        match self {
+            MapSpec::Grid(g) => g.generate(),
+            MapSpec::Synthetic(s) => s.generate(rng),
+            MapSpec::WktText(text) => vdtn_geo::wkt::parse_document_connected(text, 0.5)
+                .expect("invalid WKT map in scenario"),
+        }
+    }
+}
+
+/// Where stationary relay nodes are placed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RelayPlacement {
+    /// At the busiest crossroads: highest-degree vertices, greedily spread
+    /// so no two relays are closer than a quarter of the map diagonal.
+    /// This mirrors the paper's "placed at crossroads" (its Figure 3).
+    HighDegreeSpread,
+    /// Explicit coordinates (snapped to the nearest road vertex).
+    Explicit(Vec<Point>),
+}
+
+/// How a node group moves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MobilitySpec {
+    /// The paper's vehicle model.
+    ShortestPathMapBased(SpmbConfig),
+    /// Stationary relays.
+    Stationary(RelayPlacement),
+}
+
+/// A homogeneous group of nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeGroup {
+    /// Group label for reports ("vehicles", "relays").
+    pub name: String,
+    /// Number of nodes in the group.
+    pub count: usize,
+    /// Per-node buffer capacity, bytes.
+    pub buffer_bytes: u64,
+    /// Movement model.
+    pub mobility: MobilitySpec,
+    /// True for relay infrastructure: such nodes never originate traffic
+    /// and are excluded from the destination pool.
+    pub is_relay: bool,
+}
+
+/// Traffic workload parameters (see `vdtn_bundle::TrafficConfig`; endpoints
+/// are derived from the non-relay groups at build time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSpec {
+    /// Minimum inter-creation interval, seconds.
+    pub interval_lo: f64,
+    /// Maximum inter-creation interval, seconds.
+    pub interval_hi: f64,
+    /// Minimum message size, bytes.
+    pub size_lo: u64,
+    /// Maximum message size, bytes.
+    pub size_hi: u64,
+    /// Message time-to-live.
+    pub ttl: SimDuration,
+}
+
+impl TrafficSpec {
+    /// The paper's workload at the given TTL.
+    pub fn paper(ttl: SimDuration) -> Self {
+        TrafficSpec {
+            interval_lo: 15.0,
+            interval_hi: 30.0,
+            size_lo: 500_000,
+            size_hi: 2_000_000,
+            ttl,
+        }
+    }
+}
+
+/// A complete, reproducible experiment description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable label carried into reports.
+    pub name: String,
+    /// Master seed; all RNG lanes derive from it.
+    pub seed: u64,
+    /// Simulated duration in seconds (paper: 43 200 = 12 h).
+    pub duration_secs: f64,
+    /// Engine tick in seconds (paper-equivalent ONE default: 1 s).
+    pub tick_secs: f64,
+    /// Road map.
+    pub map: MapSpec,
+    /// Node groups; node ids are assigned in group order.
+    pub groups: Vec<NodeGroup>,
+    /// Radio model shared by all nodes.
+    pub radio: RadioInterface,
+    /// Contact-detection backend.
+    pub detector: DetectorBackend,
+    /// Traffic workload.
+    pub traffic: TrafficSpec,
+    /// Routing protocol.
+    pub router: RouterKind,
+    /// Scheduling/dropping combination (ignored by MaxProp and PRoPHET,
+    /// which bring their own policies — exactly as in the paper).
+    pub policy: PolicyCombo,
+    /// Sampling period for time-series collectors, seconds (0 disables).
+    pub sample_period_secs: f64,
+}
+
+impl Scenario {
+    /// Total node count across groups.
+    pub fn node_count(&self) -> usize {
+        self.groups.iter().map(|g| g.count).sum()
+    }
+
+    /// Panic with a descriptive message if the configuration is invalid.
+    pub fn validate(&self) {
+        assert!(self.duration_secs > 0.0, "duration must be positive");
+        assert!(self.tick_secs > 0.0, "tick must be positive");
+        assert!(
+            self.tick_secs <= self.duration_secs,
+            "tick longer than the run"
+        );
+        assert!(!self.groups.is_empty(), "no node groups");
+        self.radio.validate();
+        let traffic_nodes: usize = self
+            .groups
+            .iter()
+            .filter(|g| !g.is_relay)
+            .map(|g| g.count)
+            .sum();
+        assert!(
+            traffic_nodes >= 2,
+            "need at least two non-relay nodes for traffic"
+        );
+        assert!(
+            self.traffic.interval_lo > 0.0
+                && self.traffic.interval_hi >= self.traffic.interval_lo,
+            "invalid traffic interval"
+        );
+        assert!(
+            self.traffic.size_lo > 0 && self.traffic.size_hi >= self.traffic.size_lo,
+            "invalid traffic sizes"
+        );
+        for g in &self.groups {
+            assert!(g.count > 0, "empty group '{}'", g.name);
+            assert!(g.buffer_bytes > 0, "zero buffer in group '{}'", g.name);
+            if let MobilitySpec::ShortestPathMapBased(cfg) = &g.mobility {
+                cfg.validate();
+            }
+        }
+    }
+}
+
+/// Pick `count` relay positions: highest-degree vertices, greedily enforcing
+/// a minimum spread of a quarter of the map diagonal (relaxed geometrically
+/// until enough fit).
+pub fn place_relays_high_degree(graph: &RoadGraph, count: usize) -> Vec<Point> {
+    assert!(graph.vertex_count() > 0, "empty map");
+    let mut by_degree: Vec<_> = graph.vertex_ids().collect();
+    by_degree.sort_by_key(|&v| {
+        // Stable order: degree descending, then id ascending.
+        (std::cmp::Reverse(graph.degree(v)), v.0)
+    });
+    let bounds = graph.bounds();
+    let diag = (bounds.width().powi(2) + bounds.height().powi(2)).sqrt();
+    let mut min_dist = diag / 4.0;
+    loop {
+        let mut picked: Vec<Point> = Vec::with_capacity(count);
+        for &v in &by_degree {
+            let p = graph.position(v);
+            if picked.iter().all(|&q| q.distance(p) >= min_dist) {
+                picked.push(p);
+                if picked.len() == count {
+                    return picked;
+                }
+            }
+        }
+        // Not enough spread-out vertices: relax the constraint.
+        min_dist /= 2.0;
+        if min_dist < 1.0 {
+            // Degenerate map: just take the top-degree vertices.
+            return by_degree
+                .iter()
+                .take(count)
+                .map(|&v| graph.position(v))
+                .collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdtn_sim_core::SimRng;
+
+    fn minimal() -> Scenario {
+        Scenario {
+            name: "test".into(),
+            seed: 1,
+            duration_secs: 100.0,
+            tick_secs: 1.0,
+            map: MapSpec::Grid(GridMapGen {
+                cols: 3,
+                rows: 3,
+                spacing: 100.0,
+            }),
+            groups: vec![NodeGroup {
+                name: "vehicles".into(),
+                count: 4,
+                buffer_bytes: 1_000_000,
+                mobility: MobilitySpec::ShortestPathMapBased(SpmbConfig::default()),
+                is_relay: false,
+            }],
+            radio: RadioInterface::paper_80211b(),
+            detector: DetectorBackend::Grid,
+            traffic: TrafficSpec::paper(SimDuration::from_mins(60)),
+            router: RouterKind::Epidemic,
+            policy: PolicyCombo::FIFO_FIFO,
+            sample_period_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn minimal_scenario_validates() {
+        minimal().validate();
+        assert_eq!(minimal().node_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "two non-relay nodes")]
+    fn rejects_relay_only_traffic() {
+        let mut s = minimal();
+        s.groups[0].is_relay = true;
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn rejects_zero_duration() {
+        let mut s = minimal();
+        s.duration_secs = 0.0;
+        s.validate();
+    }
+
+    #[test]
+    fn map_specs_build() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let g = MapSpec::Grid(GridMapGen::default()).build(&mut rng);
+        assert!(g.vertex_count() > 0);
+        let s = MapSpec::Synthetic(SyntheticCityGen::default()).build(&mut rng);
+        assert!(s.is_connected());
+        let w = MapSpec::WktText("LINESTRING (0 0, 10 0, 20 0)".into()).build(&mut rng);
+        assert_eq!(w.vertex_count(), 3);
+    }
+
+    #[test]
+    fn relay_placement_spreads() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let map = MapSpec::Synthetic(SyntheticCityGen::default()).build(&mut rng);
+        let relays = place_relays_high_degree(&map, 5);
+        assert_eq!(relays.len(), 5);
+        // All distinct and reasonably spread.
+        for i in 0..relays.len() {
+            for j in (i + 1)..relays.len() {
+                assert!(relays[i].distance(relays[j]) > 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn relay_placement_degenerate_map() {
+        let g = GridMapGen {
+            cols: 2,
+            rows: 2,
+            spacing: 10.0,
+        }
+        .generate();
+        let relays = place_relays_high_degree(&g, 4);
+        assert_eq!(relays.len(), 4);
+    }
+
+    #[test]
+    fn scenario_serde_round_trip() {
+        let s = minimal();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

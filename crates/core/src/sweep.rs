@@ -1,0 +1,171 @@
+//! Parallel parameter sweeps.
+//!
+//! Every figure in the paper is a sweep: protocols × TTLs, each cell
+//! averaged over seeds. Runs are fully independent (deterministic per-seed
+//! RNG lanes, no shared state), so the sweep is embarrassingly parallel —
+//! [`run_sweep`] fans the scenario list across a rayon thread pool and
+//! collects reports in input order.
+
+use crate::engine::World;
+use crate::report::SimReport;
+use crate::scenario::Scenario;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Run every scenario, in parallel, returning reports in input order.
+pub fn run_sweep(scenarios: &[Scenario]) -> Vec<SimReport> {
+    scenarios
+        .par_iter()
+        .map(|s| World::build(s).run())
+        .collect()
+}
+
+/// A figure data point: one (configuration, TTL) cell averaged over seeds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Configuration label (figure legend entry).
+    pub label: String,
+    /// Message TTL in minutes (figure x-axis).
+    pub ttl_mins: f64,
+    /// Seeds averaged.
+    pub seeds: usize,
+    /// Mean delivery probability.
+    pub delivery_probability: f64,
+    /// Mean average-delay in minutes.
+    pub avg_delay_mins: f64,
+    /// Mean unique deliveries.
+    pub delivered: f64,
+    /// Mean created messages.
+    pub created: f64,
+    /// Mean overhead ratio.
+    pub overhead: f64,
+    /// Std-dev of delivery probability across seeds.
+    pub delivery_probability_sd: f64,
+    /// Std-dev of delay across seeds, minutes.
+    pub avg_delay_sd: f64,
+}
+
+/// Average per-seed reports of one experimental cell into a [`SweepPoint`].
+///
+/// All reports must share the same TTL (they are one figure cell).
+pub fn average_reports(label: &str, reports: &[SimReport]) -> SweepPoint {
+    assert!(!reports.is_empty(), "cannot average zero reports");
+    let ttl = reports[0].ttl_mins;
+    assert!(
+        reports.iter().all(|r| (r.ttl_mins - ttl).abs() < 1e-9),
+        "mixed TTLs in one cell"
+    );
+    let n = reports.len() as f64;
+    let mean = |f: &dyn Fn(&SimReport) -> f64| reports.iter().map(|r| f(r)).sum::<f64>() / n;
+    let sd = |f: &dyn Fn(&SimReport) -> f64, mu: f64| {
+        if reports.len() < 2 {
+            0.0
+        } else {
+            (reports.iter().map(|r| (f(r) - mu).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+        }
+    };
+    let dp = mean(&|r: &SimReport| r.delivery_probability());
+    let delay = mean(&|r: &SimReport| r.avg_delay_mins());
+    SweepPoint {
+        label: label.to_string(),
+        ttl_mins: ttl,
+        seeds: reports.len(),
+        delivery_probability: dp,
+        avg_delay_mins: delay,
+        delivered: mean(&|r: &SimReport| r.messages.delivered_unique as f64),
+        created: mean(&|r: &SimReport| r.messages.created as f64),
+        overhead: mean(&|r: &SimReport| r.messages.overhead_ratio()),
+        delivery_probability_sd: sd(&|r: &SimReport| r.delivery_probability(), dp),
+        avg_delay_sd: sd(&|r: &SimReport| r.avg_delay_mins(), delay),
+    }
+}
+
+impl SweepPoint {
+    /// Row for the harness tables.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<40} ttl={:>3}m seeds={} P={:.3}±{:.3} delay={:.1}±{:.1}m delivered={:.0}/{:.0} overhead={:.1}",
+            self.label,
+            self.ttl_mins,
+            self.seeds,
+            self.delivery_probability,
+            self.delivery_probability_sd,
+            self.avg_delay_mins,
+            self.avg_delay_sd,
+            self.delivered,
+            self.created,
+            self.overhead,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{mini_scenario, PaperProtocol};
+
+    #[test]
+    fn sweep_preserves_order_and_determinism() {
+        let scenarios: Vec<Scenario> = (0..4)
+            .map(|seed| {
+                let mut s = mini_scenario(PaperProtocol::EpidemicLifetime, 30, seed);
+                s.duration_secs = 600.0;
+                s
+            })
+            .collect();
+        let parallel = run_sweep(&scenarios);
+        let serial: Vec<SimReport> = scenarios.iter().map(|s| World::build(s).run()).collect();
+        assert_eq!(parallel.len(), 4);
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.seed, s.seed);
+            assert_eq!(p.messages.created, s.messages.created);
+            assert_eq!(p.messages.delivered_unique, s.messages.delivered_unique);
+            assert_eq!(p.messages.relayed, s.messages.relayed);
+        }
+    }
+
+    #[test]
+    fn averaging_means_and_sds() {
+        let mut a = SimReport {
+            ttl_mins: 60.0,
+            ..SimReport::default()
+        };
+        a.messages.created = 100;
+        a.messages.delivered_unique = 50;
+        a.messages.delay.push(600.0); // 10 min
+        let mut b = SimReport {
+            ttl_mins: 60.0,
+            ..SimReport::default()
+        };
+        b.messages.created = 100;
+        b.messages.delivered_unique = 70;
+        b.messages.delay.push(1200.0); // 20 min
+
+        let p = average_reports("test", &[a, b]);
+        assert_eq!(p.seeds, 2);
+        assert!((p.delivery_probability - 0.6).abs() < 1e-12);
+        assert!((p.avg_delay_mins - 15.0).abs() < 1e-12);
+        assert!(p.delivery_probability_sd > 0.0);
+        assert!(p.table_row().contains("ttl= 60m"));
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed TTLs")]
+    fn averaging_rejects_mixed_ttls() {
+        let a = SimReport {
+            ttl_mins: 60.0,
+            ..SimReport::default()
+        };
+        let b = SimReport {
+            ttl_mins: 90.0,
+            ..SimReport::default()
+        };
+        average_reports("bad", &[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero reports")]
+    fn averaging_rejects_empty() {
+        average_reports("empty", &[]);
+    }
+}

@@ -1,0 +1,502 @@
+//! Undirected road graphs.
+//!
+//! A [`RoadGraph`] is an immutable, validated road network: vertices are
+//! street intersections (or bend points) with coordinates, edges are street
+//! segments with their Euclidean length as weight. Adjacency is stored in
+//! CSR (compressed sparse row) form — one flat `Vec` of neighbour records
+//! plus per-vertex offsets — which keeps Dijkstra's inner loop cache-friendly
+//! (see the performance-book guidance on flat structures over `Vec<Vec<_>>`).
+//!
+//! Graphs are constructed through [`RoadGraphBuilder`], which deduplicates
+//! coincident vertices (snapping within an epsilon, as map data such as WKT
+//! repeats endpoint coordinates per polyline) and can restrict the result to
+//! the largest connected component so mobility never strands a vehicle.
+
+use crate::point::{Bounds, Point};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of a vertex in a [`RoadGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// Raw index for slice addressing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of an undirected edge in a [`RoadGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct EdgeId(pub u32);
+
+/// One directed half-edge in CSR storage.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// Target vertex.
+    pub to: VertexId,
+    /// Edge length in metres (equals Euclidean distance between endpoints).
+    pub length: f64,
+    /// Undirected edge this half belongs to.
+    pub edge: EdgeId,
+}
+
+/// An immutable undirected road network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoadGraph {
+    positions: Vec<Point>,
+    /// CSR offsets: neighbours of vertex `v` live at `adj[offsets[v]..offsets[v+1]]`.
+    offsets: Vec<u32>,
+    adj: Vec<Neighbor>,
+    /// Undirected edge endpoint list, indexed by `EdgeId`.
+    edges: Vec<(VertexId, VertexId)>,
+    bounds: Bounds,
+    total_length: f64,
+}
+
+impl RoadGraph {
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Coordinates of a vertex.
+    #[inline]
+    pub fn position(&self, v: VertexId) -> Point {
+        self.positions[v.index()]
+    }
+
+    /// All vertex positions.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Neighbours of `v` (CSR slice; no allocation).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[Neighbor] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Degree of a vertex.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Endpoints of an undirected edge.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edges[e.0 as usize]
+    }
+
+    /// Length of an undirected edge in metres.
+    pub fn edge_length(&self, e: EdgeId) -> f64 {
+        let (a, b) = self.edge_endpoints(e);
+        self.position(a).distance(self.position(b))
+    }
+
+    /// Bounding box of all vertices.
+    pub fn bounds(&self) -> Bounds {
+        self.bounds
+    }
+
+    /// Total street length in metres (each undirected edge counted once).
+    pub fn total_length(&self) -> f64 {
+        self.total_length
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.positions.len() as u32).map(VertexId)
+    }
+
+    /// The vertex closest to `p` (linear scan; used at setup time only).
+    pub fn nearest_vertex(&self, p: Point) -> Option<VertexId> {
+        self.positions
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.distance_sq(p)
+                    .partial_cmp(&b.distance_sq(p))
+                    .expect("NaN coordinate")
+            })
+            .map(|(i, _)| VertexId(i as u32))
+    }
+
+    /// True if every vertex can reach every other vertex.
+    pub fn is_connected(&self) -> bool {
+        if self.positions.is_empty() {
+            return true;
+        }
+        let reachable = self.reachable_from(VertexId(0));
+        reachable.iter().all(|&r| r)
+    }
+
+    /// BFS reachability mask from `start`.
+    pub fn reachable_from(&self, start: VertexId) -> Vec<bool> {
+        let mut seen = vec![false; self.vertex_count()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[start.index()] = true;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for n in self.neighbors(v) {
+                if !seen[n.to.index()] {
+                    seen[n.to.index()] = true;
+                    queue.push_back(n.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Mean undirected edge length in metres (0 for edgeless graphs).
+    pub fn mean_edge_length(&self) -> f64 {
+        if self.edges.is_empty() {
+            0.0
+        } else {
+            self.total_length / self.edges.len() as f64
+        }
+    }
+}
+
+/// Builder for [`RoadGraph`]: accepts raw segments, snaps coincident
+/// endpoints, deduplicates parallel edges, and validates the result.
+pub struct RoadGraphBuilder {
+    snap_eps: f64,
+    positions: Vec<Point>,
+    /// Map from quantised coordinates to vertex id, for snapping.
+    index: HashMap<(i64, i64), Vec<u32>>,
+    edges: Vec<(u32, u32)>,
+}
+
+impl Default for RoadGraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoadGraphBuilder {
+    /// Builder with the default snap epsilon (0.01 m).
+    pub fn new() -> Self {
+        Self::with_snap_epsilon(0.01)
+    }
+
+    /// Builder with an explicit snapping tolerance in metres.
+    pub fn with_snap_epsilon(snap_eps: f64) -> Self {
+        assert!(snap_eps >= 0.0);
+        RoadGraphBuilder {
+            snap_eps,
+            positions: Vec::new(),
+            index: HashMap::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    fn cell_of(&self, p: Point) -> (i64, i64) {
+        let scale = 1.0 / self.snap_eps.max(1e-9);
+        ((p.x * scale).round() as i64, (p.y * scale).round() as i64)
+    }
+
+    /// Add (or find) a vertex at `p`, snapping to any existing vertex within
+    /// the epsilon.
+    pub fn add_vertex(&mut self, p: Point) -> VertexId {
+        let cell = self.cell_of(p);
+        // Check the 3×3 cell neighbourhood for an existing vertex within eps.
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(ids) = self.index.get(&(cell.0 + dx, cell.1 + dy)) {
+                    for &id in ids {
+                        if self.positions[id as usize].distance(p) <= self.snap_eps {
+                            return VertexId(id);
+                        }
+                    }
+                }
+            }
+        }
+        let id = self.positions.len() as u32;
+        self.positions.push(p);
+        self.index.entry(cell).or_default().push(id);
+        VertexId(id)
+    }
+
+    /// Add an undirected street segment between two points.
+    pub fn add_segment(&mut self, a: Point, b: Point) {
+        let va = self.add_vertex(a);
+        let vb = self.add_vertex(b);
+        self.add_edge(va, vb);
+    }
+
+    /// Add an undirected edge between existing vertices. Self-loops are ignored.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId) {
+        if a == b {
+            return;
+        }
+        let (lo, hi) = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        self.edges.push((lo, hi));
+    }
+
+    /// Add a polyline: consecutive points become chained segments.
+    pub fn add_polyline(&mut self, pts: &[Point]) {
+        for w in pts.windows(2) {
+            self.add_segment(w[0], w[1]);
+        }
+    }
+
+    /// Number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Finalise into a validated [`RoadGraph`].
+    ///
+    /// Deduplicates parallel edges and computes CSR adjacency. Use
+    /// [`RoadGraphBuilder::build_largest_component`] when the input may be
+    /// disconnected.
+    pub fn build(mut self) -> RoadGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let n = self.positions.len();
+        let mut degree = vec![0u32; n];
+        for &(a, b) in &self.edges {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut adj = vec![
+            Neighbor {
+                to: VertexId(0),
+                length: 0.0,
+                edge: EdgeId(0)
+            };
+            acc as usize
+        ];
+        let mut total_length = 0.0;
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for (eidx, &(a, b)) in self.edges.iter().enumerate() {
+            let pa = self.positions[a as usize];
+            let pb = self.positions[b as usize];
+            let len = pa.distance(pb);
+            total_length += len;
+            let e = EdgeId(eidx as u32);
+            adj[cursor[a as usize] as usize] = Neighbor {
+                to: VertexId(b),
+                length: len,
+                edge: e,
+            };
+            cursor[a as usize] += 1;
+            adj[cursor[b as usize] as usize] = Neighbor {
+                to: VertexId(a),
+                length: len,
+                edge: e,
+            };
+            cursor[b as usize] += 1;
+            edges.push((VertexId(a), VertexId(b)));
+        }
+
+        let mut bounds = Bounds::empty();
+        for &p in &self.positions {
+            bounds.expand(p);
+        }
+
+        RoadGraph {
+            positions: self.positions,
+            offsets,
+            adj,
+            edges,
+            bounds,
+            total_length,
+        }
+    }
+
+    /// Build, then restrict to the largest connected component, remapping
+    /// vertex ids densely. Guarantees [`RoadGraph::is_connected`].
+    pub fn build_largest_component(self) -> RoadGraph {
+        let full = self.build();
+        if full.vertex_count() == 0 || full.is_connected() {
+            return full;
+        }
+        // Label components.
+        let n = full.vertex_count();
+        let mut comp = vec![u32::MAX; n];
+        let mut sizes: Vec<u32> = Vec::new();
+        for start in 0..n {
+            if comp[start] != u32::MAX {
+                continue;
+            }
+            let label = sizes.len() as u32;
+            let mut size = 0u32;
+            let mut stack = vec![start];
+            comp[start] = label;
+            while let Some(v) = stack.pop() {
+                size += 1;
+                for nb in full.neighbors(VertexId(v as u32)) {
+                    let t = nb.to.index();
+                    if comp[t] == u32::MAX {
+                        comp[t] = label;
+                        stack.push(t);
+                    }
+                }
+            }
+            sizes.push(size);
+        }
+        let best = sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .map(|(i, _)| i as u32)
+            .expect("at least one component");
+
+        let mut rebuilt = RoadGraphBuilder::with_snap_epsilon(0.0);
+        let mut remap = vec![u32::MAX; n];
+        for v in 0..n {
+            if comp[v] == best {
+                remap[v] = rebuilt.add_vertex(full.position(VertexId(v as u32))).0;
+            }
+        }
+        for &(a, b) in &full.edges {
+            if comp[a.index()] == best {
+                rebuilt.add_edge(VertexId(remap[a.index()]), VertexId(remap[b.index()]));
+            }
+        }
+        rebuilt.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> RoadGraph {
+        let mut b = RoadGraphBuilder::new();
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(100.0, 100.0),
+            Point::new(0.0, 100.0),
+        ];
+        b.add_segment(pts[0], pts[1]);
+        b.add_segment(pts[1], pts[2]);
+        b.add_segment(pts[2], pts[3]);
+        b.add_segment(pts[3], pts[0]);
+        b.build()
+    }
+
+    #[test]
+    fn builds_square() {
+        let g = square();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.is_connected());
+        assert_eq!(g.total_length(), 400.0);
+        assert_eq!(g.mean_edge_length(), 100.0);
+        for v in g.vertex_ids() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn snapping_merges_coincident_endpoints() {
+        let mut b = RoadGraphBuilder::with_snap_epsilon(0.5);
+        b.add_segment(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        // Endpoint nearly identical to (10,0): must snap to the same vertex.
+        b.add_segment(Point::new(10.2, 0.1), Point::new(20.0, 0.0));
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 3);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn parallel_edges_are_deduplicated() {
+        let mut b = RoadGraphBuilder::new();
+        b.add_segment(Point::new(0.0, 0.0), Point::new(5.0, 0.0));
+        b.add_segment(Point::new(0.0, 0.0), Point::new(5.0, 0.0));
+        b.add_segment(Point::new(5.0, 0.0), Point::new(0.0, 0.0));
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut b = RoadGraphBuilder::new();
+        let v = b.add_vertex(Point::new(1.0, 1.0));
+        b.add_edge(v, v);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn nearest_vertex_finds_closest() {
+        let g = square();
+        let v = g.nearest_vertex(Point::new(90.0, 10.0)).unwrap();
+        assert_eq!(g.position(v), Point::new(100.0, 0.0));
+        assert!(RoadGraphBuilder::new().build().nearest_vertex(Point::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let mut b = RoadGraphBuilder::new();
+        // Component A: triangle (3 vertices).
+        b.add_segment(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        b.add_segment(Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+        b.add_segment(Point::new(0.0, 1.0), Point::new(0.0, 0.0));
+        // Component B: single far-away segment (2 vertices).
+        b.add_segment(Point::new(100.0, 100.0), Point::new(101.0, 100.0));
+        let g = b.build_largest_component();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn reachability_mask() {
+        let mut b = RoadGraphBuilder::new();
+        b.add_segment(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        b.add_segment(Point::new(50.0, 0.0), Point::new(51.0, 0.0));
+        let g = b.build();
+        let mask = g.reachable_from(VertexId(0));
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 2);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn polyline_chains_segments() {
+        let mut b = RoadGraphBuilder::new();
+        b.add_polyline(&[
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(20.0, 0.0),
+        ]);
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn csr_neighbors_consistent_with_edges() {
+        let g = square();
+        for v in g.vertex_ids() {
+            for n in g.neighbors(v) {
+                let (a, b) = g.edge_endpoints(n.edge);
+                assert!(a == v || b == v);
+                assert!((n.length - g.position(v).distance(g.position(n.to))).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Road-network geometry substrate.
+//!
+//! The paper's scenario is *map-based*: vehicles move along the streets of a
+//! Helsinki downtown extract, choosing shortest paths between random road
+//! points. This crate provides everything that layer needs:
+//!
+//! * [`Point`] and small 2-D geometry helpers,
+//! * [`RoadGraph`] — an undirected road network with CSR adjacency,
+//! * [`shortest_path`] — Dijkstra and A* over road graphs,
+//! * [`SpatialGrid`] — a uniform hash grid for radius queries (used by
+//!   contact detection in `vdtn-net`),
+//! * map generators ([`gen`]) including the synthetic-Helsinki substitute
+//!   documented in `DESIGN.md`, and
+//! * a WKT reader/writer ([`wkt`]) compatible with the ONE simulator's map
+//!   format, so a real Helsinki extract can be dropped in.
+
+pub mod gen;
+pub mod graph;
+pub mod grid;
+pub mod point;
+pub mod shortest_path;
+pub mod stats;
+pub mod wkt;
+
+pub use gen::{GridMapGen, SyntheticCityGen};
+pub use graph::{EdgeId, RoadGraph, RoadGraphBuilder, VertexId};
+pub use grid::SpatialGrid;
+pub use point::{Bounds, Point};
+pub use shortest_path::{astar, dijkstra, PathResult};
+pub use stats::{map_stats, MapStats};

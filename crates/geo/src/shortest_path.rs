@@ -1,0 +1,332 @@
+//! Shortest paths over road graphs: Dijkstra and A*.
+//!
+//! Both return a [`PathResult`] with the vertex sequence and total length.
+//! A* uses the Euclidean distance heuristic, which is admissible because
+//! edge weights *are* Euclidean segment lengths. The micro benches compare
+//! the two on city-scale maps (see `DESIGN.md`, ablation table).
+
+use crate::graph::{RoadGraph, VertexId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A found path: the vertex chain `from → … → to` and its length in metres.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathResult {
+    /// Vertices along the path, including both endpoints.
+    pub vertices: Vec<VertexId>,
+    /// Total length in metres.
+    pub length: f64,
+}
+
+/// Heap entry ordered by ascending cost (f-score for A*).
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    cost: f64,
+    vertex: VertexId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.vertex == other.vertex
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost; tie-break on vertex id for determinism.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("NaN cost")
+            .then_with(|| other.vertex.0.cmp(&self.vertex.0))
+    }
+}
+
+fn reconstruct(prev: &[u32], from: VertexId, to: VertexId) -> Vec<VertexId> {
+    let mut chain = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = VertexId(prev[cur.index()]);
+        chain.push(cur);
+    }
+    chain.reverse();
+    chain
+}
+
+/// Dijkstra's algorithm. Returns `None` when `to` is unreachable from `from`.
+pub fn dijkstra(graph: &RoadGraph, from: VertexId, to: VertexId) -> Option<PathResult> {
+    search(graph, from, to, |_| 0.0)
+}
+
+/// A* with the Euclidean heuristic. Same results as [`dijkstra`]
+/// (the heuristic is admissible and consistent), usually visiting fewer
+/// vertices.
+pub fn astar(graph: &RoadGraph, from: VertexId, to: VertexId) -> Option<PathResult> {
+    let goal = graph.position(to);
+    search(graph, from, to, move |g: &VertexCtx| g.pos.distance(goal))
+}
+
+/// Context handed to the heuristic.
+struct VertexCtx {
+    pos: crate::point::Point,
+}
+
+fn search(
+    graph: &RoadGraph,
+    from: VertexId,
+    to: VertexId,
+    heuristic: impl Fn(&VertexCtx) -> f64,
+) -> Option<PathResult> {
+    let n = graph.vertex_count();
+    if from.index() >= n || to.index() >= n {
+        return None;
+    }
+    if from == to {
+        return Some(PathResult {
+            vertices: vec![from],
+            length: 0.0,
+        });
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![u32::MAX; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::with_capacity(64);
+
+    dist[from.index()] = 0.0;
+    heap.push(HeapEntry {
+        cost: heuristic(&VertexCtx {
+            pos: graph.position(from),
+        }),
+        vertex: from,
+    });
+
+    while let Some(HeapEntry { vertex, .. }) = heap.pop() {
+        if settled[vertex.index()] {
+            continue;
+        }
+        settled[vertex.index()] = true;
+        if vertex == to {
+            return Some(PathResult {
+                vertices: reconstruct(&prev, from, to),
+                length: dist[to.index()],
+            });
+        }
+        let base = dist[vertex.index()];
+        for nb in graph.neighbors(vertex) {
+            if settled[nb.to.index()] {
+                continue;
+            }
+            let cand = base + nb.length;
+            if cand < dist[nb.to.index()] {
+                dist[nb.to.index()] = cand;
+                prev[nb.to.index()] = vertex.0;
+                heap.push(HeapEntry {
+                    cost: cand
+                        + heuristic(&VertexCtx {
+                            pos: graph.position(nb.to),
+                        }),
+                    vertex: nb.to,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Single-source distances to every vertex (plain Dijkstra sweep).
+/// Unreachable vertices hold `f64::INFINITY`.
+pub fn distances_from(graph: &RoadGraph, from: VertexId) -> Vec<f64> {
+    let n = graph.vertex_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[from.index()] = 0.0;
+    heap.push(HeapEntry {
+        cost: 0.0,
+        vertex: from,
+    });
+    while let Some(HeapEntry { vertex, .. }) = heap.pop() {
+        if settled[vertex.index()] {
+            continue;
+        }
+        settled[vertex.index()] = true;
+        let base = dist[vertex.index()];
+        for nb in graph.neighbors(vertex) {
+            let cand = base + nb.length;
+            if cand < dist[nb.to.index()] {
+                dist[nb.to.index()] = cand;
+                heap.push(HeapEntry {
+                    cost: cand,
+                    vertex: nb.to,
+                });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadGraphBuilder;
+    use crate::point::Point;
+
+    /// 3×3 grid with unit spacing; vertex (i,j) at (i*100, j*100).
+    fn grid3() -> RoadGraph {
+        let mut b = RoadGraphBuilder::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                let p = Point::new(i as f64 * 100.0, j as f64 * 100.0);
+                if i + 1 < 3 {
+                    b.add_segment(p, Point::new((i + 1) as f64 * 100.0, j as f64 * 100.0));
+                }
+                if j + 1 < 3 {
+                    b.add_segment(p, Point::new(i as f64 * 100.0, (j + 1) as f64 * 100.0));
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn vid(g: &RoadGraph, x: f64, y: f64) -> VertexId {
+        g.nearest_vertex(Point::new(x, y)).unwrap()
+    }
+
+    #[test]
+    fn trivial_same_vertex() {
+        let g = grid3();
+        let v = vid(&g, 0.0, 0.0);
+        let r = dijkstra(&g, v, v).unwrap();
+        assert_eq!(r.vertices, vec![v]);
+        assert_eq!(r.length, 0.0);
+    }
+
+    #[test]
+    fn straight_line_path() {
+        let g = grid3();
+        let from = vid(&g, 0.0, 0.0);
+        let to = vid(&g, 200.0, 0.0);
+        let r = dijkstra(&g, from, to).unwrap();
+        assert_eq!(r.length, 200.0);
+        assert_eq!(r.vertices.len(), 3);
+    }
+
+    #[test]
+    fn manhattan_corner_to_corner() {
+        let g = grid3();
+        let from = vid(&g, 0.0, 0.0);
+        let to = vid(&g, 200.0, 200.0);
+        let r = dijkstra(&g, from, to).unwrap();
+        assert_eq!(r.length, 400.0);
+        // Path endpoints must match.
+        assert_eq!(*r.vertices.first().unwrap(), from);
+        assert_eq!(*r.vertices.last().unwrap(), to);
+        // Consecutive vertices must be adjacent.
+        for w in r.vertices.windows(2) {
+            assert!(g.neighbors(w[0]).iter().any(|n| n.to == w[1]));
+        }
+    }
+
+    #[test]
+    fn astar_agrees_with_dijkstra() {
+        let g = grid3();
+        for a in g.vertex_ids() {
+            for b in g.vertex_ids() {
+                let d = dijkstra(&g, a, b).unwrap();
+                let s = astar(&g, a, b).unwrap();
+                assert!(
+                    (d.length - s.length).abs() < 1e-9,
+                    "mismatch {a:?}->{b:?}: {} vs {}",
+                    d.length,
+                    s.length
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = RoadGraphBuilder::new();
+        b.add_segment(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        b.add_segment(Point::new(100.0, 0.0), Point::new(101.0, 0.0));
+        let g = b.build();
+        let a = g.nearest_vertex(Point::new(0.0, 0.0)).unwrap();
+        let d = g.nearest_vertex(Point::new(101.0, 0.0)).unwrap();
+        assert!(dijkstra(&g, a, d).is_none());
+        assert!(astar(&g, a, d).is_none());
+    }
+
+    #[test]
+    fn distances_from_matches_pairwise() {
+        let g = grid3();
+        let from = vid(&g, 0.0, 0.0);
+        let all = distances_from(&g, from);
+        for v in g.vertex_ids() {
+            let d = dijkstra(&g, from, v).unwrap().length;
+            assert!((all[v.index()] - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prefers_shortcut_over_detour() {
+        // Triangle with one long and two short edges: direct edge wins.
+        let mut b = RoadGraphBuilder::new();
+        let a = Point::new(0.0, 0.0);
+        let c = Point::new(100.0, 0.0);
+        let up = Point::new(50.0, 500.0);
+        b.add_segment(a, c);
+        b.add_segment(a, up);
+        b.add_segment(up, c);
+        let g = b.build();
+        let va = g.nearest_vertex(a).unwrap();
+        let vc = g.nearest_vertex(c).unwrap();
+        let r = dijkstra(&g, va, vc).unwrap();
+        assert_eq!(r.vertices.len(), 2);
+        assert_eq!(r.length, 100.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::gen::SyntheticCityGen;
+    use proptest::prelude::*;
+    use vdtn_sim_core::SimRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// On random synthetic cities: A* == Dijkstra, and both respect the
+        /// Euclidean lower bound (weights are Euclidean lengths).
+        #[test]
+        fn astar_matches_dijkstra_on_random_cities(seed in 0u64..500, a_pick in 0usize..1000, b_pick in 0usize..1000) {
+            let g = SyntheticCityGen::default().generate(&mut SimRng::seed_from_u64(seed));
+            let a = VertexId((a_pick % g.vertex_count()) as u32);
+            let b = VertexId((b_pick % g.vertex_count()) as u32);
+            let d = dijkstra(&g, a, b);
+            let s = astar(&g, a, b);
+            match (d, s) {
+                (Some(d), Some(s)) => {
+                    prop_assert!((d.length - s.length).abs() < 1e-6);
+                    let euclid = g.position(a).distance(g.position(b));
+                    prop_assert!(d.length + 1e-9 >= euclid);
+                    // Path edges must exist and sum to the reported length.
+                    let mut sum = 0.0;
+                    for w in d.vertices.windows(2) {
+                        let nb = g.neighbors(w[0]).iter().find(|n| n.to == w[1]);
+                        prop_assert!(nb.is_some(), "non-adjacent hop");
+                        sum += nb.unwrap().length;
+                    }
+                    prop_assert!((sum - d.length).abs() < 1e-6);
+                }
+                (None, None) => {} // both agree on unreachability
+                (d, s) => prop_assert!(false, "reachability disagreement: {d:?} vs {s:?}"),
+            }
+        }
+    }
+}

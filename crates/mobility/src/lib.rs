@@ -1,0 +1,36 @@
+//! Node movement models.
+//!
+//! The paper's vehicles use what the ONE simulator calls
+//! `ShortestPathMapBasedMovement`: a vehicle drives to a randomly chosen map
+//! location along the shortest road path at a per-trip random speed
+//! (U\[30, 50\] km/h in the scenario), then pauses for a random wait
+//! (U\[5, 15\] min) before picking the next destination. Relay nodes are
+//! stationary. This crate implements those two plus two extension models
+//! (fixed routes for bus-like nodes and free-space random waypoint) behind a
+//! single [`MovementModel`] trait that the engine steps once per tick.
+
+pub mod model;
+pub mod route;
+pub mod spmb;
+pub mod waypoint;
+
+pub use model::{MovementModel, Stationary};
+pub use route::{MapRouteMovement, RouteConfig};
+pub use spmb::{ShortestPathMapBased, SpmbConfig};
+pub use waypoint::{RandomWaypoint, WaypointConfig};
+
+/// Convert km/h to the m/s the simulator uses internally.
+pub fn kmh_to_ms(kmh: f64) -> f64 {
+    kmh / 3.6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmh_conversion() {
+        assert!((kmh_to_ms(36.0) - 10.0).abs() < 1e-12);
+        assert!((kmh_to_ms(50.0) - 13.888_888_888).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,140 @@
+//! The movement-model trait and the stationary model.
+
+use vdtn_geo::Point;
+use vdtn_sim_core::{SimDuration, SimTime};
+
+/// A node's movement behaviour, stepped once per simulation tick.
+///
+/// Implementations own all their state (current position, pending path,
+/// per-node RNG stream) so the engine can hold them as `Box<dyn MovementModel>`
+/// and step them independently — including in parallel, hence `Send`.
+pub trait MovementModel: Send {
+    /// Advance the model by `dt` ending at absolute time `now + dt`.
+    /// Returns the position at the end of the step.
+    fn step(&mut self, now: SimTime, dt: SimDuration) -> Point;
+
+    /// Current position without advancing.
+    fn position(&self) -> Point;
+
+    /// True for models that never move (lets the engine skip work).
+    fn is_stationary(&self) -> bool {
+        false
+    }
+
+    /// Diagnostic name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A node that never moves (the paper's stationary relay nodes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stationary {
+    pos: Point,
+}
+
+impl Stationary {
+    /// Place a stationary node at `pos`.
+    pub fn new(pos: Point) -> Self {
+        Stationary { pos }
+    }
+}
+
+impl MovementModel for Stationary {
+    fn step(&mut self, _now: SimTime, _dt: SimDuration) -> Point {
+        self.pos
+    }
+
+    fn position(&self) -> Point {
+        self.pos
+    }
+
+    fn is_stationary(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "Stationary"
+    }
+}
+
+/// Shared helper: advance along a polyline path by `dist` metres.
+///
+/// `leg` is the index of the current target waypoint; returns the new
+/// position, updating `leg` in place. When the path is exhausted the final
+/// waypoint is returned and `leg == path.len()`.
+pub(crate) fn advance_along_path(
+    path: &[Point],
+    pos: Point,
+    leg: &mut usize,
+    mut dist: f64,
+) -> Point {
+    let mut cur = pos;
+    while *leg < path.len() && dist > 0.0 {
+        let target = path[*leg];
+        let to_target = cur.distance(target);
+        if dist >= to_target {
+            dist -= to_target;
+            cur = target;
+            *leg += 1;
+        } else {
+            cur = cur.advance_towards(target, dist);
+            dist = 0.0;
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_never_moves() {
+        let mut s = Stationary::new(Point::new(5.0, 7.0));
+        let p0 = s.position();
+        for i in 0..10 {
+            let p = s.step(
+                SimTime::from_millis(i * 1000),
+                SimDuration::from_secs(1),
+            );
+            assert_eq!(p, p0);
+        }
+        assert!(s.is_stationary());
+        assert_eq!(s.name(), "Stationary");
+    }
+
+    #[test]
+    fn advance_partial_leg() {
+        let path = [Point::new(10.0, 0.0), Point::new(10.0, 10.0)];
+        let mut leg = 0;
+        let p = advance_along_path(&path, Point::ORIGIN, &mut leg, 4.0);
+        assert_eq!(p, Point::new(4.0, 0.0));
+        assert_eq!(leg, 0);
+    }
+
+    #[test]
+    fn advance_across_legs() {
+        let path = [Point::new(10.0, 0.0), Point::new(10.0, 10.0)];
+        let mut leg = 0;
+        let p = advance_along_path(&path, Point::ORIGIN, &mut leg, 15.0);
+        assert_eq!(p, Point::new(10.0, 5.0));
+        assert_eq!(leg, 1);
+    }
+
+    #[test]
+    fn advance_exhausts_path() {
+        let path = [Point::new(10.0, 0.0), Point::new(10.0, 10.0)];
+        let mut leg = 0;
+        let p = advance_along_path(&path, Point::ORIGIN, &mut leg, 1000.0);
+        assert_eq!(p, Point::new(10.0, 10.0));
+        assert_eq!(leg, 2);
+    }
+
+    #[test]
+    fn advance_zero_distance() {
+        let path = [Point::new(10.0, 0.0)];
+        let mut leg = 0;
+        let p = advance_along_path(&path, Point::new(3.0, 0.0), &mut leg, 0.0);
+        assert_eq!(p, Point::new(3.0, 0.0));
+        assert_eq!(leg, 0);
+    }
+}

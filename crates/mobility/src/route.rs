@@ -1,0 +1,233 @@
+//! Fixed-route movement (bus-like nodes).
+//!
+//! The paper's introduction motivates VDTNs with vehicles that "follow
+//! predefined routes (e.g. buses)". This model drives a node around a cyclic
+//! list of map vertices, pausing a fixed time at each stop. It is not used in
+//! the headline experiments but is exercised by the extension examples and
+//! sweep ablations.
+
+use crate::model::{advance_along_path, MovementModel};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use vdtn_geo::{astar, Point, RoadGraph, VertexId};
+use vdtn_sim_core::{SimDuration, SimRng, SimTime};
+
+/// Parameters for [`MapRouteMovement`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteConfig {
+    /// Stops, as road-graph vertex ids, visited cyclically.
+    pub stops: Vec<VertexId>,
+    /// Cruise speed in m/s.
+    pub speed: f64,
+    /// Dwell time at each stop, seconds.
+    pub stop_wait: f64,
+}
+
+impl RouteConfig {
+    /// Validate the configuration against a map.
+    pub fn validate(&self, graph: &RoadGraph) {
+        assert!(self.stops.len() >= 2, "route needs at least two stops");
+        assert!(self.speed > 0.0, "route speed must be positive");
+        assert!(self.stop_wait >= 0.0);
+        for &s in &self.stops {
+            assert!(
+                s.index() < graph.vertex_count(),
+                "route stop {s:?} outside map"
+            );
+        }
+    }
+}
+
+enum Phase {
+    Dwelling { until: SimTime },
+    Driving { path: Vec<Point>, leg: usize },
+}
+
+/// Cyclic fixed-route movement over the road graph.
+pub struct MapRouteMovement {
+    graph: Arc<RoadGraph>,
+    cfg: RouteConfig,
+    pos: Point,
+    /// Index into `cfg.stops` of the *next* stop to visit.
+    next_stop: usize,
+    phase: Phase,
+}
+
+impl MapRouteMovement {
+    /// Create a route node starting parked at a random stop.
+    pub fn new(graph: Arc<RoadGraph>, cfg: RouteConfig, rng: &mut SimRng) -> Self {
+        cfg.validate(&graph);
+        let start_idx = rng.index(cfg.stops.len());
+        let pos = graph.position(cfg.stops[start_idx]);
+        MapRouteMovement {
+            graph,
+            pos,
+            next_stop: (start_idx + 1) % cfg.stops.len(),
+            phase: Phase::Dwelling {
+                until: SimTime::ZERO + SimDuration::from_secs_f64(cfg.stop_wait),
+            },
+            cfg,
+        }
+    }
+
+    fn depart(&mut self, now: SimTime) {
+        let here = self
+            .graph
+            .nearest_vertex(self.pos)
+            .expect("non-empty graph");
+        let target = self.cfg.stops[self.next_stop];
+        match astar(&self.graph, here, target) {
+            Some(result) if result.vertices.len() > 1 => {
+                let path = result
+                    .vertices
+                    .iter()
+                    .map(|&v| self.graph.position(v))
+                    .collect();
+                self.phase = Phase::Driving { path, leg: 1 };
+            }
+            _ => {
+                // Already there or unreachable: advance the stop pointer and
+                // dwell again instead of spinning.
+                self.next_stop = (self.next_stop + 1) % self.cfg.stops.len();
+                self.phase = Phase::Dwelling {
+                    until: now + SimDuration::from_secs_f64(self.cfg.stop_wait.max(1.0)),
+                };
+            }
+        }
+    }
+}
+
+impl MovementModel for MapRouteMovement {
+    fn step(&mut self, now: SimTime, dt: SimDuration) -> Point {
+        let end = now + dt;
+        match &mut self.phase {
+            Phase::Dwelling { until } => {
+                if end >= *until {
+                    self.depart(end);
+                }
+            }
+            Phase::Driving { path, leg } => {
+                let dist = self.cfg.speed * dt.as_secs_f64();
+                self.pos = advance_along_path(path, self.pos, leg, dist);
+                if *leg >= path.len() {
+                    self.next_stop = (self.next_stop + 1) % self.cfg.stops.len();
+                    self.phase = Phase::Dwelling {
+                        until: end + SimDuration::from_secs_f64(self.cfg.stop_wait),
+                    };
+                }
+            }
+        }
+        self.pos
+    }
+
+    fn position(&self) -> Point {
+        self.pos
+    }
+
+    fn name(&self) -> &'static str {
+        "MapRoute"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdtn_geo::GridMapGen;
+
+    fn grid() -> Arc<RoadGraph> {
+        Arc::new(
+            GridMapGen {
+                cols: 4,
+                rows: 4,
+                spacing: 100.0,
+            }
+            .generate(),
+        )
+    }
+
+    fn corners(g: &RoadGraph) -> Vec<VertexId> {
+        [
+            Point::new(0.0, 0.0),
+            Point::new(300.0, 0.0),
+            Point::new(300.0, 300.0),
+            Point::new(0.0, 300.0),
+        ]
+        .iter()
+        .map(|&p| g.nearest_vertex(p).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn visits_all_stops_cyclically() {
+        let g = grid();
+        let stops = corners(&g);
+        let stop_points: Vec<Point> = stops.iter().map(|&s| g.position(s)).collect();
+        let cfg = RouteConfig {
+            stops,
+            speed: 10.0,
+            stop_wait: 5.0,
+        };
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut m = MapRouteMovement::new(g, cfg, &mut rng);
+        let dt = SimDuration::from_secs(1);
+        let mut now = SimTime::ZERO;
+        let mut visited = vec![false; 4];
+        for _ in 0..2_000 {
+            let p = m.step(now, dt);
+            now += dt;
+            for (i, &sp) in stop_points.iter().enumerate() {
+                if p.distance(sp) < 0.5 {
+                    visited[i] = true;
+                }
+            }
+        }
+        assert!(visited.iter().all(|&v| v), "visited = {visited:?}");
+    }
+
+    #[test]
+    fn constant_speed_while_driving() {
+        let g = grid();
+        let stops = corners(&g);
+        let cfg = RouteConfig {
+            stops,
+            speed: 10.0,
+            stop_wait: 0.0,
+        };
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut m = MapRouteMovement::new(g, cfg, &mut rng);
+        let dt = SimDuration::from_secs(1);
+        let mut now = SimTime::ZERO;
+        let mut prev = m.position();
+        for _ in 0..500 {
+            let p = m.step(now, dt);
+            now += dt;
+            let d = prev.distance(p);
+            assert!(d <= 10.0 + 1e-9, "step of {d} m at {now}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two stops")]
+    fn rejects_single_stop() {
+        let g = grid();
+        let cfg = RouteConfig {
+            stops: vec![VertexId(0)],
+            speed: 10.0,
+            stop_wait: 1.0,
+        };
+        cfg.validate(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside map")]
+    fn rejects_out_of_range_stop() {
+        let g = grid();
+        let cfg = RouteConfig {
+            stops: vec![VertexId(0), VertexId(10_000)],
+            speed: 10.0,
+            stop_wait: 1.0,
+        };
+        cfg.validate(&g);
+    }
+}

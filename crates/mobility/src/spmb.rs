@@ -1,0 +1,360 @@
+//! Shortest-path map-based movement — the paper's vehicle model.
+//!
+//! State machine per vehicle:
+//!
+//! ```text
+//!            pick random destination vertex,
+//!            random speed U[speed_lo, speed_hi]
+//!   Waiting ────────────────────────────────────▶ Driving (along shortest path)
+//!      ▲                                              │ arrives
+//!      └────────── wait U[wait_lo, wait_hi] ──────────┘
+//! ```
+//!
+//! Vehicles start at a random road vertex in the Waiting state with a random
+//! initial residual wait (avoids the thundering-herd of every vehicle
+//! departing at t = 0).
+
+use crate::model::{advance_along_path, MovementModel};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use vdtn_geo::{astar, Point, RoadGraph, VertexId};
+use vdtn_sim_core::{SimDuration, SimRng, SimTime};
+
+/// Parameters for [`ShortestPathMapBased`]. Defaults are the paper's.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpmbConfig {
+    /// Minimum trip speed, m/s.
+    pub speed_lo: f64,
+    /// Maximum trip speed, m/s.
+    pub speed_hi: f64,
+    /// Minimum pause at a destination, seconds.
+    pub wait_lo: f64,
+    /// Maximum pause at a destination, seconds.
+    pub wait_hi: f64,
+}
+
+impl Default for SpmbConfig {
+    /// Paper scenario: 30–50 km/h speeds, 5–15 min waits.
+    fn default() -> Self {
+        SpmbConfig {
+            speed_lo: 30.0 / 3.6,
+            speed_hi: 50.0 / 3.6,
+            wait_lo: 5.0 * 60.0,
+            wait_hi: 15.0 * 60.0,
+        }
+    }
+}
+
+impl SpmbConfig {
+    /// Validate ranges; panics with a descriptive message on nonsense input.
+    pub fn validate(&self) {
+        assert!(
+            self.speed_lo > 0.0 && self.speed_hi >= self.speed_lo,
+            "invalid speed range [{}, {}]",
+            self.speed_lo,
+            self.speed_hi
+        );
+        assert!(
+            self.wait_lo >= 0.0 && self.wait_hi >= self.wait_lo,
+            "invalid wait range [{}, {}]",
+            self.wait_lo,
+            self.wait_hi
+        );
+    }
+}
+
+enum Phase {
+    /// Parked until the deadline.
+    Waiting { until: SimTime },
+    /// Driving along `path` (waypoint positions); `leg` indexes the next
+    /// waypoint, `speed` is this trip's speed in m/s.
+    Driving { path: Vec<Point>, leg: usize, speed: f64 },
+}
+
+/// The paper's vehicle movement model. See module docs.
+///
+/// Destinations are uniform random *road points* — a road edge chosen with
+/// probability proportional to its length, then a uniform offset along it —
+/// matching ONE's "selects a new random map location". Parking mid-block
+/// (rather than only at intersections) is what keeps contact durations
+/// realistic: two vehicles rarely pause within radio range of each other.
+pub struct ShortestPathMapBased {
+    graph: Arc<RoadGraph>,
+    cfg: SpmbConfig,
+    rng: SimRng,
+    pos: Point,
+    /// The two road vertices the current position lies between (equal when
+    /// parked exactly at an intersection). These are the legal ways back
+    /// onto the vertex graph when planning the next trip.
+    anchor_a: VertexId,
+    anchor_b: VertexId,
+    phase: Phase,
+}
+
+impl ShortestPathMapBased {
+    /// Create a vehicle on `graph` with its own RNG stream.
+    ///
+    /// The vehicle starts waiting at a uniformly random road point, with an
+    /// initial residual wait drawn from `[0, wait_hi]`.
+    pub fn new(graph: Arc<RoadGraph>, cfg: SpmbConfig, mut rng: SimRng) -> Self {
+        cfg.validate();
+        assert!(graph.vertex_count() > 0, "map has no vertices");
+        let (pos, anchor_a, anchor_b) = random_road_point(&graph, &mut rng);
+        let initial_wait = SimDuration::from_secs_f64(rng.range_f64(0.0, cfg.wait_hi.max(1.0)));
+        ShortestPathMapBased {
+            graph,
+            cfg,
+            rng,
+            pos,
+            anchor_a,
+            anchor_b,
+            phase: Phase::Waiting {
+                until: SimTime::ZERO + initial_wait,
+            },
+        }
+    }
+
+    fn plan_next_trip(&mut self, now: SimTime) {
+        let (dest, dest_a, dest_b) = random_road_point(&self.graph, &mut self.rng);
+
+        // Choose the cheapest combination of exit anchor (how we rejoin the
+        // vertex graph) and entry anchor (where we leave it for the final
+        // off-vertex stretch). Up to four A* runs per trip (~one trip per
+        // vehicle per ten minutes — negligible).
+        let mut best: Option<(f64, Vec<Point>)> = None;
+        for &exit in &[self.anchor_a, self.anchor_b] {
+            for &entry in &[dest_a, dest_b] {
+                let Some(result) = astar(&self.graph, exit, entry) else {
+                    continue;
+                };
+                let head = self.pos.distance(self.graph.position(exit));
+                let tail = self.graph.position(entry).distance(dest);
+                let total = head + result.length + tail;
+                if best.as_ref().map(|(c, _)| total < *c).unwrap_or(true) {
+                    let mut path: Vec<Point> = Vec::with_capacity(result.vertices.len() + 2);
+                    path.push(self.pos);
+                    path.extend(result.vertices.iter().map(|&v| self.graph.position(v)));
+                    path.push(dest);
+                    best = Some((total, path));
+                }
+            }
+        }
+
+        match best {
+            Some((_, path)) => {
+                let speed = self.rng.range_f64(self.cfg.speed_lo, self.cfg.speed_hi);
+                self.anchor_a = dest_a;
+                self.anchor_b = dest_b;
+                self.phase = Phase::Driving {
+                    path,
+                    leg: 1, // element 0 is the current position
+                    speed,
+                };
+            }
+            None => {
+                // Unreachable destination (disconnected map): wait and retry.
+                let wait = self.rng.range_f64(self.cfg.wait_lo, self.cfg.wait_hi);
+                self.phase = Phase::Waiting {
+                    until: now + SimDuration::from_secs_f64(wait.max(1.0)),
+                };
+            }
+        }
+    }
+}
+
+/// Uniform random point on the road network: an edge chosen proportionally
+/// to its length, then a uniform offset. Returns the point and the edge's
+/// endpoint vertices. Falls back to a random vertex on edgeless maps.
+fn random_road_point(graph: &RoadGraph, rng: &mut SimRng) -> (Point, VertexId, VertexId) {
+    if graph.edge_count() == 0 {
+        let v = VertexId(rng.index(graph.vertex_count()) as u32);
+        return (graph.position(v), v, v);
+    }
+    // Length-proportional edge choice via one uniform draw over the total
+    // street length. Linear scan is fine at setup/trip frequency.
+    let target = rng.range_f64(0.0, graph.total_length());
+    let mut acc = 0.0;
+    let mut chosen = vdtn_geo::EdgeId(0);
+    for e in 0..graph.edge_count() {
+        let id = vdtn_geo::EdgeId(e as u32);
+        acc += graph.edge_length(id);
+        if acc >= target {
+            chosen = id;
+            break;
+        }
+        chosen = id; // float-rounding fallback: keep the last edge
+    }
+    let (a, b) = graph.edge_endpoints(chosen);
+    let t = rng.next_f64();
+    let p = graph.position(a).lerp(graph.position(b), t);
+    (p, a, b)
+}
+
+impl MovementModel for ShortestPathMapBased {
+    fn step(&mut self, now: SimTime, dt: SimDuration) -> Point {
+        let end = now + dt;
+        match &mut self.phase {
+            Phase::Waiting { until } => {
+                if end >= *until {
+                    self.plan_next_trip(end);
+                }
+            }
+            Phase::Driving { path, leg, speed } => {
+                let dist = *speed * dt.as_secs_f64();
+                self.pos = advance_along_path(path, self.pos, leg, dist);
+                if *leg >= path.len() {
+                    // Arrived: park and schedule the paper's 5–15 min wait.
+                    let wait = self.rng.range_f64(self.cfg.wait_lo, self.cfg.wait_hi);
+                    self.phase = Phase::Waiting {
+                        until: end + SimDuration::from_secs_f64(wait),
+                    };
+                }
+            }
+        }
+        self.pos
+    }
+
+    fn position(&self) -> Point {
+        self.pos
+    }
+
+    fn name(&self) -> &'static str {
+        "ShortestPathMapBased"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdtn_geo::GridMapGen;
+
+    fn grid() -> Arc<RoadGraph> {
+        Arc::new(
+            GridMapGen {
+                cols: 5,
+                rows: 5,
+                spacing: 100.0,
+            }
+            .generate(),
+        )
+    }
+
+    fn drive(model: &mut ShortestPathMapBased, secs: u64) -> Vec<Point> {
+        let mut trace = Vec::with_capacity(secs as usize);
+        let dt = SimDuration::from_secs(1);
+        let mut now = SimTime::ZERO;
+        for _ in 0..secs {
+            trace.push(model.step(now, dt));
+            now += dt;
+        }
+        trace
+    }
+
+    #[test]
+    fn stays_on_roads() {
+        let g = grid();
+        let mut m = ShortestPathMapBased::new(
+            g.clone(),
+            SpmbConfig {
+                wait_lo: 1.0,
+                wait_hi: 5.0,
+                ..SpmbConfig::default()
+            },
+            SimRng::seed_from_u64(11),
+        );
+        for p in drive(&mut m, 3_000) {
+            // Every position must lie on (or within 1 cm of) some edge.
+            let mut on_road = false;
+            for e in 0..g.edge_count() {
+                let (a, b) = g.edge_endpoints(vdtn_geo::EdgeId(e as u32));
+                if p.distance_to_segment(g.position(a), g.position(b)) < 0.01 {
+                    on_road = true;
+                    break;
+                }
+            }
+            assert!(on_road, "vehicle left the road network at {p}");
+        }
+    }
+
+    #[test]
+    fn respects_speed_limit() {
+        let g = grid();
+        let cfg = SpmbConfig {
+            wait_lo: 1.0,
+            wait_hi: 3.0,
+            ..SpmbConfig::default()
+        };
+        let mut m = ShortestPathMapBased::new(g, cfg, SimRng::seed_from_u64(5));
+        let trace = drive(&mut m, 2_000);
+        for w in trace.windows(2) {
+            let d = w[0].distance(w[1]);
+            assert!(
+                d <= cfg.speed_hi + 1e-9,
+                "moved {d} m in one second (limit {})",
+                cfg.speed_hi
+            );
+        }
+    }
+
+    #[test]
+    fn eventually_moves_and_pauses() {
+        let g = grid();
+        let mut m = ShortestPathMapBased::new(
+            g,
+            SpmbConfig {
+                wait_lo: 10.0,
+                wait_hi: 20.0,
+                ..SpmbConfig::default()
+            },
+            SimRng::seed_from_u64(2),
+        );
+        let trace = drive(&mut m, 5_000);
+        let moving_ticks = trace.windows(2).filter(|w| w[0] != w[1]).count();
+        let still_ticks = trace.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(moving_ticks > 100, "should drive (moved {moving_ticks} ticks)");
+        assert!(still_ticks > 10, "should pause (still {still_ticks} ticks)");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = grid();
+        let cfg = SpmbConfig::default();
+        let mut a = ShortestPathMapBased::new(g.clone(), cfg, SimRng::seed_from_u64(9));
+        let mut b = ShortestPathMapBased::new(g.clone(), cfg, SimRng::seed_from_u64(9));
+        let mut c = ShortestPathMapBased::new(g, cfg, SimRng::seed_from_u64(10));
+        let ta = drive(&mut a, 1_000);
+        let tb = drive(&mut b, 1_000);
+        let tc = drive(&mut c, 1_000);
+        assert_eq!(ta, tb);
+        assert_ne!(ta, tc);
+    }
+
+    #[test]
+    fn single_vertex_map_never_panics() {
+        let mut b = vdtn_geo::RoadGraphBuilder::new();
+        b.add_vertex(Point::new(1.0, 1.0));
+        let g = Arc::new(b.build());
+        let mut m = ShortestPathMapBased::new(
+            g,
+            SpmbConfig {
+                wait_lo: 1.0,
+                wait_hi: 2.0,
+                ..SpmbConfig::default()
+            },
+            SimRng::seed_from_u64(1),
+        );
+        let trace = drive(&mut m, 100);
+        assert!(trace.iter().all(|&p| p == Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid speed range")]
+    fn rejects_bad_speed() {
+        SpmbConfig {
+            speed_lo: 10.0,
+            speed_hi: 5.0,
+            ..SpmbConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,179 @@
+//! Free-space random waypoint movement.
+//!
+//! Classic DTN baseline model: pick a uniform point in a rectangle, move to
+//! it in a straight line at a random speed, pause, repeat. Not used by the
+//! paper's scenario (which is map-constrained) but included as a baseline so
+//! the effect of map constraints on contact statistics can be measured.
+
+use crate::model::MovementModel;
+use serde::{Deserialize, Serialize};
+use vdtn_geo::{Bounds, Point};
+use vdtn_sim_core::{SimDuration, SimRng, SimTime};
+
+/// Parameters for [`RandomWaypoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaypointConfig {
+    /// Movement area.
+    pub bounds: Bounds,
+    /// Minimum leg speed, m/s.
+    pub speed_lo: f64,
+    /// Maximum leg speed, m/s.
+    pub speed_hi: f64,
+    /// Minimum pause, seconds.
+    pub wait_lo: f64,
+    /// Maximum pause, seconds.
+    pub wait_hi: f64,
+}
+
+impl WaypointConfig {
+    /// Validate ranges.
+    pub fn validate(&self) {
+        assert!(self.bounds.width() > 0.0 && self.bounds.height() > 0.0);
+        assert!(self.speed_lo > 0.0 && self.speed_hi >= self.speed_lo);
+        assert!(self.wait_lo >= 0.0 && self.wait_hi >= self.wait_lo);
+    }
+}
+
+enum Phase {
+    Waiting { until: SimTime },
+    Moving { target: Point, speed: f64 },
+}
+
+/// Free-space random waypoint model.
+pub struct RandomWaypoint {
+    cfg: WaypointConfig,
+    rng: SimRng,
+    pos: Point,
+    phase: Phase,
+}
+
+impl RandomWaypoint {
+    /// Create a node at a uniform random position inside the bounds.
+    pub fn new(cfg: WaypointConfig, mut rng: SimRng) -> Self {
+        cfg.validate();
+        let pos = Point::new(
+            rng.range_f64(cfg.bounds.min.x, cfg.bounds.max.x),
+            rng.range_f64(cfg.bounds.min.y, cfg.bounds.max.y),
+        );
+        RandomWaypoint {
+            cfg,
+            rng,
+            pos,
+            phase: Phase::Waiting {
+                until: SimTime::ZERO,
+            },
+        }
+    }
+
+    fn pick_leg(&mut self) {
+        let target = Point::new(
+            self.rng.range_f64(self.cfg.bounds.min.x, self.cfg.bounds.max.x),
+            self.rng.range_f64(self.cfg.bounds.min.y, self.cfg.bounds.max.y),
+        );
+        let speed = self.rng.range_f64(self.cfg.speed_lo, self.cfg.speed_hi);
+        self.phase = Phase::Moving { target, speed };
+    }
+}
+
+impl MovementModel for RandomWaypoint {
+    fn step(&mut self, now: SimTime, dt: SimDuration) -> Point {
+        let end = now + dt;
+        match self.phase {
+            Phase::Waiting { until } => {
+                if end >= until {
+                    self.pick_leg();
+                }
+            }
+            Phase::Moving { target, speed } => {
+                let dist = speed * dt.as_secs_f64();
+                self.pos = self.pos.advance_towards(target, dist);
+                if self.pos.distance(target) < 1e-9 {
+                    let wait = self.rng.range_f64(self.cfg.wait_lo, self.cfg.wait_hi);
+                    self.phase = Phase::Waiting {
+                        until: end + SimDuration::from_secs_f64(wait),
+                    };
+                }
+            }
+        }
+        self.pos
+    }
+
+    fn position(&self) -> Point {
+        self.pos
+    }
+
+    fn name(&self) -> &'static str {
+        "RandomWaypoint"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WaypointConfig {
+        let mut bounds = Bounds::empty();
+        bounds.expand(Point::new(0.0, 0.0));
+        bounds.expand(Point::new(1000.0, 800.0));
+        WaypointConfig {
+            bounds,
+            speed_lo: 5.0,
+            speed_hi: 15.0,
+            wait_lo: 0.0,
+            wait_hi: 10.0,
+        }
+    }
+
+    #[test]
+    fn stays_in_bounds() {
+        let mut m = RandomWaypoint::new(cfg(), SimRng::seed_from_u64(1));
+        let dt = SimDuration::from_secs(1);
+        let mut now = SimTime::ZERO;
+        for _ in 0..10_000 {
+            let p = m.step(now, dt);
+            now += dt;
+            assert!(cfg().bounds.contains(p), "escaped bounds at {p}");
+        }
+    }
+
+    #[test]
+    fn respects_speed_cap() {
+        let mut m = RandomWaypoint::new(cfg(), SimRng::seed_from_u64(2));
+        let dt = SimDuration::from_secs(1);
+        let mut now = SimTime::ZERO;
+        let mut prev = m.position();
+        for _ in 0..5_000 {
+            let p = m.step(now, dt);
+            now += dt;
+            assert!(prev.distance(p) <= 15.0 + 1e-9);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn covers_the_area() {
+        // After a long run positions should span most of the rectangle.
+        let mut m = RandomWaypoint::new(cfg(), SimRng::seed_from_u64(3));
+        let dt = SimDuration::from_secs(1);
+        let mut now = SimTime::ZERO;
+        let mut bounds = Bounds::empty();
+        for _ in 0..50_000 {
+            bounds.expand(m.step(now, dt));
+            now += dt;
+        }
+        assert!(bounds.width() > 800.0, "width {}", bounds.width());
+        assert!(bounds.height() > 600.0, "height {}", bounds.height());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = RandomWaypoint::new(cfg(), SimRng::seed_from_u64(4));
+        let mut b = RandomWaypoint::new(cfg(), SimRng::seed_from_u64(4));
+        let dt = SimDuration::from_secs(1);
+        let mut now = SimTime::ZERO;
+        for _ in 0..1_000 {
+            assert_eq!(a.step(now, dt), b.step(now, dt));
+            now += dt;
+        }
+    }
+}

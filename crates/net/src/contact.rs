@@ -1,0 +1,220 @@
+//! Contact detection: turning node positions into link-up/down events.
+//!
+//! Each tick the detector computes the set of node pairs within radio range
+//! and diffs it against the previous tick's set. Pairs entering the set
+//! produce [`LinkEvent::Up`], pairs leaving produce [`LinkEvent::Down`].
+//! Events are emitted in deterministic (lexicographic pair) order.
+
+use crate::interface::RadioInterface;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use vdtn_geo::{Point, SpatialGrid};
+use vdtn_sim_core::NodeId;
+
+/// Which pair-finding algorithm the detector uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectorBackend {
+    /// O(n²) scan over all pairs — simple reference implementation.
+    Naive,
+    /// Uniform spatial hash grid — O(n + pairs) per tick.
+    Grid,
+}
+
+/// A connectivity change between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// The pair came into radio range.
+    Up(NodeId, NodeId),
+    /// The pair left radio range.
+    Down(NodeId, NodeId),
+}
+
+/// Stateful contact detector.
+pub struct ContactDetector {
+    backend: DetectorBackend,
+    range: f64,
+    grid: SpatialGrid,
+    current: HashSet<(u32, u32)>,
+    // Scratch buffers reused across ticks.
+    pairs_scratch: Vec<(u32, u32)>,
+}
+
+impl ContactDetector {
+    /// Create a detector for interfaces with the given uniform range.
+    pub fn new(backend: DetectorBackend, interface: RadioInterface) -> Self {
+        interface.validate();
+        ContactDetector {
+            backend,
+            range: interface.range,
+            grid: SpatialGrid::new(interface.range),
+            current: HashSet::new(),
+            pairs_scratch: Vec::new(),
+        }
+    }
+
+    /// Radio range in use.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Currently connected pairs (lexicographic order not guaranteed).
+    pub fn active_pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.current.iter().map(|&(a, b)| (NodeId(a), NodeId(b)))
+    }
+
+    /// Number of active links.
+    pub fn active_count(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Update with this tick's positions; returns link events in
+    /// deterministic order (all downs first — freeing nodes for new
+    /// contacts — then ups, each lexicographically sorted).
+    pub fn update(&mut self, positions: &[Point]) -> Vec<LinkEvent> {
+        self.pairs_scratch.clear();
+        match self.backend {
+            DetectorBackend::Naive => {
+                self.grid.rebuild(positions);
+                self.grid
+                    .pairs_within_naive(self.range, &mut self.pairs_scratch);
+            }
+            DetectorBackend::Grid => {
+                self.grid.rebuild(positions);
+                self.grid.pairs_within(self.range, &mut self.pairs_scratch);
+            }
+        }
+        let fresh: HashSet<(u32, u32)> = self.pairs_scratch.iter().copied().collect();
+
+        let mut downs: Vec<(u32, u32)> = self.current.difference(&fresh).copied().collect();
+        let mut ups: Vec<(u32, u32)> = fresh.difference(&self.current).copied().collect();
+        downs.sort_unstable();
+        ups.sort_unstable();
+
+        let mut events = Vec::with_capacity(downs.len() + ups.len());
+        events.extend(
+            downs
+                .into_iter()
+                .map(|(a, b)| LinkEvent::Down(NodeId(a), NodeId(b))),
+        );
+        events.extend(
+            ups.into_iter()
+                .map(|(a, b)| LinkEvent::Up(NodeId(a), NodeId(b))),
+        );
+        self.current = fresh;
+        events
+    }
+
+    /// Forget all link state (e.g. between independent runs).
+    pub fn reset(&mut self) {
+        self.current.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(backend: DetectorBackend) -> ContactDetector {
+        ContactDetector::new(backend, RadioInterface::paper_80211b())
+    }
+
+    #[test]
+    fn detects_up_and_down() {
+        let mut d = detector(DetectorBackend::Grid);
+        // Two nodes approach, meet, separate.
+        let apart = vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)];
+        let close = vec![Point::new(0.0, 0.0), Point::new(20.0, 0.0)];
+
+        assert!(d.update(&apart).is_empty());
+        let ev = d.update(&close);
+        assert_eq!(ev, vec![LinkEvent::Up(NodeId(0), NodeId(1))]);
+        assert_eq!(d.active_count(), 1);
+        assert!(d.update(&close).is_empty(), "no repeat events while stable");
+        let ev = d.update(&apart);
+        assert_eq!(ev, vec![LinkEvent::Down(NodeId(0), NodeId(1))]);
+        assert_eq!(d.active_count(), 0);
+    }
+
+    #[test]
+    fn exact_range_is_connected() {
+        let mut d = detector(DetectorBackend::Naive);
+        let ev = d.update(&[Point::new(0.0, 0.0), Point::new(30.0, 0.0)]);
+        assert_eq!(ev.len(), 1, "distance == range counts as in range");
+        let ev = d.update(&[Point::new(0.0, 0.0), Point::new(30.001, 0.0)]);
+        assert_eq!(ev, vec![LinkEvent::Down(NodeId(0), NodeId(1))]);
+    }
+
+    #[test]
+    fn backends_agree_on_random_walk() {
+        let mut naive = detector(DetectorBackend::Naive);
+        let mut grid = detector(DetectorBackend::Grid);
+        // Deterministic pseudo-random positions for 30 nodes over 50 ticks.
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut pos: Vec<Point> = (0..30)
+            .map(|_| Point::new(next() * 300.0, next() * 300.0))
+            .collect();
+        for _ in 0..50 {
+            for p in &mut pos {
+                p.x += (next() - 0.5) * 20.0;
+                p.y += (next() - 0.5) * 20.0;
+            }
+            let en = naive.update(&pos);
+            let eg = grid.update(&pos);
+            assert_eq!(en, eg);
+        }
+    }
+
+    #[test]
+    fn downs_emitted_before_ups() {
+        let mut d = detector(DetectorBackend::Grid);
+        // Node 1 near node 0, node 2 far.
+        d.update(&[
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(500.0, 0.0),
+        ]);
+        // Node 1 leaves, node 2 arrives, same tick.
+        let ev = d.update(&[
+            Point::new(0.0, 0.0),
+            Point::new(200.0, 0.0),
+            Point::new(15.0, 0.0),
+        ]);
+        assert_eq!(
+            ev,
+            vec![
+                LinkEvent::Down(NodeId(0), NodeId(1)),
+                LinkEvent::Up(NodeId(0), NodeId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn reset_forgets_links() {
+        let mut d = detector(DetectorBackend::Grid);
+        d.update(&[Point::new(0.0, 0.0), Point::new(5.0, 0.0)]);
+        assert_eq!(d.active_count(), 1);
+        d.reset();
+        assert_eq!(d.active_count(), 0);
+        // After reset the same positions re-emit Up.
+        let ev = d.update(&[Point::new(0.0, 0.0), Point::new(5.0, 0.0)]);
+        assert_eq!(ev.len(), 1);
+    }
+
+    #[test]
+    fn three_node_clique() {
+        let mut d = detector(DetectorBackend::Grid);
+        let ev = d.update(&[
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 8.0),
+        ]);
+        assert_eq!(ev.len(), 3);
+        assert_eq!(d.active_count(), 3);
+    }
+}

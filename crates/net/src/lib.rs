@@ -1,0 +1,26 @@
+//! Opportunistic link layer.
+//!
+//! Reproduces the network model of the paper's ONE-simulator setup:
+//!
+//! * **Radio** ([`RadioInterface`]): IEEE 802.11b abstracted as a disc model
+//!   — two nodes are connected whenever their distance is at most the range
+//!   (30 m in the paper), with a fixed link rate (6 Mbit/s = 750 000 B/s).
+//! * **Contact detection** ([`ContactDetector`]): per-tick diffing of the
+//!   in-range pair set into link-up / link-down events, with naive O(n²) and
+//!   spatial-grid back-ends (ablation-benchmarked).
+//! * **Connections and transfers** ([`LinkTable`], [`Transfer`]): one
+//!   message in flight per connection, one transfer per node at a time
+//!   (half-duplex radio, as ONE models it); a transfer takes
+//!   `size / rate` seconds and aborts if the contact breaks first.
+//! * **Contact tracing** ([`ContactTrace`]): per-pair contact counts,
+//!   durations and inter-contact times for the statistics reports.
+
+pub mod contact;
+pub mod interface;
+pub mod link;
+pub mod trace;
+
+pub use contact::{ContactDetector, DetectorBackend, LinkEvent};
+pub use interface::RadioInterface;
+pub use link::{LinkTable, Transfer, TransferOutcome};
+pub use trace::ContactTrace;

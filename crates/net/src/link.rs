@@ -1,0 +1,328 @@
+//! Connections and bandwidth-limited transfers.
+//!
+//! A [`LinkTable`] tracks every active connection (pair of nodes in range)
+//! and at most one in-flight [`Transfer`] per connection. Nodes are
+//! half-duplex: a node engaged in any transfer (sending *or* receiving)
+//! cannot start another until it completes — the same contention model the
+//! ONE simulator applies, and the reason scheduling policies matter at all
+//! (only the first few messages in the schedule make it through a short
+//! contact).
+//!
+//! Internally connections live in a `BTreeMap` keyed by the ordered node
+//! pair, so iteration — and therefore the whole routing round — is
+//! deterministic.
+
+use std::collections::{BTreeMap, HashSet};
+use vdtn_bundle::Message;
+use vdtn_sim_core::{NodeId, SimDuration, SimTime};
+
+/// A message copy in flight between two connected nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transfer {
+    /// The copy being transmitted (snapshot taken at transfer start).
+    pub msg: Message,
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Bytes still to transmit.
+    pub bytes_left: f64,
+    /// When the transfer started.
+    pub started: SimTime,
+}
+
+/// Result of progressing or tearing down a transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransferOutcome {
+    /// Transfer delivered all bytes.
+    Completed(Transfer),
+    /// Contact broke before all bytes were delivered.
+    Aborted(Transfer),
+}
+
+/// One active link.
+#[derive(Debug, Clone)]
+struct Connection {
+    up_since: SimTime,
+    rate: f64,
+    transfer: Option<Transfer>,
+}
+
+/// All active connections plus node busy-state.
+#[derive(Debug, Default)]
+pub struct LinkTable {
+    conns: BTreeMap<(u32, u32), Connection>,
+    busy: HashSet<u32>,
+}
+
+fn key(a: NodeId, b: NodeId) -> (u32, u32) {
+    if a.0 < b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
+}
+
+impl LinkTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new link. Panics if the pair is already connected
+    /// (the contact detector never double-reports).
+    pub fn link_up(&mut self, a: NodeId, b: NodeId, now: SimTime, rate: f64) {
+        assert!(rate > 0.0, "link rate must be positive");
+        let prev = self.conns.insert(
+            key(a, b),
+            Connection {
+                up_since: now,
+                rate,
+                transfer: None,
+            },
+        );
+        assert!(prev.is_none(), "duplicate link_up for {a}-{b}");
+    }
+
+    /// Tear down a link, returning the aborted transfer if one was active.
+    pub fn link_down(&mut self, a: NodeId, b: NodeId) -> Option<TransferOutcome> {
+        let conn = self.conns.remove(&key(a, b))?;
+        conn.transfer.map(|t| {
+            self.busy.remove(&t.from.0);
+            self.busy.remove(&t.to.0);
+            TransferOutcome::Aborted(t)
+        })
+    }
+
+    /// True if the pair is currently connected.
+    pub fn is_connected(&self, a: NodeId, b: NodeId) -> bool {
+        self.conns.contains_key(&key(a, b))
+    }
+
+    /// True if `node` is engaged in any transfer.
+    pub fn is_busy(&self, node: NodeId) -> bool {
+        self.busy.contains(&node.0)
+    }
+
+    /// Duration the pair has been connected, if connected.
+    pub fn contact_age(&self, a: NodeId, b: NodeId, now: SimTime) -> Option<SimDuration> {
+        self.conns.get(&key(a, b)).map(|c| now.since(c.up_since))
+    }
+
+    /// Number of active connections.
+    pub fn connection_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Connections with no active transfer whose endpoints are both free,
+    /// in deterministic (ordered-pair) order. These are the opportunities
+    /// the routing round iterates.
+    pub fn idle_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        self.conns
+            .iter()
+            .filter(|(k, c)| {
+                c.transfer.is_none() && !self.busy.contains(&k.0) && !self.busy.contains(&k.1)
+            })
+            .map(|(&(a, b), _)| (NodeId(a), NodeId(b)))
+            .collect()
+    }
+
+    /// Begin transmitting `msg` from `from` to `to`.
+    ///
+    /// Preconditions (checked): the pair is connected, the connection is
+    /// idle, and neither node is busy. The engine upholds these by only
+    /// starting transfers on [`LinkTable::idle_pairs`].
+    pub fn start_transfer(&mut self, from: NodeId, to: NodeId, msg: Message, now: SimTime) {
+        assert!(!self.is_busy(from), "{from} already transferring");
+        assert!(!self.is_busy(to), "{to} already transferring");
+        let conn = self
+            .conns
+            .get_mut(&key(from, to))
+            .unwrap_or_else(|| panic!("no connection {from}-{to}"));
+        assert!(conn.transfer.is_none(), "connection {from}-{to} busy");
+        let bytes = msg.size as f64;
+        conn.transfer = Some(Transfer {
+            msg,
+            from,
+            to,
+            bytes_left: bytes,
+            started: now,
+        });
+        self.busy.insert(from.0);
+        self.busy.insert(to.0);
+    }
+
+    /// Advance every active transfer by `dt`; returns completed transfers in
+    /// deterministic order. Zero-byte edge cases complete on the first tick.
+    pub fn tick(&mut self, dt: SimDuration) -> Vec<TransferOutcome> {
+        let secs = dt.as_secs_f64();
+        let mut done = Vec::new();
+        for (_, conn) in self.conns.iter_mut() {
+            let finished = match &mut conn.transfer {
+                Some(t) => {
+                    t.bytes_left -= conn.rate * secs;
+                    t.bytes_left <= 0.0
+                }
+                None => false,
+            };
+            if finished {
+                let t = conn.transfer.take().expect("checked above");
+                self.busy.remove(&t.from.0);
+                self.busy.remove(&t.to.0);
+                done.push(TransferOutcome::Completed(t));
+            }
+        }
+        done
+    }
+
+    /// Drop every connection (end of run), returning aborted transfers.
+    pub fn clear(&mut self) -> Vec<TransferOutcome> {
+        let mut aborted = Vec::new();
+        for (_, conn) in std::mem::take(&mut self.conns) {
+            if let Some(t) = conn.transfer {
+                aborted.push(TransferOutcome::Aborted(t));
+            }
+        }
+        self.busy.clear();
+        aborted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdtn_bundle::MessageId;
+
+    fn msg(id: u64, size: u64) -> Message {
+        Message::new(
+            MessageId(id),
+            NodeId(0),
+            NodeId(9),
+            size,
+            SimTime::ZERO,
+            SimDuration::from_mins(60),
+        )
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn transfer_completes_after_size_over_rate() {
+        let mut lt = LinkTable::new();
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 750_000.0);
+        lt.start_transfer(NodeId(0), NodeId(1), msg(1, 1_500_000), t(0.0));
+        assert!(lt.is_busy(NodeId(0)) && lt.is_busy(NodeId(1)));
+        // 1.5 MB at 750 kB/s = 2 s.
+        assert!(lt.tick(SimDuration::from_secs(1)).is_empty());
+        let done = lt.tick(SimDuration::from_secs(1));
+        assert_eq!(done.len(), 1);
+        match &done[0] {
+            TransferOutcome::Completed(tr) => {
+                assert_eq!(tr.msg.id, MessageId(1));
+                assert_eq!(tr.from, NodeId(0));
+                assert_eq!(tr.to, NodeId(1));
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert!(!lt.is_busy(NodeId(0)) && !lt.is_busy(NodeId(1)));
+        // Connection remains up and idle after completion.
+        assert!(lt.is_connected(NodeId(0), NodeId(1)));
+        assert_eq!(lt.idle_pairs(), vec![(NodeId(0), NodeId(1))]);
+    }
+
+    #[test]
+    fn link_down_aborts_transfer() {
+        let mut lt = LinkTable::new();
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 750_000.0);
+        lt.start_transfer(NodeId(1), NodeId(0), msg(7, 2_000_000), t(0.0));
+        lt.tick(SimDuration::from_secs(1));
+        let out = lt.link_down(NodeId(0), NodeId(1)).unwrap();
+        match out {
+            TransferOutcome::Aborted(tr) => {
+                assert_eq!(tr.msg.id, MessageId(7));
+                assert!(tr.bytes_left > 0.0);
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert!(!lt.is_busy(NodeId(0)) && !lt.is_busy(NodeId(1)));
+        assert!(!lt.is_connected(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn link_down_without_transfer_is_quiet() {
+        let mut lt = LinkTable::new();
+        lt.link_up(NodeId(2), NodeId(5), t(0.0), 100.0);
+        assert!(lt.link_down(NodeId(5), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn busy_nodes_not_listed_idle() {
+        let mut lt = LinkTable::new();
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 750_000.0);
+        lt.link_up(NodeId(0), NodeId(2), t(0.0), 750_000.0);
+        lt.link_up(NodeId(2), NodeId(3), t(0.0), 750_000.0);
+        lt.start_transfer(NodeId(0), NodeId(1), msg(1, 10_000_000), t(0.0));
+        // 0 and 1 are busy ⇒ only 2-3 is usable.
+        assert_eq!(lt.idle_pairs(), vec![(NodeId(2), NodeId(3))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already transferring")]
+    fn cannot_double_book_a_node() {
+        let mut lt = LinkTable::new();
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1000.0);
+        lt.link_up(NodeId(0), NodeId(2), t(0.0), 1000.0);
+        lt.start_transfer(NodeId(0), NodeId(1), msg(1, 5_000), t(0.0));
+        lt.start_transfer(NodeId(0), NodeId(2), msg(2, 5_000), t(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link_up")]
+    fn duplicate_link_up_panics() {
+        let mut lt = LinkTable::new();
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1000.0);
+        lt.link_up(NodeId(1), NodeId(0), t(0.0), 1000.0);
+    }
+
+    #[test]
+    fn pair_key_is_order_independent() {
+        let mut lt = LinkTable::new();
+        lt.link_up(NodeId(3), NodeId(1), t(0.0), 1000.0);
+        assert!(lt.is_connected(NodeId(1), NodeId(3)));
+        assert!(lt.is_connected(NodeId(3), NodeId(1)));
+        assert_eq!(
+            lt.contact_age(NodeId(1), NodeId(3), t(5.0)),
+            Some(SimDuration::from_secs(5))
+        );
+    }
+
+    #[test]
+    fn multiple_transfers_progress_independently() {
+        let mut lt = LinkTable::new();
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1_000.0);
+        lt.link_up(NodeId(2), NodeId(3), t(0.0), 2_000.0);
+        lt.start_transfer(NodeId(0), NodeId(1), msg(1, 2_000), t(0.0));
+        lt.start_transfer(NodeId(2), NodeId(3), msg(2, 2_000), t(0.0));
+        let done = lt.tick(SimDuration::from_secs(1));
+        // Faster link finishes first.
+        assert_eq!(done.len(), 1);
+        assert!(matches!(&done[0], TransferOutcome::Completed(tr) if tr.msg.id == MessageId(2)));
+        let done = lt.tick(SimDuration::from_secs(1));
+        assert_eq!(done.len(), 1);
+        assert!(matches!(&done[0], TransferOutcome::Completed(tr) if tr.msg.id == MessageId(1)));
+    }
+
+    #[test]
+    fn clear_aborts_everything() {
+        let mut lt = LinkTable::new();
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1_000.0);
+        lt.link_up(NodeId(2), NodeId(3), t(0.0), 1_000.0);
+        lt.start_transfer(NodeId(0), NodeId(1), msg(1, 1_000_000), t(0.0));
+        let aborted = lt.clear();
+        assert_eq!(aborted.len(), 1);
+        assert_eq!(lt.connection_count(), 0);
+        assert!(!lt.is_busy(NodeId(0)));
+    }
+}

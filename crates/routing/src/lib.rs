@@ -1,0 +1,42 @@
+//! DTN routing protocols.
+//!
+//! Implements the four protocols the paper evaluates plus two classic
+//! baselines, all behind the object-safe [`Router`] trait driven by the
+//! engine in the `vdtn` crate:
+//!
+//! | Protocol | Replication | Scheduling / dropping |
+//! |---|---|---|
+//! | [`EpidemicRouter`] | unlimited flooding | pluggable [`PolicyCombo`] (the paper's experiment) |
+//! | [`SprayAndWaitRouter`] | quota `L` (binary halving) | pluggable [`PolicyCombo`] |
+//! | [`ProphetRouter`] | probabilistic (GRTRMax) | own: forward by peer delivery predictability, drop FIFO |
+//! | [`MaxPropRouter`] | flooding + acks | own: hop-count head start, then path cost; drop by cost |
+//! | [`DirectDeliveryRouter`] | none | pluggable |
+//! | [`FirstContactRouter`] | single moving copy | pluggable |
+//!
+//! The trait's flows are data-oriented: every mutation reports what was
+//! evicted / delivered / rejected back to the engine, which owns all metric
+//! accounting.
+
+pub mod direct;
+pub mod epidemic;
+pub mod maxprop;
+pub mod prophet;
+pub mod router;
+pub mod snw;
+pub mod sprayfocus;
+pub mod state;
+pub(crate) mod util;
+
+pub use direct::{DirectDeliveryRouter, FirstContactRouter};
+pub use epidemic::EpidemicRouter;
+pub use maxprop::{MaxPropConfig, MaxPropRouter};
+pub use prophet::{ProphetConfig, ProphetRouter};
+pub use router::{
+    CreateOutcome, Digest, ReceiveOutcome, RejectReason, Router, RouterKind,
+};
+pub use snw::SprayAndWaitRouter;
+pub use sprayfocus::SprayAndFocusRouter;
+pub use state::NodeState;
+
+// Re-export for downstream convenience: routing configs embed policies.
+pub use vdtn_bundle::PolicyCombo;

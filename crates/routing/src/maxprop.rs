@@ -1,0 +1,556 @@
+//! MaxProp routing (Burgess et al., INFOCOM 2006).
+//!
+//! MaxProp floods like Epidemic but brings its own transmission and eviction
+//! orders, which is why the paper compares against it unmodified:
+//!
+//! * **Meeting probabilities**: node `i` keeps a normalised vector `f^i`
+//!   over peers; meeting `j` increments `f^i_j` by 1 and re-normalises.
+//!   Vectors are exchanged at every contact.
+//! * **Path cost**: the cost of delivering to `d` is the cheapest path in
+//!   the graph whose edge `u → v` costs `1 − f^u_v`, computed by Dijkstra
+//!   over all vectors this node has collected.
+//! * **Transmission order**: messages destined to the peer first; then a
+//!   *head start* for young messages — hop counts below an adaptive
+//!   threshold, lowest first — then everything else by ascending path cost.
+//! * **Eviction order**: the reverse — highest path cost dropped first,
+//!   head-start messages last.
+//! * **Acknowledgements**: delivery acks are flooded in contact digests;
+//!   acked messages are purged from buffers network-wide.
+//!
+//! The adaptive threshold follows the MaxProp paper's intent: the head-start
+//! set is sized to (a fraction of) the *average bytes transferable per
+//! contact*, estimated online from completed contacts. (ONE computes the
+//! same statistic; our accounting of it is an approximation documented in
+//! DESIGN.md.)
+
+use crate::router::{CreateOutcome, Digest, ReceiveOutcome, Router};
+use crate::state::NodeState;
+use crate::util::{make_room_and_store, standard_receive};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use vdtn_bundle::{Message, MessageId};
+use vdtn_sim_core::{NodeId, SimRng, SimTime};
+
+/// MaxProp tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaxPropConfig {
+    /// Fraction of the average per-contact byte volume granted to the
+    /// young-message head start (the MaxProp paper splits the contact
+    /// between new and ranked messages; 0.5 mirrors that split).
+    pub head_start_fraction: f64,
+}
+
+impl Default for MaxPropConfig {
+    fn default() -> Self {
+        MaxPropConfig {
+            head_start_fraction: 0.5,
+        }
+    }
+}
+
+/// Flooding router with cost-ranked scheduling, adaptive head start and
+/// delivery-ack purging.
+pub struct MaxPropRouter {
+    own: NodeId,
+    n: usize,
+    cfg: MaxPropConfig,
+    /// Own meeting-probability vector (normalised after the first meeting).
+    probs: Vec<f64>,
+    /// Collected vectors of other nodes, from contact digests.
+    known: HashMap<u32, Vec<f64>>,
+    /// Flooded delivery acknowledgements.
+    acks: HashSet<MessageId>,
+    /// Dijkstra result: cost from this node to every destination.
+    costs: Vec<f64>,
+    /// Online mean of payload bytes sent per completed contact.
+    avg_contact_bytes: f64,
+    contacts_closed: u64,
+}
+
+impl MaxPropRouter {
+    /// Create a router for node `own` in a network of `n_nodes`.
+    pub fn new(own: NodeId, n_nodes: usize, cfg: MaxPropConfig) -> Self {
+        assert!((0.0..=1.0).contains(&cfg.head_start_fraction));
+        MaxPropRouter {
+            own,
+            n: n_nodes,
+            cfg,
+            probs: vec![0.0; n_nodes],
+            known: HashMap::new(),
+            acks: HashSet::new(),
+            costs: vec![f64::INFINITY; n_nodes],
+            avg_contact_bytes: 0.0,
+            contacts_closed: 0,
+        }
+    }
+
+    /// Own meeting probability for `peer`.
+    pub fn meeting_prob(&self, peer: NodeId) -> f64 {
+        self.probs[peer.index()]
+    }
+
+    /// Current path cost estimate to `dest` (∞ when unknown).
+    pub fn path_cost(&self, dest: NodeId) -> f64 {
+        self.costs[dest.index()]
+    }
+
+    /// Delivery acknowledgements known to this node.
+    pub fn acked(&self, id: MessageId) -> bool {
+        self.acks.contains(&id)
+    }
+
+    fn record_meeting(&mut self, peer: NodeId) {
+        self.probs[peer.index()] += 1.0;
+        let sum: f64 = self.probs.iter().sum();
+        for p in &mut self.probs {
+            *p /= sum;
+        }
+    }
+
+    /// Single-source Dijkstra over the collected probability vectors.
+    /// Edge `u → v` costs `1 − f^u_v` (only where `f^u_v > 0`).
+    fn recompute_costs(&mut self) {
+        let n = self.n;
+        let mut dist = vec![f64::INFINITY; n];
+        let mut settled = vec![false; n];
+        dist[self.own.index()] = 0.0;
+        // Dense Dijkstra: n ≤ a few hundred in any VDTN scenario.
+        for _ in 0..n {
+            let mut u = usize::MAX;
+            let mut best = f64::INFINITY;
+            for (i, &d) in dist.iter().enumerate() {
+                if !settled[i] && d < best {
+                    best = d;
+                    u = i;
+                }
+            }
+            if u == usize::MAX {
+                break;
+            }
+            settled[u] = true;
+            let vec_u: Option<&Vec<f64>> = if u == self.own.index() {
+                Some(&self.probs)
+            } else {
+                self.known.get(&(u as u32))
+            };
+            if let Some(fu) = vec_u {
+                for (v, &p) in fu.iter().enumerate() {
+                    if p > 0.0 && !settled[v] {
+                        let cand = dist[u] + (1.0 - p);
+                        if cand < dist[v] {
+                            dist[v] = cand;
+                        }
+                    }
+                }
+            }
+        }
+        self.costs = dist;
+    }
+
+    /// Hop-count threshold below which messages get the head start.
+    ///
+    /// The head-start set holds the youngest messages (lowest hop counts)
+    /// whose cumulative size fits in `head_start_fraction` of the average
+    /// contact volume. With no contact statistics yet the threshold is 0
+    /// (pure cost ranking), as in ONE.
+    fn threshold(&self, own: &NodeState) -> u32 {
+        if self.contacts_closed == 0 || self.avg_contact_bytes <= 0.0 {
+            return 0;
+        }
+        let budget = self.cfg.head_start_fraction * self.avg_contact_bytes;
+        let mut msgs: Vec<(u32, u64)> = own.buffer.iter().map(|m| (m.hops, m.size)).collect();
+        msgs.sort_unstable_by_key(|&(hops, _)| hops);
+        let mut acc = 0u64;
+        let mut threshold = 0u32;
+        for (hops, size) in msgs {
+            acc += size;
+            if (acc as f64) > budget {
+                break;
+            }
+            threshold = hops + 1;
+        }
+        threshold
+    }
+
+    /// Victim chooser: highest path cost first, head-start messages last.
+    fn pick_victim(&self, state: &NodeState, threshold: u32) -> Option<MessageId> {
+        let rank = |m: &Message| {
+            let cost = self.costs[m.dst.index()];
+            // Head-start messages are maximally protected.
+            if m.hops < threshold {
+                (0u8, cost)
+            } else {
+                (1u8, cost)
+            }
+        };
+        state
+            .buffer
+            .iter()
+            .max_by(|a, b| {
+                let (pa, ca) = rank(a);
+                let (pb, cb) = rank(b);
+                pa.cmp(&pb)
+                    .then(ca.partial_cmp(&cb).expect("finite-or-inf costs"))
+            })
+            .map(|m| m.id)
+    }
+}
+
+impl Router for MaxPropRouter {
+    fn kind_label(&self) -> &'static str {
+        "MaxProp"
+    }
+
+    fn on_message_created(
+        &mut self,
+        own: &mut NodeState,
+        msg: Message,
+        _now: SimTime,
+        _rng: &mut SimRng,
+    ) -> CreateOutcome {
+        let threshold = self.threshold(own);
+        match make_room_and_store(own, msg, |state| self.pick_victim(state, threshold)) {
+            Ok(evicted) => CreateOutcome {
+                stored: true,
+                evicted,
+            },
+            Err(_) => CreateOutcome {
+                stored: false,
+                evicted: Vec::new(),
+            },
+        }
+    }
+
+    fn digest(&self, _own: &NodeState, _now: SimTime) -> Digest {
+        Digest::MaxProp {
+            probs: self
+                .probs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &p)| (p > 0.0).then_some((NodeId(i as u32), p)))
+                .collect(),
+            acks: self.acks.iter().copied().collect(),
+        }
+    }
+
+    fn on_contact_up(
+        &mut self,
+        own: &mut NodeState,
+        peer: NodeId,
+        peer_digest: &Digest,
+        _now: SimTime,
+    ) -> Vec<Message> {
+        self.record_meeting(peer);
+        let mut purged = Vec::new();
+        if let Digest::MaxProp { probs, acks } = peer_digest {
+            let mut dense = vec![0.0; self.n];
+            for &(node, p) in probs {
+                dense[node.index()] = p;
+            }
+            self.known.insert(peer.0, dense);
+            for &ack in acks {
+                if self.acks.insert(ack) {
+                    if let Some(m) = own.buffer.remove(ack) {
+                        purged.push(m);
+                    }
+                }
+            }
+        }
+        self.recompute_costs();
+        purged
+    }
+
+    fn on_contact_down(
+        &mut self,
+        _own: &mut NodeState,
+        _peer: NodeId,
+        bytes_sent: u64,
+        _now: SimTime,
+    ) {
+        // Running mean of payload volume per contact feeds the threshold.
+        self.contacts_closed += 1;
+        let k = self.contacts_closed as f64;
+        self.avg_contact_bytes += (bytes_sent as f64 - self.avg_contact_bytes) / k;
+    }
+
+    fn next_transfer(
+        &mut self,
+        own: &NodeState,
+        peer: &NodeState,
+        _peer_router: &dyn Router,
+        excluded: &dyn Fn(MessageId) -> bool,
+        now: SimTime,
+        _rng: &mut SimRng,
+    ) -> Option<MessageId> {
+        let threshold = self.threshold(own);
+        // Rank: (class, key) — class 0 = destined to peer, class 1 = head
+        // start (by hop count), class 2 = cost-ranked. Lowest wins.
+        let mut best: Option<((u8, f64), MessageId)> = None;
+        for msg in own.buffer.iter() {
+            if excluded(msg.id)
+                || peer.knows(msg.id)
+                || msg.is_expired(now)
+                || self.acks.contains(&msg.id)
+                || !peer.buffer.could_fit(msg.size)
+            {
+                continue;
+            }
+            let rank: (u8, f64) = if msg.dst == peer.id {
+                (0, 0.0)
+            } else if msg.hops < threshold {
+                (1, msg.hops as f64)
+            } else {
+                (2, self.costs[msg.dst.index()])
+            };
+            let better = match &best {
+                None => true,
+                Some((r, _)) => rank < *r,
+            };
+            if better {
+                best = Some((rank, msg.id));
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    fn on_message_received(
+        &mut self,
+        own: &mut NodeState,
+        msg: &Message,
+        _from: NodeId,
+        now: SimTime,
+        _rng: &mut SimRng,
+    ) -> ReceiveOutcome {
+        if self.acks.contains(&msg.id) && msg.dst != own.id {
+            return ReceiveOutcome::Rejected(crate::router::RejectReason::AlreadyDelivered);
+        }
+        let threshold = self.threshold(own);
+        let outcome = standard_receive(own, msg, now, |state| {
+            self.pick_victim(state, threshold)
+        });
+        if let ReceiveOutcome::Delivered { .. } = outcome {
+            // Destination floods the acknowledgement from now on.
+            self.acks.insert(msg.id);
+        }
+        outcome
+    }
+
+    fn on_transfer_success(
+        &mut self,
+        own: &mut NodeState,
+        msg_id: MessageId,
+        _to: NodeId,
+        delivered: bool,
+        _now: SimTime,
+    ) {
+        if delivered {
+            // Sender both discards (paper rule) and starts flooding the ack.
+            self.acks.insert(msg_id);
+            own.buffer.remove(msg_id);
+        }
+    }
+
+    fn on_messages_expired(&mut self, _own: &mut NodeState, _ids: &[MessageId]) {
+        // Expired ids stay in the ack set harmlessly; nothing to clean.
+    }
+
+    fn delivery_metric(&self, dest: NodeId, _now: SimTime) -> Option<f64> {
+        Some(-self.costs[dest.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdtn_sim_core::SimDuration;
+
+    fn msg(id: u64, src: u32, dst: u32, size: u64) -> Message {
+        Message::new(
+            MessageId(id),
+            NodeId(src),
+            NodeId(dst),
+            size,
+            SimTime::ZERO,
+            SimDuration::from_mins(90),
+        )
+    }
+
+    fn state(id: u32) -> NodeState {
+        NodeState::new(NodeId(id), 100_000, false)
+    }
+
+    #[test]
+    fn meeting_probs_stay_normalised() {
+        let mut r = MaxPropRouter::new(NodeId(0), 5, MaxPropConfig::default());
+        r.record_meeting(NodeId(1));
+        assert_eq!(r.meeting_prob(NodeId(1)), 1.0);
+        r.record_meeting(NodeId(2));
+        let sum: f64 = (0..5).map(|i| r.meeting_prob(NodeId(i))).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(r.meeting_prob(NodeId(1)) > r.meeting_prob(NodeId(3)));
+        // Repeated meetings dominate.
+        for _ in 0..10 {
+            r.record_meeting(NodeId(1));
+        }
+        assert!(r.meeting_prob(NodeId(1)) > 0.8);
+    }
+
+    #[test]
+    fn path_cost_via_intermediate() {
+        // 0 meets 1 often; 1 meets 2 often; 0 never meets 2 directly.
+        let mut r0 = MaxPropRouter::new(NodeId(0), 3, MaxPropConfig::default());
+        let mut r1 = MaxPropRouter::new(NodeId(1), 3, MaxPropConfig::default());
+        r1.record_meeting(NodeId(2));
+        r1.record_meeting(NodeId(0));
+        let d1 = r1.digest(&state(1), SimTime::ZERO);
+        r0.on_contact_up(&mut state(0), NodeId(1), &d1, SimTime::ZERO);
+        // Cost to 1: 1 − f^0_1 = 0. Cost to 2 via 1: (1−1) + (1−0.5) = 0.5.
+        assert!(r0.path_cost(NodeId(1)) < 1e-9);
+        assert!((r0.path_cost(NodeId(2)) - 0.5).abs() < 1e-9);
+        // Metric is negated cost.
+        assert!((r0.delivery_metric(NodeId(2), SimTime::ZERO).unwrap() + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_destination_has_infinite_cost() {
+        let r = MaxPropRouter::new(NodeId(0), 4, MaxPropConfig::default());
+        assert!(r.path_cost(NodeId(3)).is_infinite());
+    }
+
+    #[test]
+    fn acks_purge_buffers() {
+        let mut r = MaxPropRouter::new(NodeId(0), 4, MaxPropConfig::default());
+        let mut s = state(0);
+        let mut rng = SimRng::seed_from_u64(1);
+        r.on_message_created(&mut s, msg(7, 0, 3, 100), SimTime::ZERO, &mut rng);
+        assert!(s.buffer.contains(MessageId(7)));
+        // Peer digest carries an ack for message 7.
+        let digest = Digest::MaxProp {
+            probs: vec![],
+            acks: vec![MessageId(7)],
+        };
+        let purged = r.on_contact_up(&mut s, NodeId(1), &digest, SimTime::ZERO);
+        assert_eq!(purged.len(), 1);
+        assert_eq!(purged[0].id, MessageId(7));
+        assert!(!s.buffer.contains(MessageId(7)));
+        // And the ack is now re-flooded in our own digest.
+        match r.digest(&s, SimTime::ZERO) {
+            Digest::MaxProp { acks, .. } => assert!(acks.contains(&MessageId(7))),
+            other => panic!("wrong digest {other:?}"),
+        }
+    }
+
+    #[test]
+    fn acked_messages_rejected_on_receive_and_not_offered() {
+        let mut r = MaxPropRouter::new(NodeId(1), 4, MaxPropConfig::default());
+        let mut s = state(1);
+        let mut rng = SimRng::seed_from_u64(1);
+        r.acks.insert(MessageId(9));
+        let out = r.on_message_received(&mut s, &msg(9, 0, 3, 100), NodeId(0), SimTime::ZERO, &mut rng);
+        assert!(matches!(out, ReceiveOutcome::Rejected(_)));
+        assert!(!s.buffer.contains(MessageId(9)));
+    }
+
+    #[test]
+    fn delivery_creates_ack_and_discards_sender_copy() {
+        let mut r = MaxPropRouter::new(NodeId(0), 4, MaxPropConfig::default());
+        let mut s = state(0);
+        let mut rng = SimRng::seed_from_u64(1);
+        r.on_message_created(&mut s, msg(1, 0, 2, 100), SimTime::ZERO, &mut rng);
+        r.on_transfer_success(&mut s, MessageId(1), NodeId(2), true, SimTime::ZERO);
+        assert!(!s.buffer.contains(MessageId(1)));
+        assert!(r.acked(MessageId(1)));
+    }
+
+    #[test]
+    fn destination_receipt_creates_ack() {
+        let mut r = MaxPropRouter::new(NodeId(2), 4, MaxPropConfig::default());
+        let mut s = state(2);
+        let mut rng = SimRng::seed_from_u64(1);
+        let out = r.on_message_received(&mut s, &msg(1, 0, 2, 100), NodeId(0), SimTime::ZERO, &mut rng);
+        assert_eq!(out, ReceiveOutcome::Delivered { first_time: true });
+        assert!(r.acked(MessageId(1)));
+    }
+
+    #[test]
+    fn schedule_prefers_peer_destination_then_cost() {
+        let mut r = MaxPropRouter::new(NodeId(0), 5, MaxPropConfig::default());
+        let mut s = state(0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let now = SimTime::ZERO;
+        // Learn: node 3 reachable cheaply, node 4 not at all.
+        let mut r1 = MaxPropRouter::new(NodeId(1), 5, MaxPropConfig::default());
+        r1.record_meeting(NodeId(3));
+        let d1 = r1.digest(&state(1), now);
+        r.on_contact_up(&mut s, NodeId(1), &d1, now);
+
+        r.on_message_created(&mut s, msg(1, 0, 4, 100), now, &mut rng); // cost ∞
+        r.on_message_created(&mut s, msg(2, 0, 3, 100), now, &mut rng); // cheap
+        r.on_message_created(&mut s, msg(3, 0, 1, 100), now, &mut rng); // to peer
+
+        let peer = state(1);
+        let peer_router = MaxPropRouter::new(NodeId(1), 5, MaxPropConfig::default());
+        // Message 3 goes first (peer is its destination).
+        assert_eq!(
+            r.next_transfer(&s, &peer, &peer_router, &|_| false, now, &mut rng),
+            Some(MessageId(3))
+        );
+        // Excluding it, the cheap-cost message beats the unreachable one.
+        assert_eq!(
+            r.next_transfer(&s, &peer, &peer_router, &|id| id == MessageId(3), now, &mut rng),
+            Some(MessageId(2))
+        );
+    }
+
+    #[test]
+    fn threshold_grows_with_contact_stats() {
+        let mut r = MaxPropRouter::new(NodeId(0), 5, MaxPropConfig::default());
+        let mut s = state(0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let now = SimTime::ZERO;
+        // No stats yet → threshold 0.
+        assert_eq!(r.threshold(&s), 0);
+        // Buffer: two 1-hop messages of 100 B each and a fresh one.
+        for (id, hops) in [(1u64, 0u32), (2, 1), (3, 4)] {
+            let mut m = msg(id, 1, 4, 100);
+            m.hops = hops;
+            s.buffer.insert(m).unwrap();
+        }
+        // One closed contact with 400 B sent → budget 200 B → the two
+        // lowest-hop messages fit → threshold = second msg hops + 1 = 2.
+        r.on_contact_down(&mut s, NodeId(1), 400, now);
+        assert_eq!(r.threshold(&s), 2);
+        // Scheduling now prefers low-hop (head start) over cost.
+        let peer = state(2);
+        let pr = MaxPropRouter::new(NodeId(2), 5, MaxPropConfig::default());
+        assert_eq!(
+            r.next_transfer(&s, &peer, &pr, &|_| false, now, &mut rng),
+            Some(MessageId(1)),
+            "lowest hop count first within the head start"
+        );
+    }
+
+    #[test]
+    fn victim_is_highest_cost_outside_head_start() {
+        let mut r = MaxPropRouter::new(NodeId(0), 5, MaxPropConfig::default());
+        let mut s = state(0);
+        // Costs: dest 3 cheap, dest 4 unknown (∞).
+        let mut r1 = MaxPropRouter::new(NodeId(1), 5, MaxPropConfig::default());
+        r1.record_meeting(NodeId(3));
+        let d1 = r1.digest(&state(1), SimTime::ZERO);
+        r.on_contact_up(&mut s, NodeId(1), &d1, SimTime::ZERO);
+        s.buffer.insert(msg(1, 0, 3, 100)).unwrap();
+        s.buffer.insert(msg(2, 0, 4, 100)).unwrap();
+        let victim = r.pick_victim(&s, 0).unwrap();
+        assert_eq!(victim, MessageId(2), "unreachable destination dropped first");
+    }
+
+    #[test]
+    fn avg_contact_bytes_is_running_mean() {
+        let mut r = MaxPropRouter::new(NodeId(0), 3, MaxPropConfig::default());
+        let mut s = state(0);
+        r.on_contact_down(&mut s, NodeId(1), 1000, SimTime::ZERO);
+        r.on_contact_down(&mut s, NodeId(1), 3000, SimTime::ZERO);
+        assert!((r.avg_contact_bytes - 2000.0).abs() < 1e-9);
+    }
+}

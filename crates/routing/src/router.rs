@@ -1,0 +1,295 @@
+//! The `Router` trait, its outcome types, and the protocol factory.
+
+use crate::state::NodeState;
+use crate::{
+    DirectDeliveryRouter, EpidemicRouter, FirstContactRouter, MaxPropConfig, MaxPropRouter,
+    ProphetConfig, ProphetRouter, SprayAndWaitRouter,
+};
+use serde::{Deserialize, Serialize};
+use vdtn_bundle::{Message, MessageId, PolicyCombo};
+use vdtn_sim_core::{NodeId, SimRng, SimTime};
+
+/// Result of handing a freshly created message to its source's router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateOutcome {
+    /// True if the message was stored at the source.
+    pub stored: bool,
+    /// Messages evicted to make room (reported for drop accounting).
+    pub evicted: Vec<Message>,
+}
+
+/// Why a received message was not stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Already carrying a copy.
+    Duplicate,
+    /// Already consumed as final destination.
+    AlreadyDelivered,
+    /// Larger than the whole buffer.
+    TooLarge,
+    /// Could not free enough space under the drop policy.
+    NoSpace,
+    /// TTL elapsed while in flight.
+    Expired,
+}
+
+/// Result of a completed incoming transfer at the receiver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReceiveOutcome {
+    /// This node is the destination.
+    Delivered {
+        /// False when this is a redundant copy of an already-consumed message.
+        first_time: bool,
+    },
+    /// Stored for further forwarding; `evicted` lists congestion drops made
+    /// to accommodate it.
+    Stored {
+        /// Messages evicted by the drop policy.
+        evicted: Vec<Message>,
+    },
+    /// Not stored.
+    Rejected(RejectReason),
+}
+
+/// Protocol metadata exchanged when two nodes meet, mirroring the control
+/// traffic real protocols piggyback on the contact handshake.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Digest {
+    /// Protocol exchanges no metadata (Epidemic, SnW, baselines).
+    #[default]
+    None,
+    /// PRoPHET delivery predictabilities: `P(owner, dest)` pairs.
+    Prophet {
+        /// The digest owner's delivery-predictability vector.
+        probs: Vec<(NodeId, f64)>,
+    },
+    /// MaxProp meeting-probability vector plus delivery acknowledgements.
+    MaxProp {
+        /// Owner's normalised meeting probabilities.
+        probs: Vec<(NodeId, f64)>,
+        /// Ids of messages known to be delivered (flooded acks).
+        acks: Vec<MessageId>,
+    },
+}
+
+/// A DTN routing protocol instance, one per node.
+///
+/// All methods are infallible; failures are expressed in the outcome types so
+/// the engine can do uniform metric accounting across protocols.
+pub trait Router: Send {
+    /// Protocol label for reports (e.g. `"Epidemic"`).
+    fn kind_label(&self) -> &'static str;
+
+    /// A message was created at this node (it is the source). The router
+    /// stamps protocol state (e.g. spray quota) and stores it.
+    fn on_message_created(
+        &mut self,
+        own: &mut NodeState,
+        msg: Message,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> CreateOutcome;
+
+    /// Metadata to hand to a newly met peer. Called once per contact per side.
+    fn digest(&self, _own: &NodeState, _now: SimTime) -> Digest {
+        Digest::None
+    }
+
+    /// A contact to `peer` just came up; `peer_digest` is the peer's
+    /// metadata. Returns messages *removed* from the buffer as a consequence
+    /// (MaxProp deletes acknowledged messages here).
+    fn on_contact_up(
+        &mut self,
+        _own: &mut NodeState,
+        _peer: NodeId,
+        _peer_digest: &Digest,
+        _now: SimTime,
+    ) -> Vec<Message> {
+        Vec::new()
+    }
+
+    /// The contact to `peer` ended; `bytes_sent` is the payload volume this
+    /// node transmitted during the contact (MaxProp adapts its hop-count
+    /// threshold from this).
+    fn on_contact_down(
+        &mut self,
+        _own: &mut NodeState,
+        _peer: NodeId,
+        _bytes_sent: u64,
+        _now: SimTime,
+    ) {
+    }
+
+    /// Choose the next message to send to `peer` over an idle connection.
+    ///
+    /// `excluded` returns true for messages already attempted during this
+    /// contact (the engine tracks this to mirror ONE's per-contact retry
+    /// suppression). Return `None` to stay silent this round.
+    fn next_transfer(
+        &mut self,
+        own: &NodeState,
+        peer: &NodeState,
+        peer_router: &dyn Router,
+        excluded: &dyn Fn(MessageId) -> bool,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Option<MessageId>;
+
+    /// A transfer carrying `msg` (snapshot taken at send time) completed at
+    /// this node. The router decides delivery/storage/rejection and performs
+    /// any evictions its drop policy dictates.
+    fn on_message_received(
+        &mut self,
+        own: &mut NodeState,
+        msg: &Message,
+        from: NodeId,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ReceiveOutcome;
+
+    /// An outgoing transfer of `msg_id` to `to` completed. `delivered` is
+    /// true when `to` was the final destination (the paper's rule: the
+    /// sender then discards its copy — implemented per protocol).
+    fn on_transfer_success(
+        &mut self,
+        own: &mut NodeState,
+        msg_id: MessageId,
+        to: NodeId,
+        delivered: bool,
+        now: SimTime,
+    );
+
+    /// An outgoing transfer was aborted by contact loss. Default: no-op
+    /// (the copy was never surrendered).
+    fn on_transfer_aborted(&mut self, _own: &mut NodeState, _msg_id: MessageId, _to: NodeId) {}
+
+    /// Per-tick housekeeping (PRoPHET aging). Default: no-op.
+    fn on_tick(&mut self, _own: &mut NodeState, _now: SimTime) {}
+
+    /// Messages expired out of the buffer by the engine's TTL sweep;
+    /// protocols with per-message state can clean up here.
+    fn on_messages_expired(&mut self, _own: &mut NodeState, _ids: &[MessageId]) {}
+
+    /// Protocol's delivery preference for `dest` at time `now`, higher =
+    /// better (PRoPHET: aged predictability; MaxProp: negated path cost).
+    /// `None` for protocols without such a metric.
+    fn delivery_metric(&self, _dest: NodeId, _now: SimTime) -> Option<f64> {
+        None
+    }
+}
+
+/// Serializable protocol selector + parameters; the factory for [`Router`]
+/// instances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RouterKind {
+    /// Flooding.
+    Epidemic,
+    /// Binary Spray and Wait with `copies` initial replicas (paper: 12).
+    SprayAndWait {
+        /// Initial spray quota `L`.
+        copies: u32,
+        /// Binary halving (paper) vs. source spray.
+        binary: bool,
+    },
+    /// PRoPHET with GRTRMax forwarding.
+    Prophet(ProphetConfig),
+    /// MaxProp.
+    MaxProp(MaxPropConfig),
+    /// Direct delivery (source holds until it meets the destination).
+    DirectDelivery,
+    /// First contact (single copy hops to the first node met).
+    FirstContact,
+    /// Spray and Focus: binary spray, then utility-based single-copy
+    /// forwarding instead of waiting (extension protocol).
+    SprayAndFocus {
+        /// Initial spray quota `L`.
+        copies: u32,
+    },
+}
+
+impl RouterKind {
+    /// Instantiate a router for node `own`.
+    ///
+    /// `policy` applies to protocols without native scheduling/dropping
+    /// (Epidemic, SnW, baselines); PRoPHET and MaxProp ignore it, exactly as
+    /// in the paper.
+    pub fn build(&self, own: NodeId, n_nodes: usize, policy: PolicyCombo) -> Box<dyn Router> {
+        match self {
+            RouterKind::Epidemic => Box::new(EpidemicRouter::new(policy)),
+            RouterKind::SprayAndWait { copies, binary } => {
+                Box::new(SprayAndWaitRouter::new(*copies, *binary, policy))
+            }
+            RouterKind::Prophet(cfg) => Box::new(ProphetRouter::new(own, n_nodes, *cfg)),
+            RouterKind::MaxProp(cfg) => Box::new(MaxPropRouter::new(own, n_nodes, *cfg)),
+            RouterKind::DirectDelivery => Box::new(DirectDeliveryRouter::new(policy)),
+            RouterKind::FirstContact => Box::new(FirstContactRouter::new(policy)),
+            RouterKind::SprayAndFocus { copies } => Box::new(
+                crate::SprayAndFocusRouter::new(own, n_nodes, *copies, policy),
+            ),
+        }
+    }
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouterKind::Epidemic => "Epidemic",
+            RouterKind::SprayAndWait { .. } => "Spray and Wait",
+            RouterKind::Prophet(_) => "PRoPHET",
+            RouterKind::MaxProp(_) => "MaxProp",
+            RouterKind::DirectDelivery => "Direct Delivery",
+            RouterKind::FirstContact => "First Contact",
+            RouterKind::SprayAndFocus { .. } => "Spray and Focus",
+        }
+    }
+
+    /// The paper's Spray-and-Wait configuration (binary, L = 12).
+    pub fn paper_snw() -> RouterKind {
+        RouterKind::SprayAndWait {
+            copies: 12,
+            binary: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_kind() {
+        let kinds = [
+            RouterKind::Epidemic,
+            RouterKind::paper_snw(),
+            RouterKind::Prophet(ProphetConfig::default()),
+            RouterKind::MaxProp(MaxPropConfig::default()),
+            RouterKind::DirectDelivery,
+            RouterKind::FirstContact,
+            RouterKind::SprayAndFocus { copies: 8 },
+        ];
+        for kind in kinds {
+            let r = kind.build(NodeId(0), 45, PolicyCombo::LIFETIME);
+            assert_eq!(r.kind_label(), kind.label());
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(RouterKind::Epidemic.label(), "Epidemic");
+        assert_eq!(RouterKind::paper_snw().label(), "Spray and Wait");
+        assert_eq!(RouterKind::Prophet(ProphetConfig::default()).label(), "PRoPHET");
+        assert_eq!(RouterKind::MaxProp(MaxPropConfig::default()).label(), "MaxProp");
+    }
+
+    #[test]
+    fn kind_serde_round_trip() {
+        let kind = RouterKind::paper_snw();
+        let json = serde_json_like(&kind);
+        assert!(json.contains("SprayAndWait"));
+    }
+
+    /// Minimal serde smoke check without pulling serde_json into this crate:
+    /// use the Debug representation as a proxy that derive compiled.
+    fn serde_json_like(kind: &RouterKind) -> String {
+        format!("{kind:?}")
+    }
+}

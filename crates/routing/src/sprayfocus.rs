@@ -1,0 +1,275 @@
+//! Spray and Focus routing (Spyropoulos et al. 2007) — extension protocol.
+//!
+//! Identical spray phase to binary Spray and Wait, but instead of *waiting*
+//! once a single copy remains, the copy is *focused*: handed off (moved, not
+//! copied) to any peer whose utility for the destination is higher. Utility
+//! is last-encounter recency — a node that met the destination more recently
+//! is a better custodian. This fixes Spray-and-Wait's weakness in scenarios
+//! where the source's spray never reaches the destination's neighbourhood,
+//! and is the natural "future work" extension of the paper's SnW results.
+
+use crate::router::{CreateOutcome, ReceiveOutcome, Router};
+use crate::state::NodeState;
+use crate::util::{make_room_and_store, policy_victim, standard_receive};
+use vdtn_bundle::{Message, MessageId, PolicyCombo};
+use vdtn_sim_core::{NodeId, SimRng, SimTime};
+
+/// Quota-replication router with utility-based focus phase.
+pub struct SprayAndFocusRouter {
+    initial_copies: u32,
+    policy: PolicyCombo,
+    /// `last_met[d]` = time this node last encountered node `d` directly.
+    last_met: Vec<Option<SimTime>>,
+}
+
+impl SprayAndFocusRouter {
+    /// Create with spray quota `L = initial_copies` (binary halving).
+    /// `_own` is accepted for factory-signature uniformity.
+    pub fn new(_own: NodeId, n_nodes: usize, initial_copies: u32, policy: PolicyCombo) -> Self {
+        assert!(initial_copies >= 1, "spray quota must be at least 1");
+        SprayAndFocusRouter {
+            initial_copies,
+            policy,
+            last_met: vec![None; n_nodes],
+        }
+    }
+
+    /// Utility for delivering to `dest`: seconds since we last met it
+    /// (lower = better), `None` if never met.
+    pub fn recency_secs(&self, dest: NodeId, now: SimTime) -> Option<f64> {
+        self.last_met[dest.index()].map(|t| now.since(t).as_secs_f64())
+    }
+}
+
+impl Router for SprayAndFocusRouter {
+    fn kind_label(&self) -> &'static str {
+        "Spray and Focus"
+    }
+
+    fn on_message_created(
+        &mut self,
+        own: &mut NodeState,
+        mut msg: Message,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> CreateOutcome {
+        msg.copies = self.initial_copies;
+        match make_room_and_store(own, msg, policy_victim(self.policy.dropping, now, rng)) {
+            Ok(evicted) => CreateOutcome {
+                stored: true,
+                evicted,
+            },
+            Err(_) => CreateOutcome {
+                stored: false,
+                evicted: Vec::new(),
+            },
+        }
+    }
+
+    fn on_contact_up(
+        &mut self,
+        _own: &mut NodeState,
+        peer: NodeId,
+        _peer_digest: &crate::router::Digest,
+        now: SimTime,
+    ) -> Vec<Message> {
+        self.last_met[peer.index()] = Some(now);
+        Vec::new()
+    }
+
+    fn next_transfer(
+        &mut self,
+        own: &NodeState,
+        peer: &NodeState,
+        peer_router: &dyn Router,
+        excluded: &dyn Fn(MessageId) -> bool,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Option<MessageId> {
+        self.policy
+            .scheduling
+            .order(&own.buffer, now, rng)
+            .into_iter()
+            .find(|&id| {
+                if excluded(id) || peer.knows(id) {
+                    return false;
+                }
+                let msg = own.buffer.get(id).expect("ordered id is stored");
+                if msg.is_expired(now) || !peer.buffer.could_fit(msg.size) {
+                    return false;
+                }
+                if msg.dst == peer.id || msg.copies > 1 {
+                    return true; // direct delivery or spray phase
+                }
+                // Focus phase: hand off the single copy only if the peer has
+                // strictly better (more recent) last-encounter utility.
+                let peer_recency = peer_router.delivery_metric(msg.dst, now);
+                let own_recency = self
+                    .recency_secs(msg.dst, now)
+                    .map(|s| -s)
+                    .unwrap_or(f64::NEG_INFINITY);
+                matches!(peer_recency, Some(p) if p > own_recency)
+            })
+    }
+
+    fn on_message_received(
+        &mut self,
+        own: &mut NodeState,
+        msg: &Message,
+        from: NodeId,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ReceiveOutcome {
+        self.last_met[from.index()] = Some(now);
+        let mut incoming = *msg;
+        // Spray phase splits the quota; focus phase moves the whole copy.
+        incoming.copies = if msg.copies > 1 {
+            (msg.copies / 2).max(1)
+        } else {
+            1
+        };
+        standard_receive(
+            own,
+            &incoming,
+            now,
+            policy_victim(self.policy.dropping, now, rng),
+        )
+    }
+
+    fn on_transfer_success(
+        &mut self,
+        own: &mut NodeState,
+        msg_id: MessageId,
+        _to: NodeId,
+        delivered: bool,
+        _now: SimTime,
+    ) {
+        if delivered {
+            own.buffer.remove(msg_id);
+            return;
+        }
+        let Some(stored) = own.buffer.get_mut(msg_id) else {
+            return;
+        };
+        if stored.copies > 1 {
+            // Spray: keep the ceiling half.
+            stored.copies -= stored.copies / 2;
+        } else {
+            // Focus: the copy moved to the better custodian.
+            own.buffer.remove(msg_id);
+        }
+    }
+
+    fn delivery_metric(&self, dest: NodeId, now: SimTime) -> Option<f64> {
+        // Negated recency: higher (closer to zero) = met more recently.
+        self.recency_secs(dest, now).map(|s| -s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdtn_sim_core::SimDuration;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn msg(id: u64, dst: u32, copies: u32) -> Message {
+        let mut m = Message::new(
+            MessageId(id),
+            NodeId(0),
+            NodeId(dst),
+            100,
+            SimTime::ZERO,
+            SimDuration::from_mins(90),
+        );
+        m.copies = copies;
+        m
+    }
+
+    fn setup() -> (SprayAndFocusRouter, SprayAndFocusRouter, NodeState, NodeState) {
+        (
+            SprayAndFocusRouter::new(NodeId(1), 10, 8, PolicyCombo::LIFETIME),
+            SprayAndFocusRouter::new(NodeId(2), 10, 8, PolicyCombo::LIFETIME),
+            NodeState::new(NodeId(1), 100_000, false),
+            NodeState::new(NodeId(2), 100_000, false),
+        )
+    }
+
+    #[test]
+    fn spray_phase_behaves_like_snw() {
+        let (mut a, b, mut sa, sb) = setup();
+        let mut rng = SimRng::seed_from_u64(1);
+        a.on_message_created(&mut sa, msg(1, 9, 0), t(0.0), &mut rng);
+        assert_eq!(sa.buffer.get(MessageId(1)).unwrap().copies, 8);
+        assert_eq!(
+            a.next_transfer(&sa, &sb, &b, &|_| false, t(0.0), &mut rng),
+            Some(MessageId(1))
+        );
+        a.on_transfer_success(&mut sa, MessageId(1), NodeId(2), false, t(0.0));
+        assert_eq!(sa.buffer.get(MessageId(1)).unwrap().copies, 4);
+    }
+
+    #[test]
+    fn focus_phase_moves_to_better_custodian() {
+        let (mut a, mut b, mut sa, mut sb) = setup();
+        let mut rng = SimRng::seed_from_u64(1);
+        sa.buffer.insert(msg(1, 9, 1)).unwrap();
+
+        // Peer never met node 9: no handoff.
+        assert_eq!(
+            a.next_transfer(&sa, &sb, &b, &|_| false, t(100.0), &mut rng),
+            None
+        );
+        // Peer met node 9 at t = 50: handoff happens.
+        b.on_contact_up(&mut sb, NodeId(9), &crate::router::Digest::None, t(50.0));
+        assert_eq!(
+            a.next_transfer(&sa, &sb, &b, &|_| false, t(100.0), &mut rng),
+            Some(MessageId(1))
+        );
+        // After the handoff the single copy is gone from the sender.
+        a.on_transfer_success(&mut sa, MessageId(1), NodeId(2), false, t(100.0));
+        assert!(!sa.buffer.contains(MessageId(1)));
+    }
+
+    #[test]
+    fn focus_requires_strictly_better_utility() {
+        let (mut a, mut b, mut sa, mut sb) = setup();
+        let mut rng = SimRng::seed_from_u64(1);
+        sa.buffer.insert(msg(1, 9, 1)).unwrap();
+        // Both met node 9, but we met it more recently.
+        a.on_contact_up(&mut sa, NodeId(9), &crate::router::Digest::None, t(80.0));
+        b.on_contact_up(&mut sb, NodeId(9), &crate::router::Digest::None, t(50.0));
+        assert_eq!(
+            a.next_transfer(&sa, &sb, &b, &|_| false, t(100.0), &mut rng),
+            None
+        );
+    }
+
+    #[test]
+    fn destination_contact_always_wins() {
+        let (mut a, _, mut sa, _) = setup();
+        let b_dest = SprayAndFocusRouter::new(NodeId(9), 10, 8, PolicyCombo::LIFETIME);
+        let sb_dest = NodeState::new(NodeId(9), 100_000, false);
+        let mut rng = SimRng::seed_from_u64(1);
+        sa.buffer.insert(msg(1, 9, 1)).unwrap();
+        assert_eq!(
+            a.next_transfer(&sa, &sb_dest, &b_dest, &|_| false, t(5.0), &mut rng),
+            Some(MessageId(1))
+        );
+        a.on_transfer_success(&mut sa, MessageId(1), NodeId(9), true, t(5.0));
+        assert!(sa.buffer.is_empty());
+    }
+
+    #[test]
+    fn receive_updates_encounter_table() {
+        let (mut a, _, mut sa, _) = setup();
+        let mut rng = SimRng::seed_from_u64(1);
+        let m = msg(1, 9, 4);
+        a.on_message_received(&mut sa, &m, NodeId(3), t(42.0), &mut rng);
+        assert_eq!(a.recency_secs(NodeId(3), t(52.0)), Some(10.0));
+        // Received copy took half the quota.
+        assert_eq!(sa.buffer.get(MessageId(1)).unwrap().copies, 2);
+    }
+}

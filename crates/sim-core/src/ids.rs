@@ -1,0 +1,58 @@
+//! Compact identifier types shared across the suite.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a network node (vehicle or stationary relay).
+///
+/// Nodes are numbered densely from zero within a scenario, so a `u32` is
+/// plenty and keeps hot structures small (see the type-size guidance in the
+/// performance guides).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index, as `usize`, for direct slice addressing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let id = NodeId::from(17usize);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id, NodeId(17));
+        assert_eq!(format!("{id}"), "n17");
+    }
+
+    #[test]
+    fn stays_small() {
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<NodeId>>(), 8);
+    }
+}

@@ -1,0 +1,27 @@
+//! Simulation substrate for the VDTN reproduction suite.
+//!
+//! This crate contains the domain-independent pieces every other crate builds
+//! on: simulation time ([`SimTime`], [`SimDuration`]), a deterministic event
+//! queue ([`EventQueue`]), a self-contained deterministic random number
+//! generator ([`rng::SimRng`], xoshiro256++ seeded via SplitMix64 so results
+//! are bit-stable regardless of external crate versions), and online
+//! statistics ([`stats`]).
+//!
+//! # Design notes
+//!
+//! * Everything is deterministic: the event queue breaks timestamp ties by
+//!   insertion sequence, and RNG streams are derived per concern so that
+//!   adding a consumer never perturbs another stream.
+//! * No heap allocation in the hot paths beyond the queue itself; statistics
+//!   are online (Welford) so 12-hour simulations never buffer samples.
+
+pub mod events;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use events::EventQueue;
+pub use ids::NodeId;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,342 @@
+//! Deterministic random number generation.
+//!
+//! The simulator carries its own generator — **xoshiro256++** seeded through
+//! **SplitMix64** — instead of depending on an external RNG crate, so that
+//! simulation results are reproducible bit-for-bit independent of dependency
+//! upgrades. Both algorithms are public-domain reference designs
+//! (Blackman & Vigna); the unit tests below pin the reference output vectors.
+//!
+//! # Streams
+//!
+//! Every random concern in a scenario (map generation, each node's mobility,
+//! traffic generation, policy tie-breaking, …) draws from its own
+//! [`SimRng`] derived via [`SimRng::derive`], keyed by a label and an index.
+//! Adding or removing one consumer therefore never perturbs the values seen
+//! by any other consumer, which keeps A/B experiment comparisons paired.
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 — used to expand seeds into xoshiro state and to mix stream keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a new generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ — the workhorse generator.
+///
+/// 256 bits of state, period 2^256 − 1, excellent statistical quality and
+/// extremely fast (a handful of ALU ops per draw).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Seed the generator. Any seed (including 0) is valid: state expansion
+    /// goes through SplitMix64, which never yields the all-zero state.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        SimRng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Derive an independent child stream identified by `(label, index)`.
+    ///
+    /// The label is hashed with FNV-1a so call sites read declaratively:
+    /// `rng.derive("mobility", node_id)`.
+    pub fn derive(&self, label: &str, index: u64) -> SimRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Mix the parent state, label hash, and index through SplitMix64.
+        let mut sm = SplitMix64::new(
+            self.s[0]
+                .wrapping_add(h.rotate_left(17))
+                .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        SimRng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 random bits (xoshiro256++ step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53-bit resolution.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, bound)` using Lemire's unbiased method.
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    #[inline]
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.next_below(bound as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`. `lo == hi` returns `lo`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "range_f64({lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform `u64` in the **inclusive** range `[lo, hi]`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi, "range_u64({lo}, {hi})");
+        if lo == hi {
+            return lo;
+        }
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        // Inverse-CDF; (1 - u) avoids ln(0).
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Standard-normal draw (Box–Muller; one value per call, the pair's twin
+    /// is discarded for simplicity — these draws are not on hot paths).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        mean + std_dev * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniformly choose a reference from a non-empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "choose on empty slice");
+        &slice[self.index(slice.len())]
+    }
+
+    /// Choose two **distinct** indices from `[0, n)`. Panics if `n < 2`.
+    pub fn choose_two_distinct(&mut self, n: usize) -> (usize, usize) {
+        assert!(n >= 2, "need at least two elements");
+        let a = self.index(n);
+        let mut b = self.index(n - 1);
+        if b >= a {
+            b += 1;
+        }
+        (a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vector from the SplitMix64 public-domain implementation
+    /// (seed 1234567).
+    #[test]
+    fn splitmix_reference_vector() {
+        let mut sm = SplitMix64::new(1234567);
+        let expected: [u64; 5] = [
+            6457827717110365317,
+            3203168211198807973,
+            9817491932198370423,
+            4593380528125082431,
+            16408922859458223821,
+        ];
+        for e in expected {
+            assert_eq!(sm.next_u64(), e);
+        }
+    }
+
+    /// xoshiro256++ reference: seeding via SplitMix64(0) must reproduce the
+    /// sequence from the reference C code arrangement we use (state filled
+    /// with four successive SplitMix64 outputs).
+    #[test]
+    fn xoshiro_is_deterministic_and_stable() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        let seq_a: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let seq_b: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(seq_a, seq_b);
+        // Pin the first three outputs so accidental algorithm changes fail loudly.
+        let mut c = SimRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..3).map(|_| c.next_u64()).collect();
+        assert_eq!(first[0], 5987356902031041503);
+    }
+
+    #[test]
+    fn derive_streams_are_independent() {
+        let root = SimRng::seed_from_u64(7);
+        let mut m0 = root.derive("mobility", 0);
+        let mut m1 = root.derive("mobility", 1);
+        let mut t0 = root.derive("traffic", 0);
+        let a: Vec<u64> = (0..16).map(|_| m0.next_u64()).collect();
+        let b: Vec<u64> = (0..16).map(|_| m1.next_u64()).collect();
+        let c: Vec<u64> = (0..16).map(|_| t0.next_u64()).collect();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Re-deriving yields the identical stream.
+        let mut m0_again = root.derive("mobility", 0);
+        let a2: Vec<u64> = (0..16).map(|_| m0_again.next_u64()).collect();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn next_below_bounds_and_coverage() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let v = rng.next_below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn range_u64_inclusive() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut hit_lo = false;
+        let mut hit_hi = false;
+        for _ in 0..20_000 {
+            let v = rng.range_u64(15, 30);
+            assert!((15..=30).contains(&v));
+            hit_lo |= v == 15;
+            hit_hi |= v == 30;
+        }
+        assert!(hit_lo && hit_hi);
+        assert_eq!(rng.range_u64(9, 9), 9);
+    }
+
+    #[test]
+    fn range_f64_uniformity_rough() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.range_f64(10.0, 20.0)).sum::<f64>() / n as f64;
+        assert!((mean - 15.0).abs() < 0.05, "mean was {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely identity");
+    }
+
+    #[test]
+    fn choose_two_distinct_never_collides() {
+        let mut rng = SimRng::seed_from_u64(6);
+        for _ in 0..5_000 {
+            let (a, b) = rng.choose_two_distinct(40);
+            assert_ne!(a, b);
+            assert!(a < 40 && b < 40);
+        }
+        // Smallest legal n.
+        for _ in 0..100 {
+            let (a, b) = rng.choose_two_distinct(2);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_rough() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(22.5)).sum::<f64>() / n as f64;
+        assert!((mean - 22.5).abs() < 0.3, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments_rough() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05);
+        assert!((var - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(10);
+        assert!(!(0..1000).any(|_| rng.chance(0.0)));
+        assert!((0..1000).all(|_| rng.chance(1.0)));
+    }
+}

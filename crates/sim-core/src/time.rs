@@ -1,0 +1,256 @@
+//! Simulation time.
+//!
+//! Time is represented in whole **milliseconds** as a `u64` under the hood.
+//! The paper's scenario uses second-scale ticks over a 12-hour horizon, so
+//! millisecond resolution is three orders of magnitude finer than anything
+//! the model needs, while keeping time values exactly comparable (no float
+//! drift in the event queue) and hashable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute simulation timestamp (milliseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+/// A span between two [`SimTime`]s (milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Build a timestamp from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Build a timestamp from (possibly fractional) seconds.
+    ///
+    /// Rounds to the nearest millisecond. Panics in debug builds on negative
+    /// or non-finite input.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs.is_finite() && secs >= 0.0, "bad time {secs}");
+        SimTime((secs * 1000.0).round() as u64)
+    }
+
+    /// Whole milliseconds since simulation start.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start as a float (for reports and maths).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Minutes since simulation start as a float (figure axes use minutes).
+    pub fn as_mins_f64(self) -> f64 {
+        self.as_secs_f64() / 60.0
+    }
+
+    /// Elapsed duration since `earlier`. Saturates at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// Largest representable duration; used as an "infinite TTL" sentinel.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Build from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Build from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1000)
+    }
+
+    /// Build from whole minutes (paper TTLs are given in minutes).
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60 * 1000)
+    }
+
+    /// Build from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3600 * 1000)
+    }
+
+    /// Build from fractional seconds, rounding to the nearest millisecond.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs.is_finite() && secs >= 0.0, "bad duration {secs}");
+        SimDuration((secs * 1000.0).round() as u64)
+    }
+
+    /// Whole milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Minutes as a float.
+    pub fn as_mins_f64(self) -> f64 {
+        self.as_secs_f64() / 60.0
+    }
+
+    /// True if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_secs_f64(12.5);
+        assert_eq!(t.as_millis(), 12_500);
+        assert!((t.as_secs_f64() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minutes_and_hours() {
+        assert_eq!(SimDuration::from_mins(60), SimDuration::from_hours(1));
+        assert_eq!(SimDuration::from_hours(12).as_secs_f64(), 43_200.0);
+        assert!((SimDuration::from_mins(90).as_mins_f64() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        let a = SimTime::from_secs_f64(1.00049);
+        let b = SimTime::from_secs_f64(1.0004);
+        // Both round to the same millisecond: equality, not near-miss.
+        assert_eq!(a, b.saturating_add(SimDuration::from_millis(0)));
+        // And a genuinely later float is strictly greater after rounding.
+        assert!(SimTime::from_secs_f64(1.0006) > b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t0 = SimTime::from_millis(1_000);
+        let t1 = t0 + SimDuration::from_millis(500);
+        assert_eq!(t1 - t0, SimDuration::from_millis(500));
+        assert_eq!(t1.since(t0).as_millis(), 500);
+        // since() saturates rather than underflowing.
+        assert_eq!(t0.since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_secs(10);
+        assert_eq!(d * 3, SimDuration::from_secs(30));
+        assert_eq!(d / 4, SimDuration::from_millis(2_500));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500s");
+        assert_eq!(format!("{}", SimDuration::from_secs(90)), "90.000s");
+    }
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the VDTN reproduction suite.
+//!
+//! Re-exports the public API of every workspace crate so that examples and
+//! integration tests can use a single dependency. Library users should
+//! normally depend on [`vdtn`] (the top-level simulator crate) directly.
+
+pub use vdtn;
+pub use vdtn_bundle as bundle;
+pub use vdtn_geo as geo;
+pub use vdtn_mobility as mobility;
+pub use vdtn_net as net;
+pub use vdtn_routing as routing;
+pub use vdtn_sim_core as sim_core;

@@ -1,0 +1,100 @@
+//! The paper's headline claims, asserted as tests.
+//!
+//! These run scaled-down (but still congested) versions of the paper
+//! scenario and check the *orderings* the paper reports. They are the
+//! regression guard for the reproduction: if a refactor breaks the policy
+//! machinery, these fail long before anyone re-runs the 12-hour figures.
+
+use vdtn::presets::{paper_scenario, PaperProtocol};
+use vdtn::sweep::run_sweep;
+use vdtn::Scenario;
+
+/// Scaled paper scenario: full 45-node population and map, 2-hour horizon,
+/// shortened pauses so the fleet mixes from the start.
+fn scaled(proto: PaperProtocol, ttl: u64, seed: u64) -> Scenario {
+    let mut s = paper_scenario(proto, ttl, seed);
+    s.duration_secs = 7_200.0;
+    for g in &mut s.groups {
+        if let vdtn::scenario::MobilitySpec::ShortestPathMapBased(cfg) = &mut g.mobility {
+            cfg.wait_hi = 300.0;
+            cfg.wait_lo = 30.0;
+        }
+    }
+    s
+}
+
+fn mean<F: Fn(&vdtn::SimReport) -> f64>(reports: &[vdtn::SimReport], f: F) -> f64 {
+    reports.iter().map(|r| f(r)).sum::<f64>() / reports.len() as f64
+}
+
+/// Figures 4–5: on Epidemic, Lifetime DESC–Lifetime ASC beats FIFO–FIFO on
+/// *both* metrics — the paper's central result.
+#[test]
+fn epidemic_lifetime_beats_fifo_on_both_metrics() {
+    let seeds = [1u64, 2];
+    let fifo: Vec<Scenario> = seeds
+        .iter()
+        .map(|&s| scaled(PaperProtocol::EpidemicFifo, 60, s))
+        .collect();
+    let life: Vec<Scenario> = seeds
+        .iter()
+        .map(|&s| scaled(PaperProtocol::EpidemicLifetime, 60, s))
+        .collect();
+    let rf = run_sweep(&fifo);
+    let rl = run_sweep(&life);
+
+    let fifo_delay = mean(&rf, |r| r.avg_delay_mins());
+    let life_delay = mean(&rl, |r| r.avg_delay_mins());
+    assert!(
+        life_delay < fifo_delay,
+        "lifetime delay {life_delay:.1} must beat FIFO {fifo_delay:.1}"
+    );
+
+    let fifo_p = mean(&rf, |r| r.delivery_probability());
+    let life_p = mean(&rl, |r| r.delivery_probability());
+    assert!(
+        life_p > fifo_p - 0.02,
+        "lifetime delivery {life_p:.3} must not trail FIFO {fifo_p:.3}"
+    );
+}
+
+/// Figure 9: PRoPHET has the longest delays of the protocol comparison.
+#[test]
+fn prophet_has_longest_delays() {
+    let scenarios: Vec<Scenario> = [
+        PaperProtocol::SnwLifetime,
+        PaperProtocol::MaxProp,
+        PaperProtocol::Prophet,
+    ]
+    .iter()
+    .map(|&p| scaled(p, 90, 3))
+    .collect();
+    let reports = run_sweep(&scenarios);
+    let snw = reports[0].avg_delay_mins();
+    let maxprop = reports[1].avg_delay_mins();
+    let prophet = reports[2].avg_delay_mins();
+    assert!(
+        prophet > snw && prophet > maxprop,
+        "PRoPHET {prophet:.1} must exceed SnW {snw:.1} and MaxProp {maxprop:.1}"
+    );
+}
+
+/// Section III.B: Spray and Wait's quota keeps congestion far below
+/// Epidemic's under identical conditions.
+#[test]
+fn snw_congests_less_than_epidemic() {
+    let epi = run_sweep(&[scaled(PaperProtocol::EpidemicFifo, 90, 5)]);
+    let snw = run_sweep(&[scaled(PaperProtocol::SnwFifo, 90, 5)]);
+    assert!(
+        snw[0].messages.relayed < epi[0].messages.relayed,
+        "SnW relays {} must be below Epidemic {}",
+        snw[0].messages.relayed,
+        epi[0].messages.relayed
+    );
+    assert!(
+        snw[0].messages.dropped_congestion <= epi[0].messages.dropped_congestion,
+        "SnW drops {} must not exceed Epidemic {}",
+        snw[0].messages.dropped_congestion,
+        epi[0].messages.dropped_congestion
+    );
+}
