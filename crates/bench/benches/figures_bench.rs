@@ -48,11 +48,7 @@ fn fig6_7_snw_policies(c: &mut Criterion) {
 
 /// Figures 8-9: the four-protocol comparison.
 fn fig8_9_protocols(c: &mut Criterion) {
-    bench_fig(
-        c,
-        "fig8_9_protocols",
-        &PaperProtocol::protocol_comparison(),
-    );
+    bench_fig(c, "fig8_9_protocols", &PaperProtocol::protocol_comparison());
 }
 
 criterion_group!(

@@ -114,7 +114,10 @@ fn shortest_path(c: &mut Criterion) {
     let mut rng = SimRng::seed_from_u64(11);
     let maps = [
         ("downtown", SyntheticCityGen::default().generate(&mut rng)),
-        ("full_city", SyntheticCityGen::full_city().generate(&mut rng)),
+        (
+            "full_city",
+            SyntheticCityGen::full_city().generate(&mut rng),
+        ),
         (
             "grid20x20",
             GridMapGen {

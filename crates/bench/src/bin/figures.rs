@@ -69,15 +69,42 @@ fn parse_args() -> Options {
                 opts.table1 = true;
                 explicit = true;
             }
-            "--fig4" => { opts.figures.push(FigureSpec::fig4()); explicit = true; }
-            "--fig5" => { opts.figures.push(FigureSpec::fig5()); explicit = true; }
-            "--fig6" => { opts.figures.push(FigureSpec::fig6()); explicit = true; }
-            "--fig7" => { opts.figures.push(FigureSpec::fig7()); explicit = true; }
-            "--fig8" => { opts.figures.push(FigureSpec::fig8()); explicit = true; }
-            "--fig9" => { opts.figures.push(FigureSpec::fig9()); explicit = true; }
-            "--ablation-copies" => { opts.ablation_copies = true; explicit = true; }
-            "--ablation-tick" => { opts.ablation_tick = true; explicit = true; }
-            "--ablation-map" => { opts.ablation_map = true; explicit = true; }
+            "--fig4" => {
+                opts.figures.push(FigureSpec::fig4());
+                explicit = true;
+            }
+            "--fig5" => {
+                opts.figures.push(FigureSpec::fig5());
+                explicit = true;
+            }
+            "--fig6" => {
+                opts.figures.push(FigureSpec::fig6());
+                explicit = true;
+            }
+            "--fig7" => {
+                opts.figures.push(FigureSpec::fig7());
+                explicit = true;
+            }
+            "--fig8" => {
+                opts.figures.push(FigureSpec::fig8());
+                explicit = true;
+            }
+            "--fig9" => {
+                opts.figures.push(FigureSpec::fig9());
+                explicit = true;
+            }
+            "--ablation-copies" => {
+                opts.ablation_copies = true;
+                explicit = true;
+            }
+            "--ablation-tick" => {
+                opts.ablation_tick = true;
+                explicit = true;
+            }
+            "--ablation-map" => {
+                opts.ablation_map = true;
+                explicit = true;
+            }
             "--seeds" => {
                 opts.seeds = it
                     .next()
@@ -107,7 +134,7 @@ fn parse_args() -> Options {
 
 fn print_table1() {
     println!("## Table I — Combined scheduling-dropping policies\n");
-    println!("{:<16} | {}", "Scheduling", "Dropping");
+    println!("{:<16} | Dropping", "Scheduling");
     println!("{}-+-{}", "-".repeat(16), "-".repeat(16));
     for combo in vdtn::PolicyCombo::paper_table() {
         println!(
@@ -120,10 +147,7 @@ fn print_table1() {
 }
 
 /// Print measured deltas vs FIFO-FIFO next to the paper's stated deltas.
-fn print_delta_comparison(
-    cache: &HashMap<(PaperProtocol, u64), SweepPoint>,
-    ttls: &[u64],
-) {
+fn print_delta_comparison(cache: &HashMap<(PaperProtocol, u64), SweepPoint>, ttls: &[u64]) {
     let rows = [
         (
             "Epidemic Random-FIFO",
@@ -158,7 +182,10 @@ fn print_delta_comparison(
         println!(
             "  {:<28} {}",
             "TTL (min)",
-            ttls.iter().map(|t| format!("{t:>8}")).collect::<Vec<_>>().join(" ")
+            ttls.iter()
+                .map(|t| format!("{t:>8}"))
+                .collect::<Vec<_>>()
+                .join(" ")
         );
         let delay_meas: Vec<String> = cells
             .iter()
@@ -170,8 +197,16 @@ fn print_delta_comparison(
             .take(ttls.len())
             .map(|d| format!("{d:>8.1}"))
             .collect();
-        println!("  {:<28} {}", "delay gain, measured (min)", delay_meas.join(" "));
-        println!("  {:<28} {}", "delay gain, paper (min)", delay_ref.join(" "));
+        println!(
+            "  {:<28} {}",
+            "delay gain, measured (min)",
+            delay_meas.join(" ")
+        );
+        println!(
+            "  {:<28} {}",
+            "delay gain, paper (min)",
+            delay_ref.join(" ")
+        );
         let dp_meas: Vec<String> = cells
             .iter()
             .map(|(b, v)| format!("{:>+8.3}", v.delivery_probability - b.delivery_probability))
@@ -271,7 +306,11 @@ fn ablation_map(seeds: u64, tweak: &dyn Fn(&mut Scenario), out_dir: &str) {
 fn write_csv_points(out_dir: &str, name: &str, points: &[SweepPoint]) {
     let path = format!("{out_dir}/{name}.csv");
     let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));
-    writeln!(f, "label,ttl_mins,delivery_probability,avg_delay_mins,seeds").unwrap();
+    writeln!(
+        f,
+        "label,ttl_mins,delivery_probability,avg_delay_mins,seeds"
+    )
+    .unwrap();
     for p in points {
         writeln!(
             f,

@@ -104,7 +104,11 @@ pub fn render(
     out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(width)));
     // X labels, roughly positioned (buffer extends past the plot so the
     // last label is never truncated).
-    let max_label = x_labels.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+    let max_label = x_labels
+        .iter()
+        .map(|l| l.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut xline = vec![' '; width + 11 + max_label];
     for (i, lab) in x_labels.iter().enumerate() {
         let pos = 11 + x_at(i);

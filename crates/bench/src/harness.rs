@@ -192,7 +192,11 @@ pub fn format_table(result: &FigureResult) -> String {
             .collect::<Vec<_>>()
             .join(" ")
     ));
-    out.push_str(&format!("{}-+-{}\n", "-".repeat(40), "-".repeat(9 * result.ttls.len())));
+    out.push_str(&format!(
+        "{}-+-{}\n",
+        "-".repeat(40),
+        "-".repeat(9 * result.ttls.len())
+    ));
     for row in &result.points {
         let label = &row[0].label;
         let vals = row
@@ -215,9 +219,7 @@ pub fn format_csv(result: &FigureResult) -> String {
         for p in row {
             let (v, sd) = match result.spec.metric {
                 Metric::AvgDelayMins => (p.avg_delay_mins, p.avg_delay_sd),
-                Metric::DeliveryProbability => {
-                    (p.delivery_probability, p.delivery_probability_sd)
-                }
+                Metric::DeliveryProbability => (p.delivery_probability, p.delivery_probability_sd),
             };
             out.push_str(&format!(
                 "{},{},{:.4},{:.4},{}\n",

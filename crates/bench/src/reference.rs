@@ -68,7 +68,11 @@ mod tests {
         for r in &refs {
             // Monotone non-decreasing delay gains with TTL, as the paper reports.
             for w in r.delay_gain_mins.windows(2) {
-                assert!(w[1] >= w[0], "{}: delay gains should grow with TTL", r.label);
+                assert!(
+                    w[1] >= w[0],
+                    "{}: delay gains should grow with TTL",
+                    r.label
+                );
             }
             assert!(r.delivery_gain.iter().all(|&g| (0.0..0.2).contains(&g)));
         }

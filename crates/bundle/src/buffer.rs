@@ -34,7 +34,10 @@ impl std::fmt::Display for BufferError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BufferError::TooLarge { size, capacity } => {
-                write!(f, "message of {size} B exceeds buffer capacity {capacity} B")
+                write!(
+                    f,
+                    "message of {size} B exceeds buffer capacity {capacity} B"
+                )
             }
             BufferError::NoSpace { missing } => write!(f, "buffer lacks {missing} B"),
             BufferError::Duplicate(id) => write!(f, "duplicate message {id}"),

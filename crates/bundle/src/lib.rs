@@ -12,6 +12,31 @@
 //! `LifetimeDesc–LifetimeAsc`. Extensions beyond the paper (ascending
 //! lifetime scheduling, size-based policies, random drop) are provided for
 //! the ablation benches.
+//!
+//! # Example
+//!
+//! ```
+//! use vdtn_bundle::{Buffer, Message, MessageId, SchedulingPolicy};
+//! use vdtn_sim_core::{NodeId, SimDuration, SimRng, SimTime};
+//!
+//! let mut buffer = Buffer::new(1_000);
+//! for (id, ttl_mins) in [(1, 30), (2, 90), (3, 60)] {
+//!     buffer
+//!         .insert(Message::new(
+//!             MessageId(id),
+//!             NodeId(0),
+//!             NodeId(1),
+//!             100,
+//!             SimTime::ZERO,
+//!             SimDuration::from_mins(ttl_mins),
+//!         ))
+//!         .unwrap();
+//! }
+//! // The paper's winning policy offers the longest remaining lifetime first.
+//! let mut rng = SimRng::seed_from_u64(1);
+//! let order = SchedulingPolicy::LifetimeDesc.order(&buffer, SimTime::ZERO, &mut rng);
+//! assert_eq!(order, vec![MessageId(2), MessageId(3), MessageId(1)]);
+//! ```
 
 pub mod buffer;
 pub mod message;

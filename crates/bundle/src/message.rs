@@ -152,7 +152,10 @@ mod tests {
     #[test]
     fn age_tracks_creation() {
         let m = msg();
-        assert_eq!(m.age(SimTime::from_secs_f64(160.0)), SimDuration::from_secs(60));
+        assert_eq!(
+            m.age(SimTime::from_secs_f64(160.0)),
+            SimDuration::from_secs(60)
+        );
         // Before creation (shouldn't happen, but must not underflow).
         assert_eq!(m.age(SimTime::ZERO), SimDuration::ZERO);
     }

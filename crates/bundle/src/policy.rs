@@ -228,7 +228,10 @@ mod tests {
     fn fifo_preserves_reception_order() {
         let (b, now) = setup();
         let mut rng = SimRng::seed_from_u64(1);
-        assert_eq!(ids(&SchedulingPolicy::Fifo.order(&b, now, &mut rng)), [1, 2, 3]);
+        assert_eq!(
+            ids(&SchedulingPolicy::Fifo.order(&b, now, &mut rng)),
+            [1, 2, 3]
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl TrafficConfig {
             self.endpoints.len() >= 2,
             "traffic needs at least two endpoints"
         );
-        assert!(!self.ttl.is_zero(), "zero TTL would expire messages at birth");
+        assert!(
+            !self.ttl.is_zero(),
+            "zero TTL would expire messages at birth"
+        );
     }
 
     /// Expected messages created over `horizon` (mean-interval estimate).
@@ -137,10 +140,7 @@ mod tests {
     use super::*;
 
     fn cfg() -> TrafficConfig {
-        TrafficConfig::paper(
-            (0..40).map(NodeId).collect(),
-            SimDuration::from_mins(60),
-        )
+        TrafficConfig::paper((0..40).map(NodeId).collect(), SimDuration::from_mins(60))
     }
 
     #[test]

@@ -75,11 +75,7 @@ pub struct OracleSummary {
 /// Run the oracle and summarise.
 pub fn oracle_summary(log: &SimLog) -> OracleSummary {
     let delays = oracle_delays(log);
-    let deliverable: Vec<f64> = delays
-        .iter()
-        .flatten()
-        .map(|d| d.as_mins_f64())
-        .collect();
+    let deliverable: Vec<f64> = delays.iter().flatten().map(|d| d.as_mins_f64()).collect();
     OracleSummary {
         deliverable: deliverable.len(),
         total: delays.len(),
@@ -286,8 +282,14 @@ mod tests {
 
     #[test]
     fn epidemic_model_faster_with_more_nodes() {
-        let a = MeetingModel { lambda: 0.001, n: 5 };
-        let b = MeetingModel { lambda: 0.001, n: 40 };
+        let a = MeetingModel {
+            lambda: 0.001,
+            n: 5,
+        };
+        let b = MeetingModel {
+            lambda: 0.001,
+            n: 40,
+        };
         assert!(b.expected_epidemic_delay_secs() < a.expected_epidemic_delay_secs());
         assert!(a.expected_epidemic_delay_secs() < a.expected_direct_delay_secs());
     }

@@ -124,9 +124,7 @@ impl World {
                     Some(
                         points
                             .iter()
-                            .map(|&p| {
-                                map.position(map.nearest_vertex(p).expect("non-empty map"))
-                            })
+                            .map(|&p| map.position(map.nearest_vertex(p).expect("non-empty map")))
                             .collect(),
                     )
                 }
@@ -374,8 +372,10 @@ impl World {
             self.routers[a.index()].on_contact_up(&mut self.states[a.index()], b, &db, self.now);
         let purged_b =
             self.routers[b.index()].on_contact_up(&mut self.states[b.index()], a, &da, self.now);
-        self.report
-            .on_dropped(DropCause::AckPurge, (purged_a.len() + purged_b.len()) as u64);
+        self.report.on_dropped(
+            DropCause::AckPurge,
+            (purged_a.len() + purged_b.len()) as u64,
+        );
     }
 
     fn handle_link_down(&mut self, a: NodeId, b: NodeId) {
@@ -628,7 +628,12 @@ mod tests {
         // decisive advantage is delay; delivery count must at least be
         // competitive (replication can never *lose* deliveries beyond noise).
         let epi = World::build(&small(RouterKind::Epidemic, PolicyCombo::LIFETIME, 11)).run();
-        let dd = World::build(&small(RouterKind::DirectDelivery, PolicyCombo::LIFETIME, 11)).run();
+        let dd = World::build(&small(
+            RouterKind::DirectDelivery,
+            PolicyCombo::LIFETIME,
+            11,
+        ))
+        .run();
         assert!(
             epi.messages.delivered_unique as f64 >= 0.9 * dd.messages.delivered_unique as f64,
             "epidemic {} ≪ direct {}",

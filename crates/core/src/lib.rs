@@ -37,9 +37,9 @@
 pub mod analysis;
 pub mod engine;
 pub mod logging;
+pub mod presets;
 pub mod report;
 pub mod scenario;
-pub mod presets;
 pub mod sweep;
 
 pub use analysis::{oracle_delays, oracle_summary, MeetingModel, OracleSummary};

@@ -7,9 +7,7 @@
 //! 500 kB–2 MB created every 15–30 s between random vehicles, TTL swept over
 //! {60, 90, 120, 150, 180} minutes, simulated for 12 hours.
 
-use crate::scenario::{
-    MapSpec, MobilitySpec, NodeGroup, RelayPlacement, Scenario, TrafficSpec,
-};
+use crate::scenario::{MapSpec, MobilitySpec, NodeGroup, RelayPlacement, Scenario, TrafficSpec};
 use serde::{Deserialize, Serialize};
 use vdtn_bundle::PolicyCombo;
 use vdtn_geo::SyntheticCityGen;

@@ -1,7 +1,7 @@
 //! Simulation reports: the metrics the paper plots, plus diagnostics.
 
 use serde::{Deserialize, Serialize};
-use vdtn_sim_core::stats::{Welford, Ratio};
+use vdtn_sim_core::stats::{Ratio, Welford};
 use vdtn_sim_core::{SimDuration, SimTime};
 
 /// Why a stored message left a buffer without being forwarded.
@@ -54,9 +54,10 @@ impl MessageStats {
     /// Delivery probability: unique deliveries over created messages
     /// (the paper's Figures 5/7/8 metric).
     pub fn delivery_probability(&self) -> f64 {
-        let mut r = Ratio::default();
-        r.total = self.created;
-        r.hits = self.delivered_unique;
+        let r = Ratio {
+            total: self.created,
+            hits: self.delivered_unique,
+        };
         r.value()
     }
 

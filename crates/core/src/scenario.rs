@@ -157,8 +157,7 @@ impl Scenario {
             "need at least two non-relay nodes for traffic"
         );
         assert!(
-            self.traffic.interval_lo > 0.0
-                && self.traffic.interval_hi >= self.traffic.interval_lo,
+            self.traffic.interval_lo > 0.0 && self.traffic.interval_hi >= self.traffic.interval_lo,
             "invalid traffic interval"
         );
         assert!(

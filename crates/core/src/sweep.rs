@@ -56,7 +56,7 @@ pub fn average_reports(label: &str, reports: &[SimReport]) -> SweepPoint {
         "mixed TTLs in one cell"
     );
     let n = reports.len() as f64;
-    let mean = |f: &dyn Fn(&SimReport) -> f64| reports.iter().map(|r| f(r)).sum::<f64>() / n;
+    let mean = |f: &dyn Fn(&SimReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
     let sd = |f: &dyn Fn(&SimReport) -> f64, mu: f64| {
         if reports.len() < 2 {
             0.0

@@ -214,7 +214,10 @@ mod tests {
         let gen = SyntheticCityGen::default();
         let mut rng = SimRng::seed_from_u64(1);
         let g = gen.generate(&mut rng);
-        assert!(g.is_connected(), "largest-component extraction must connect");
+        assert!(
+            g.is_connected(),
+            "largest-component extraction must connect"
+        );
         // Retains the large majority of the 5×4 = 20 intersections.
         assert!(g.vertex_count() >= 16, "got {}", g.vertex_count());
         // Extent is preserved by pinned borders (largest component keeps them
@@ -251,10 +254,7 @@ mod tests {
         // Different seed ⇒ (almost surely) different map.
         assert!(
             a.edge_count() != c.edge_count()
-                || a.positions()
-                    .iter()
-                    .zip(c.positions())
-                    .any(|(x, y)| x != y)
+                || a.positions().iter().zip(c.positions()).any(|(x, y)| x != y)
         );
     }
 

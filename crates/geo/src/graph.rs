@@ -446,7 +446,10 @@ mod tests {
         let g = square();
         let v = g.nearest_vertex(Point::new(90.0, 10.0)).unwrap();
         assert_eq!(g.position(v), Point::new(100.0, 0.0));
-        assert!(RoadGraphBuilder::new().build().nearest_vertex(Point::ORIGIN).is_none());
+        assert!(RoadGraphBuilder::new()
+            .build()
+            .nearest_vertex(Point::ORIGIN)
+            .is_none());
     }
 
     #[test]

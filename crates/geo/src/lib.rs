@@ -13,6 +13,19 @@
 //!   documented in `DESIGN.md`, and
 //! * a WKT reader/writer ([`wkt`]) compatible with the ONE simulator's map
 //!   format, so a real Helsinki extract can be dropped in.
+//!
+//! # Example
+//!
+//! ```
+//! use vdtn_geo::{dijkstra, GridMapGen, Point};
+//!
+//! // A 4×3 Manhattan grid with 100 m blocks.
+//! let map = GridMapGen { cols: 4, rows: 3, spacing: 100.0 }.generate();
+//! let a = map.nearest_vertex(Point::new(0.0, 0.0)).unwrap();
+//! let b = map.nearest_vertex(Point::new(300.0, 200.0)).unwrap();
+//! let path = dijkstra(&map, a, b).expect("grid maps are connected");
+//! assert_eq!(path.length, 500.0); // 3 blocks east + 2 blocks north
+//! ```
 
 pub mod gen;
 pub mod graph;

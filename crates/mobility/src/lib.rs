@@ -8,6 +8,27 @@
 //! stationary. This crate implements those two plus two extension models
 //! (fixed routes for bus-like nodes and free-space random waypoint) behind a
 //! single [`MovementModel`] trait that the engine steps once per tick.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vdtn_geo::GridMapGen;
+//! use vdtn_mobility::{MovementModel, ShortestPathMapBased, SpmbConfig};
+//! use vdtn_sim_core::{SimDuration, SimRng, SimTime};
+//!
+//! let map = Arc::new(GridMapGen { cols: 4, rows: 4, spacing: 100.0 }.generate());
+//! let bounds = map.bounds();
+//! let mut vehicle =
+//!     ShortestPathMapBased::new(map, SpmbConfig::default(), SimRng::seed_from_u64(7));
+//! let tick = SimDuration::from_secs(1);
+//! let mut now = SimTime::ZERO;
+//! for _ in 0..120 {
+//!     let position = vehicle.step(now, tick);
+//!     assert!(bounds.contains(position), "vehicles never leave the map");
+//!     now = now.saturating_add(tick);
+//! }
+//! ```
 
 pub mod model;
 pub mod route;

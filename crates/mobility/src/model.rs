@@ -92,10 +92,7 @@ mod tests {
         let mut s = Stationary::new(Point::new(5.0, 7.0));
         let p0 = s.position();
         for i in 0..10 {
-            let p = s.step(
-                SimTime::from_millis(i * 1000),
-                SimDuration::from_secs(1),
-            );
+            let p = s.step(SimTime::from_millis(i * 1000), SimDuration::from_secs(1));
             assert_eq!(p, p0);
         }
         assert!(s.is_stationary());

@@ -68,7 +68,11 @@ enum Phase {
     Waiting { until: SimTime },
     /// Driving along `path` (waypoint positions); `leg` indexes the next
     /// waypoint, `speed` is this trip's speed in m/s.
-    Driving { path: Vec<Point>, leg: usize, speed: f64 },
+    Driving {
+        path: Vec<Point>,
+        leg: usize,
+        speed: f64,
+    },
 }
 
 /// The paper's vehicle movement model. See module docs.
@@ -311,7 +315,10 @@ mod tests {
         let trace = drive(&mut m, 5_000);
         let moving_ticks = trace.windows(2).filter(|w| w[0] != w[1]).count();
         let still_ticks = trace.windows(2).filter(|w| w[0] == w[1]).count();
-        assert!(moving_ticks > 100, "should drive (moved {moving_ticks} ticks)");
+        assert!(
+            moving_ticks > 100,
+            "should drive (moved {moving_ticks} ticks)"
+        );
         assert!(still_ticks > 10, "should pause (still {still_ticks} ticks)");
     }
 

@@ -67,8 +67,10 @@ impl RandomWaypoint {
 
     fn pick_leg(&mut self) {
         let target = Point::new(
-            self.rng.range_f64(self.cfg.bounds.min.x, self.cfg.bounds.max.x),
-            self.rng.range_f64(self.cfg.bounds.min.y, self.cfg.bounds.max.y),
+            self.rng
+                .range_f64(self.cfg.bounds.min.x, self.cfg.bounds.max.x),
+            self.rng
+                .range_f64(self.cfg.bounds.min.y, self.cfg.bounds.max.y),
         );
         let speed = self.rng.range_f64(self.cfg.speed_lo, self.cfg.speed_hi);
         self.phase = Phase::Moving { target, speed };

@@ -57,8 +57,14 @@ mod tests {
 
     #[test]
     fn link_rate_is_min() {
-        let fast = RadioInterface { range: 30.0, rate: 1_000_000.0 };
-        let slow = RadioInterface { range: 30.0, rate: 250_000.0 };
+        let fast = RadioInterface {
+            range: 30.0,
+            rate: 1_000_000.0,
+        };
+        let slow = RadioInterface {
+            range: 30.0,
+            rate: 250_000.0,
+        };
         assert_eq!(fast.link_rate(&slow), 250_000.0);
         assert_eq!(slow.link_rate(&fast), 250_000.0);
     }
@@ -77,6 +83,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "range must be positive")]
     fn rejects_zero_range() {
-        RadioInterface { range: 0.0, rate: 1.0 }.validate();
+        RadioInterface {
+            range: 0.0,
+            rate: 1.0,
+        }
+        .validate();
     }
 }

@@ -14,6 +14,23 @@
 //!   `size / rate` seconds and aborts if the contact breaks first.
 //! * **Contact tracing** ([`ContactTrace`]): per-pair contact counts,
 //!   durations and inter-contact times for the statistics reports.
+//!
+//! # Example
+//!
+//! ```
+//! use vdtn_geo::Point;
+//! use vdtn_net::{ContactDetector, DetectorBackend, LinkEvent, RadioInterface};
+//! use vdtn_sim_core::NodeId;
+//!
+//! let mut detector =
+//!     ContactDetector::new(DetectorBackend::Grid, RadioInterface::paper_80211b());
+//! // Two nodes 20 m apart: inside the paper's 30 m radio range.
+//! let events = detector.update(&[Point::new(0.0, 0.0), Point::new(20.0, 0.0)]);
+//! assert_eq!(events, vec![LinkEvent::Up(NodeId(0), NodeId(1))]);
+//! // One drives away: the same pair reports a link-down.
+//! let events = detector.update(&[Point::new(0.0, 0.0), Point::new(100.0, 0.0)]);
+//! assert_eq!(events, vec![LinkEvent::Down(NodeId(0), NodeId(1))]);
+//! ```
 
 pub mod contact;
 pub mod interface;

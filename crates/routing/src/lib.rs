@@ -16,6 +16,34 @@
 //! The trait's flows are data-oriented: every mutation reports what was
 //! evicted / delivered / rejected back to the engine, which owns all metric
 //! accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use vdtn_bundle::{Message, MessageId, PolicyCombo};
+//! use vdtn_routing::{NodeState, RouterKind};
+//! use vdtn_sim_core::{NodeId, SimDuration, SimRng, SimTime};
+//!
+//! // An Epidemic router for node 0 in a 10-node world.
+//! let mut router = RouterKind::Epidemic.build(NodeId(0), 10, PolicyCombo::FIFO_FIFO);
+//! let mut state = NodeState::new(NodeId(0), 1_000_000, false);
+//! let mut rng = SimRng::seed_from_u64(1);
+//! let outcome = router.on_message_created(
+//!     &mut state,
+//!     Message::new(
+//!         MessageId(1),
+//!         NodeId(0),
+//!         NodeId(3),
+//!         500_000,
+//!         SimTime::ZERO,
+//!         SimDuration::from_mins(60),
+//!     ),
+//!     SimTime::ZERO,
+//!     &mut rng,
+//! );
+//! assert!(outcome.stored);
+//! assert_eq!(state.buffer.len(), 1);
+//! ```
 
 pub mod direct;
 pub mod epidemic;
@@ -31,9 +59,7 @@ pub use direct::{DirectDeliveryRouter, FirstContactRouter};
 pub use epidemic::EpidemicRouter;
 pub use maxprop::{MaxPropConfig, MaxPropRouter};
 pub use prophet::{ProphetConfig, ProphetRouter};
-pub use router::{
-    CreateOutcome, Digest, ReceiveOutcome, RejectReason, Router, RouterKind,
-};
+pub use router::{CreateOutcome, Digest, ReceiveOutcome, RejectReason, Router, RouterKind};
 pub use snw::SprayAndWaitRouter;
 pub use sprayfocus::SprayAndFocusRouter;
 pub use state::NodeState;

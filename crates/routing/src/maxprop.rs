@@ -325,9 +325,7 @@ impl Router for MaxPropRouter {
             return ReceiveOutcome::Rejected(crate::router::RejectReason::AlreadyDelivered);
         }
         let threshold = self.threshold(own);
-        let outcome = standard_receive(own, msg, now, |state| {
-            self.pick_victim(state, threshold)
-        });
+        let outcome = standard_receive(own, msg, now, |state| self.pick_victim(state, threshold));
         if let ReceiveOutcome::Delivered { .. } = outcome {
             // Destination floods the acknowledgement from now on.
             self.acks.insert(msg.id);
@@ -446,7 +444,13 @@ mod tests {
         let mut s = state(1);
         let mut rng = SimRng::seed_from_u64(1);
         r.acks.insert(MessageId(9));
-        let out = r.on_message_received(&mut s, &msg(9, 0, 3, 100), NodeId(0), SimTime::ZERO, &mut rng);
+        let out = r.on_message_received(
+            &mut s,
+            &msg(9, 0, 3, 100),
+            NodeId(0),
+            SimTime::ZERO,
+            &mut rng,
+        );
         assert!(matches!(out, ReceiveOutcome::Rejected(_)));
         assert!(!s.buffer.contains(MessageId(9)));
     }
@@ -467,7 +471,13 @@ mod tests {
         let mut r = MaxPropRouter::new(NodeId(2), 4, MaxPropConfig::default());
         let mut s = state(2);
         let mut rng = SimRng::seed_from_u64(1);
-        let out = r.on_message_received(&mut s, &msg(1, 0, 2, 100), NodeId(0), SimTime::ZERO, &mut rng);
+        let out = r.on_message_received(
+            &mut s,
+            &msg(1, 0, 2, 100),
+            NodeId(0),
+            SimTime::ZERO,
+            &mut rng,
+        );
         assert_eq!(out, ReceiveOutcome::Delivered { first_time: true });
         assert!(r.acked(MessageId(1)));
     }
@@ -497,7 +507,14 @@ mod tests {
         );
         // Excluding it, the cheap-cost message beats the unreachable one.
         assert_eq!(
-            r.next_transfer(&s, &peer, &peer_router, &|id| id == MessageId(3), now, &mut rng),
+            r.next_transfer(
+                &s,
+                &peer,
+                &peer_router,
+                &|id| id == MessageId(3),
+                now,
+                &mut rng
+            ),
             Some(MessageId(2))
         );
     }
@@ -542,7 +559,11 @@ mod tests {
         s.buffer.insert(msg(1, 0, 3, 100)).unwrap();
         s.buffer.insert(msg(2, 0, 4, 100)).unwrap();
         let victim = r.pick_victim(&s, 0).unwrap();
-        assert_eq!(victim, MessageId(2), "unreachable destination dropped first");
+        assert_eq!(
+            victim,
+            MessageId(2),
+            "unreachable destination dropped first"
+        );
     }
 
     #[test]

@@ -223,9 +223,9 @@ impl RouterKind {
             RouterKind::MaxProp(cfg) => Box::new(MaxPropRouter::new(own, n_nodes, *cfg)),
             RouterKind::DirectDelivery => Box::new(DirectDeliveryRouter::new(policy)),
             RouterKind::FirstContact => Box::new(FirstContactRouter::new(policy)),
-            RouterKind::SprayAndFocus { copies } => Box::new(
-                crate::SprayAndFocusRouter::new(own, n_nodes, *copies, policy),
-            ),
+            RouterKind::SprayAndFocus { copies } => Box::new(crate::SprayAndFocusRouter::new(
+                own, n_nodes, *copies, policy,
+            )),
         }
     }
 
@@ -276,8 +276,14 @@ mod tests {
     fn labels_match_paper_legends() {
         assert_eq!(RouterKind::Epidemic.label(), "Epidemic");
         assert_eq!(RouterKind::paper_snw().label(), "Spray and Wait");
-        assert_eq!(RouterKind::Prophet(ProphetConfig::default()).label(), "PRoPHET");
-        assert_eq!(RouterKind::MaxProp(MaxPropConfig::default()).label(), "MaxProp");
+        assert_eq!(
+            RouterKind::Prophet(ProphetConfig::default()).label(),
+            "PRoPHET"
+        );
+        assert_eq!(
+            RouterKind::MaxProp(MaxPropConfig::default()).label(),
+            "MaxProp"
+        );
     }
 
     #[test]

@@ -188,7 +188,12 @@ mod tests {
         m
     }
 
-    fn setup() -> (SprayAndFocusRouter, SprayAndFocusRouter, NodeState, NodeState) {
+    fn setup() -> (
+        SprayAndFocusRouter,
+        SprayAndFocusRouter,
+        NodeState,
+        NodeState,
+    ) {
         (
             SprayAndFocusRouter::new(NodeId(1), 10, 8, PolicyCombo::LIFETIME),
             SprayAndFocusRouter::new(NodeId(2), 10, 8, PolicyCombo::LIFETIME),

@@ -89,7 +89,8 @@ impl Welford {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -296,7 +297,9 @@ mod tests {
 
     #[test]
     fn welford_matches_naive() {
-        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 3.0).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 3.0)
+            .collect();
         let mut w = Welford::new();
         for &x in &data {
             w.push(x);

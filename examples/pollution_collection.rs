@@ -51,8 +51,11 @@ fn main() {
         let prob = chunk.iter().map(|r| r.delivery_probability()).sum::<f64>() / chunk.len() as f64;
         let delay = chunk.iter().map(|r| r.avg_delay_mins()).sum::<f64>() / chunk.len() as f64;
         let relayed = chunk.iter().map(|r| r.messages.relayed).sum::<u64>() / chunk.len() as u64;
-        let overhead =
-            chunk.iter().map(|r| r.messages.overhead_ratio()).sum::<f64>() / chunk.len() as f64;
+        let overhead = chunk
+            .iter()
+            .map(|r| r.messages.overhead_ratio())
+            .sum::<f64>()
+            / chunk.len() as f64;
         println!(
             "{:<14} {:>12.3} {:>9.1} min {:>10} {:>10.1}",
             reports[i * seeds.len()].router,

@@ -29,16 +29,29 @@ fn main() {
 
     println!("\n--- results ---");
     println!("messages created      : {}", report.messages.created);
-    println!("unique deliveries     : {}", report.messages.delivered_unique);
-    println!("delivery probability  : {:.3}", report.delivery_probability());
+    println!(
+        "unique deliveries     : {}",
+        report.messages.delivered_unique
+    );
+    println!(
+        "delivery probability  : {:.3}",
+        report.delivery_probability()
+    );
     println!("average delay         : {:.1} min", report.avg_delay_mins());
     println!("relayed copies        : {}", report.messages.relayed);
-    println!("overhead ratio        : {:.1}", report.messages.overhead_ratio());
+    println!(
+        "overhead ratio        : {:.1}",
+        report.messages.overhead_ratio()
+    );
     println!("contacts              : {}", report.contacts);
     println!("mean contact duration : {:.1} s", report.mean_contact_secs);
     println!("engine wall time      : {:.2} s", report.wall_secs);
 
     // Reports serialise to JSON for downstream analysis.
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
-    println!("\nreport JSON is {} bytes; first line: {}", json.len(), json.lines().next().unwrap());
+    println!(
+        "\nreport JSON is {} bytes; first line: {}",
+        json.len(),
+        json.lines().next().unwrap()
+    );
 }

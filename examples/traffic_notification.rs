@@ -49,8 +49,11 @@ fn main() {
         let chunk = &reports[i * seeds.len()..(i + 1) * seeds.len()];
         let delay = chunk.iter().map(|r| r.avg_delay_mins()).sum::<f64>() / chunk.len() as f64;
         let prob = chunk.iter().map(|r| r.delivery_probability()).sum::<f64>() / chunk.len() as f64;
-        let delivered =
-            chunk.iter().map(|r| r.messages.delivered_unique).sum::<u64>() / chunk.len() as u64;
+        let delivered = chunk
+            .iter()
+            .map(|r| r.messages.delivered_unique)
+            .sum::<u64>()
+            / chunk.len() as u64;
         println!(
             "{:<28} {:>9.1} min {:>12.3} {:>10}",
             proto.label().trim_start_matches("SnW "),

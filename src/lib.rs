@@ -3,6 +3,18 @@
 //! Re-exports the public API of every workspace crate so that examples and
 //! integration tests can use a single dependency. Library users should
 //! normally depend on [`vdtn`] (the top-level simulator crate) directly.
+//!
+//! # Example
+//!
+//! ```
+//! use vdtn_repro::vdtn::presets::{mini_scenario, PaperProtocol};
+//! use vdtn_repro::vdtn::World;
+//!
+//! let mut scenario = mini_scenario(PaperProtocol::EpidemicFifo, 30, 7);
+//! scenario.duration_secs = 120.0; // keep the doctest fast
+//! let report = World::build(&scenario).run();
+//! assert_eq!(report.seed, 7);
+//! ```
 
 pub use vdtn;
 pub use vdtn_bundle as bundle;

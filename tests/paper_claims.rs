@@ -24,7 +24,7 @@ fn scaled(proto: PaperProtocol, ttl: u64, seed: u64) -> Scenario {
 }
 
 fn mean<F: Fn(&vdtn::SimReport) -> f64>(reports: &[vdtn::SimReport], f: F) -> f64 {
-    reports.iter().map(|r| f(r)).sum::<f64>() / reports.len() as f64
+    reports.iter().map(f).sum::<f64>() / reports.len() as f64
 }
 
 /// Figures 4–5: on Epidemic, Lifetime DESC–Lifetime ASC beats FIFO–FIFO on

@@ -26,7 +26,8 @@ fn all_protocols_complete_a_scenario() {
         assert!(report.messages.created > 0, "{proto:?} created nothing");
         // Accounting sanity that must hold for any protocol.
         assert!(
-            report.messages.delivered_unique + report.messages.delivered_duplicate
+            report.messages.delivered_unique
+                + report.messages.delivered_duplicate
                 + report.messages.relayed
                 + report.messages.transfers_rejected
                 + report.messages.transfers_aborted
@@ -248,7 +249,10 @@ fn spray_and_focus_runs_and_moves_single_copies() {
     // Focus handoffs mean relays can relinquish copies; lifecycle still balances.
     let m = &report.messages;
     assert_eq!(
-        m.delivered_unique + m.delivered_duplicate + m.relayed + m.transfers_rejected
+        m.delivered_unique
+            + m.delivered_duplicate
+            + m.relayed
+            + m.transfers_rejected
             + m.transfers_aborted,
         m.transfers_started
     );

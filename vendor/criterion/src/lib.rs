@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro/type surface the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! `benchmark_group`, `bench_function`, `bench_with_input`, [`BenchmarkId`],
+//! and `Bencher::iter` — over a simple wall-clock loop: a short warm-up, then
+//! timed batches until a ~1 s budget is spent, reporting the mean and best
+//! per-iteration time.
+//!
+//! When the binary is invoked with `--test` (what `cargo test` does for
+//! `harness = false` bench targets), every benchmark body runs exactly once
+//! so the suite stays fast and still exercises the bench code paths.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, one per `criterion_group!`ed function chain.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(&id.full_name(), self.test_mode, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a prefix (and, in real criterion,
+/// plotting config; the shim keeps only the naming).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.full_name());
+        run_bench(&label, self.criterion.test_mode, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.full_name());
+        run_bench(&label, self.criterion.test_mode, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Identifier carrying only a parameter (group provides the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        match (&self.name[..], &self.parameter) {
+            ("", Some(p)) => p.clone(),
+            (n, Some(p)) => format!("{n}/{p}"),
+            (n, None) => n.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the workload.
+pub struct Bencher {
+    test_mode: bool,
+    /// (total elapsed, iterations) accumulated by `iter`.
+    result: Option<(Duration, u64, Duration)>,
+}
+
+impl Bencher {
+    /// Time `f`, keeping its return value alive via `black_box`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.result = None;
+            return;
+        }
+        // Warm-up: a few iterations, also used to size the measured batch.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_iters < 3
+            || (warmup_start.elapsed() < Duration::from_millis(200) && warmup_iters < 1_000)
+        {
+            std::hint::black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed() / warmup_iters.max(1) as u32;
+        // Measure for ~1s wall clock or at least 10 iterations.
+        let budget = Duration::from_secs(1);
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while (total < budget && per_iter < budget) || iters < 10 {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            let dt = t.elapsed();
+            best = best.min(dt);
+            total += dt;
+            iters += 1;
+            if per_iter >= budget && iters >= 3 {
+                break;
+            }
+        }
+        self.result = Some((total, iters, best));
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, test_mode: bool, f: &mut F) {
+    let mut b = Bencher {
+        test_mode,
+        result: None,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {label} ... ok (bench smoke)");
+        return;
+    }
+    match b.result {
+        Some((total, iters, best)) => {
+            let mean = total / iters.max(1) as u32;
+            println!(
+                "bench {label:<60} mean {:>12} best {:>12} ({iters} iters)",
+                format_duration(mean),
+                format_duration(best),
+            );
+        }
+        None => println!("bench {label:<60} (no measurement)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring criterion's API.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups, mirroring criterion's API.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function(BenchmarkId::from_parameter("plain"), |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 2 * 2));
+    }
+
+    #[test]
+    fn runs_in_test_mode() {
+        let mut c = Criterion { test_mode: true };
+        sample_bench(&mut c);
+    }
+}

@@ -1,0 +1,407 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This build environment has no access to a crates.io registry, so the
+//! workspace vendors a minimal serialization framework under the same crate
+//! name. It provides the exact surface the VDTN workspace uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` for structs and enums (via the
+//!   sibling `serde_derive` shim),
+//! * the container attribute `#[serde(transparent)]` and the field attribute
+//!   `#[serde(skip)]`,
+//! * blanket implementations for the std types that appear in the simulator's
+//!   data model (integers, floats, `bool`, `String`, `Option`, `Vec`, arrays,
+//!   tuples, and ordered/hashed maps).
+//!
+//! Unlike real serde there is no `Serializer`/`Deserializer` visitor pair;
+//! values round-trip through the self-describing [`Value`] tree, which the
+//! vendored `serde_json` shim renders to and parses from JSON text. Swapping
+//! back to the real crates is a one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+/// Self-describing serialized form: a JSON-like tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion-ordered key/value pairs.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in a [`Value::Map`].
+    pub fn get_field<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] tree does not match the target type.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// A type mismatch: `what` was expected while deserializing `ty`.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        Error(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// A required map key was absent.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        Error(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// A free-form error message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into the self-describing form.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self`, reporting a structural mismatch as [`Error`].
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    _ => return Err(Error::expected("unsigned integer", stringify!($t))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{} out of range for {}", raw, stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{} out of range for i64", n)))?,
+                    _ => return Err(Error::expected("signed integer", stringify!($t))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{} out of range for {}", raw, stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN),
+            _ => Err(Error::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::expected("single-character string", "char")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::expected("array", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+ ; $len:literal) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(Error::expected(
+                        concat!("array of length ", $len),
+                        "tuple",
+                    )),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(A:0 ; 1);
+impl_tuple!(A:0, B:1 ; 2);
+impl_tuple!(A:0, B:1, C:2 ; 3);
+impl_tuple!(A:0, B:1, C:2, D:3 ; 4);
+
+/// Maps serialize as ordered `[key, value]` pair arrays so that non-string
+/// keys (e.g. `NodeId`) survive a JSON round-trip without a custom key codec.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        map_pairs(v, "BTreeMap")
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        map_pairs(v, "HashMap")
+    }
+}
+
+fn map_pairs<C, K, V>(v: &Value, ty: &str) -> Result<C, Error>
+where
+    C: FromIterator<(K, V)>,
+    K: Deserialize,
+    V: Deserialize,
+{
+    match v {
+        Value::Seq(items) => items
+            .iter()
+            .map(|pair| match pair {
+                Value::Seq(kv) if kv.len() == 2 => {
+                    Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                }
+                _ => Err(Error::expected("[key, value] pair", ty)),
+            })
+            .collect(),
+        _ => Err(Error::expected("array of pairs", ty)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip() {
+        let some = Some(7u32).to_value();
+        assert_eq!(Option::<u32>::from_value(&some).unwrap(), Some(7));
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "three".to_string());
+        let v = m.to_value();
+        let back: BTreeMap<u32, String> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn signed_crosses_value_variants() {
+        assert_eq!(i64::from_value(&Value::U64(9)).unwrap(), 9);
+        assert_eq!(i64::from_value(&Value::I64(-9)).unwrap(), -9);
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+    }
+}

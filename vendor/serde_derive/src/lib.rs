@@ -1,0 +1,487 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! vendored `serde` shim's [`Value`] data model. Because `syn`/`quote` are not
+//! available offline, the item is parsed directly from the `proc_macro` token
+//! stream; the supported grammar is exactly what this workspace needs:
+//!
+//! * structs with named fields, tuple structs (newtype or wider), unit structs;
+//! * enums with unit, newtype, tuple, and struct variants;
+//! * the container attribute `#[serde(transparent)]` and the field attribute
+//!   `#[serde(skip)]` (skip serializes nothing and deserializes via
+//!   `Default::default()`);
+//! * no generic parameters (none of the workspace's serialized types are
+//!   generic — the derive panics with a clear message if it meets one).
+//!
+//! Generated code mirrors serde's externally-tagged enum representation, so
+//! JSON produced by the shim looks like real `serde_json` output.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    /// Tuple struct with this many fields (arity 1 = newtype, serialized as
+    /// its inner value, which also covers `#[serde(transparent)]`).
+    TupleStruct(usize),
+    NamedStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+/// True when the bracket-group body of an attribute is `serde(...)`
+/// containing `word` anywhere inside the parentheses.
+fn attr_contains(group_tokens: &[TokenTree], word: &str) -> bool {
+    match group_tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    group_tokens.iter().skip(1).any(|t| match t {
+        TokenTree::Group(g) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == word)),
+        _ => false,
+    })
+}
+
+/// Consume a leading run of `#[...]` attributes starting at `*i`; reports
+/// whether any of them was `#[serde(skip)]`.
+fn eat_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if attr_contains(&body, "skip") {
+                skip = true;
+            }
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    skip
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility at `*i`.
+fn eat_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Consume tokens until a `,` at angle-bracket depth 0 (the end of a type or
+/// discriminant expression). Leaves `*i` on the comma (or past the end).
+fn eat_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                ',' if depth == 0 => return,
+                '<' => depth += 1,
+                '-' if p.spacing() == Spacing::Joint => {
+                    // `->` in a fn-pointer type: swallow the `>` so it does
+                    // not unbalance the angle depth.
+                    if let Some(TokenTree::Punct(n)) = tokens.get(*i + 1) {
+                        if n.as_char() == '>' {
+                            *i += 2;
+                            continue;
+                        }
+                    }
+                }
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parse the body of a braced field list: `[attrs] [vis] name : Type , ...`
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = eat_attrs(&tokens, &mut i);
+        eat_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => panic!("serde shim derive: expected field name, found `{t}`"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            t => panic!("serde shim derive: expected `:` after field `{name}`, found {t:?}"),
+        }
+        eat_until_comma(&tokens, &mut i);
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Count the fields of a parenthesised tuple-field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        eat_attrs(&tokens, &mut i);
+        eat_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        eat_until_comma(&tokens, &mut i);
+        i += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        eat_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => panic!("serde shim derive: expected variant name, found `{t}`"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Optional explicit discriminant.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                eat_until_comma(&tokens, &mut i);
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(stream: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    eat_attrs(&tokens, &mut i);
+    eat_visibility(&tokens, &mut i);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde shim derive: expected `struct` or `enum`, found {t:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde shim derive: expected type name, found {t:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            t => panic!("serde shim derive: malformed struct `{name}`: {t:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            t => panic!("serde shim derive: malformed enum `{name}`: {t:?}"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    };
+    Input { name, kind }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "m.push((::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Map(m)");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => s.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantShape::Tuple(1) => s.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_value(x0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        s.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Seq(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "{ let mut fm: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "fm.push((::std::string::String::from(\"{0}\"), \
+                                 ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        inner.push_str(&format!(
+                            "::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Map(fm))]) }}"
+                        ));
+                        s.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {inner},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Generate the field initialisers for a named-field list read from map `src`.
+fn named_field_inits(fields: &[Field], src: &str, ty: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            s.push_str(&format!(
+                "{0}: match ::serde::Value::get_field({src}, \"{0}\") {{\n\
+                 Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                 None => return ::std::result::Result::Err(\
+                 ::serde::Error::missing_field(\"{0}\", \"{ty}\")),\n}},\n",
+                f.name
+            ));
+        }
+    }
+    s
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Seq(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"array of length {n}\", \"{name}\")),\n}}",
+                items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => format!(
+            "if !matches!(v, ::serde::Value::Map(_)) {{\n\
+             return ::std::result::Result::Err(\
+             ::serde::Error::expected(\"map\", \"{name}\"));\n}}\n\
+             ::std::result::Result::Ok({name} {{\n{}\n}})",
+            named_field_inits(fields, "v", name)
+        ),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // Unit variants are also legal in map form (payload
+                        // ignored), matching serde's tolerance for `{"V":null}`.
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match payload {{\n\
+                             ::serde::Value::Seq(items) if items.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vn}({})),\n\
+                             _ => ::std::result::Result::Err(::serde::Error::expected(\
+                             \"array of length {n}\", \"{name}::{vn}\")),\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{\n{}\n}}),\n",
+                        named_field_inits(fields, "payload", &format!("{name}::{vn}"))
+                    )),
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{other}}` for {name}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"variant string or single-key map\", \"{name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde shim derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,121 @@
+//! End-to-end validation of the vendored derive macro + JSON codec across
+//! every item shape the workspace uses.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(transparent)]
+struct Id(u32);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Pair(f64, f64);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Kind {
+    Plain,
+    Wrapped(Id),
+    Edge(u32, u32),
+    Config { alpha: f64, name: String },
+}
+
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+struct Cache {
+    hits: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Record {
+    id: Id,
+    weights: Vec<(Id, f64)>,
+    kind: Kind,
+    label: Option<String>,
+    #[serde(skip)]
+    scratch: Cache,
+}
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: Serialize + Deserialize,
+{
+    let compact = serde_json::to_string(value).unwrap();
+    let pretty = serde_json::to_string_pretty(value).unwrap();
+    let a: T = serde_json::from_str(&compact).unwrap();
+    let _b: T = serde_json::from_str(&pretty).unwrap();
+    a
+}
+
+#[test]
+fn transparent_newtype_is_bare_value() {
+    assert_eq!(serde_json::to_string(&Id(7)).unwrap(), "7");
+    assert_eq!(round_trip(&Id(7)), Id(7));
+}
+
+#[test]
+fn tuple_struct_is_array() {
+    assert_eq!(
+        serde_json::to_string(&Pair(1.5, -2.0)).unwrap(),
+        "[1.5,-2.0]"
+    );
+    assert_eq!(round_trip(&Pair(1.5, -2.0)), Pair(1.5, -2.0));
+}
+
+#[test]
+fn enum_forms_match_serde_externally_tagged() {
+    assert_eq!(serde_json::to_string(&Kind::Plain).unwrap(), "\"Plain\"");
+    assert_eq!(
+        serde_json::to_string(&Kind::Wrapped(Id(3))).unwrap(),
+        "{\"Wrapped\":3}"
+    );
+    assert_eq!(
+        serde_json::to_string(&Kind::Edge(1, 2)).unwrap(),
+        "{\"Edge\":[1,2]}"
+    );
+    assert_eq!(
+        serde_json::to_string(&Kind::Config {
+            alpha: 0.25,
+            name: "x".into()
+        })
+        .unwrap(),
+        "{\"Config\":{\"alpha\":0.25,\"name\":\"x\"}}"
+    );
+    for k in [
+        Kind::Plain,
+        Kind::Wrapped(Id(3)),
+        Kind::Edge(1, 2),
+        Kind::Config {
+            alpha: 0.25,
+            name: "x".into(),
+        },
+    ] {
+        assert_eq!(round_trip(&k), k);
+    }
+}
+
+#[test]
+fn named_struct_with_skip_field() {
+    let r = Record {
+        id: Id(9),
+        weights: vec![(Id(1), 0.5), (Id(2), 0.25)],
+        kind: Kind::Config {
+            alpha: 1.0,
+            name: "n".into(),
+        },
+        label: None,
+        scratch: Cache { hits: 999 },
+    };
+    let json = serde_json::to_string(&r).unwrap();
+    assert!(!json.contains("scratch"), "skip field serialized: {json}");
+    let back: Record = serde_json::from_str(&json).unwrap();
+    // The skipped field falls back to Default.
+    assert_eq!(back.scratch, Cache::default());
+    assert_eq!(back.id, r.id);
+    assert_eq!(back.weights, r.weights);
+    assert_eq!(back.kind, r.kind);
+    assert_eq!(back.label, None);
+}
+
+#[test]
+fn unknown_variant_and_missing_field_error() {
+    assert!(serde_json::from_str::<Kind>("\"Nope\"").is_err());
+    assert!(serde_json::from_str::<Record>("{}").is_err());
+}
