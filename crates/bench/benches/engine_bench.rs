@@ -1,0 +1,39 @@
+//! Ticked vs event-driven engine stepping across fleet sizes.
+//!
+//! The headline ablation for the hybrid scheduler: identical scenarios
+//! (paper mobility — 5–15 min waits, so most of the fleet is parked at any
+//! instant) run to completion under both [`EngineMode`]s. The event-driven
+//! engine skips work-free ticks and frontier-limits the executed ones, so
+//! its advantage grows with fleet size; the two modes are asserted
+//! bit-identical in `tests/engine_equivalence.rs` and in the
+//! `engine_bench --json` harness that records `BENCH_engine.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vdtn::engine::EngineMode;
+use vdtn_bench::engine_perf::{engine_scenario, run_mode};
+
+fn engine_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_modes");
+    group.sample_size(10);
+    for &nodes in &[50usize, 200, 1000] {
+        // Shorter horizons at larger fleets keep the ticked reference
+        // affordable inside a bench run; speedups are per-tick properties
+        // and do not depend on the horizon.
+        let duration = match nodes {
+            50 => 1_200.0,
+            200 => 600.0,
+            _ => 240.0,
+        };
+        let scenario = engine_scenario(nodes, duration, 42);
+        group.bench_with_input(BenchmarkId::new("ticked", nodes), &scenario, |b, sc| {
+            b.iter(|| run_mode(sc, EngineMode::Ticked).messages.created)
+        });
+        group.bench_with_input(BenchmarkId::new("event", nodes), &scenario, |b, sc| {
+            b.iter(|| run_mode(sc, EngineMode::EventDriven).messages.created)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_modes);
+criterion_main!(benches);

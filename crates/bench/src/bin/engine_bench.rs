@@ -1,0 +1,131 @@
+//! One-shot engine-scheduler benchmark harness.
+//!
+//! Runs the ticked and event-driven engines on identical scenarios across
+//! fleet sizes, verifies the reports are bit-identical, and prints a small
+//! table. With `--json [PATH]` it also records the measurements as JSON
+//! (default `BENCH_engine.json`), which is the repo's perf trajectory for
+//! the scheduler.
+//!
+//! ```text
+//! engine_bench [--json [PATH]] [--nodes 50,200,1000] [--duration-secs N] [--seed N]
+//! ```
+
+use vdtn::engine::EngineMode;
+use vdtn_bench::engine_perf::{canon, engine_scenario, run_mode};
+
+struct Entry {
+    nodes: usize,
+    duration_secs: f64,
+    ticked_wall_secs: f64,
+    event_wall_secs: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut nodes: Vec<usize> = vec![50, 200, 1000];
+    let mut duration_override: Option<f64> = None;
+    let mut seed = 42u64;
+
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                // Optional path operand; default name otherwise.
+                let path = match args.peek() {
+                    Some(p) if !p.starts_with("--") => args.next().expect("peeked"),
+                    _ => "BENCH_engine.json".to_string(),
+                };
+                json_path = Some(path);
+            }
+            "--nodes" => {
+                let list = args.next().expect("--nodes needs a comma-separated list");
+                nodes = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("node count"))
+                    .collect();
+            }
+            "--duration-secs" => {
+                duration_override = Some(
+                    args.next()
+                        .expect("--duration-secs needs a value")
+                        .parse()
+                        .expect("seconds"),
+                );
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: engine_bench [--json [PATH]] [--nodes 50,200,1000] [--duration-secs N] [--seed N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("engine scheduler: ticked vs event-driven (bit-identical reports)");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>9} {:>10}",
+        "nodes", "sim secs", "ticked s", "event s", "speedup", "identical"
+    );
+    let mut entries = Vec::new();
+    for &n in &nodes {
+        let duration = duration_override.unwrap_or(match n {
+            0..=99 => 1_200.0,
+            100..=499 => 600.0,
+            _ => 240.0,
+        });
+        let scenario = engine_scenario(n, duration, seed);
+        let ticked = run_mode(&scenario, EngineMode::Ticked);
+        let event = run_mode(&scenario, EngineMode::EventDriven);
+        let identical = canon(ticked.clone()) == canon(event.clone());
+        let entry = Entry {
+            nodes: n,
+            duration_secs: duration,
+            ticked_wall_secs: ticked.wall_secs,
+            event_wall_secs: event.wall_secs,
+            speedup: ticked.wall_secs / event.wall_secs.max(1e-9),
+            identical,
+        };
+        println!(
+            "{:>6} {:>10.0} {:>12.3} {:>12.3} {:>8.2}x {:>10}",
+            entry.nodes,
+            entry.duration_secs,
+            entry.ticked_wall_secs,
+            entry.event_wall_secs,
+            entry.speedup,
+            entry.identical,
+        );
+        entries.push(entry);
+    }
+
+    let any_mismatch = entries.iter().any(|e| !e.identical);
+    if let Some(path) = json_path {
+        // Hand-rolled JSON keeps the schema explicit and the vendored
+        // serde_json shim out of the float-formatting hot seat.
+        let mut rows = Vec::new();
+        for e in &entries {
+            rows.push(format!(
+                "    {{\"nodes\": {}, \"sim_duration_secs\": {}, \"ticked_wall_secs\": {:.6}, \"event_wall_secs\": {:.6}, \"speedup\": {:.3}, \"reports_identical\": {}}}",
+                e.nodes, e.duration_secs, e.ticked_wall_secs, e.event_wall_secs, e.speedup, e.identical
+            ));
+        }
+        let doc = format!(
+            "{{\n  \"benchmark\": \"engine_modes\",\n  \"description\": \"World::run wall time, ticked vs event-driven scheduler, identical scenarios (paper mobility, Epidemic + Lifetime policies)\",\n  \"seed\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+            seed,
+            rows.join(",\n")
+        );
+        std::fs::write(&path, doc).expect("write benchmark JSON");
+        println!("wrote {path}");
+    }
+    if any_mismatch {
+        eprintln!("ERROR: event-driven report diverged from ticked reference");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Scenario builder and measurement helpers for the engine-scheduler
+//! benchmarks (ticked vs event-driven stepping).
+//!
+//! Used by two entry points: the criterion bench
+//! (`benches/engine_bench.rs`) and the `engine_bench` binary, whose
+//! `--json` mode records the perf trajectory in `BENCH_engine.json`.
+
+use vdtn::engine::{EngineMode, World};
+use vdtn::scenario::{MapSpec, MobilitySpec, NodeGroup, Scenario, TrafficSpec};
+use vdtn::{DetectorBackend, PolicyCombo, RouterKind, SimDuration, SimReport};
+use vdtn_geo::GridMapGen;
+use vdtn_mobility::SpmbConfig;
+use vdtn_net::RadioInterface;
+
+/// A paper-flavoured scenario scaled to `vehicles` nodes.
+///
+/// The road grid grows with the fleet so vehicle density (and therefore
+/// contact load) stays in the paper's regime instead of collapsing into one
+/// giant clique; waits are the paper's 5–15 minutes, which is exactly the
+/// parked-heavy dynamic the event-driven scheduler exploits.
+pub fn engine_scenario(vehicles: usize, duration_secs: f64, seed: u64) -> Scenario {
+    let side = ((vehicles as f64).sqrt().ceil() as usize).max(3);
+    Scenario {
+        name: format!("engine-bench-{vehicles}"),
+        seed,
+        duration_secs,
+        tick_secs: 1.0,
+        map: MapSpec::Grid(GridMapGen {
+            cols: side,
+            rows: side,
+            spacing: 150.0,
+        }),
+        groups: vec![NodeGroup {
+            name: "vehicles".into(),
+            count: vehicles,
+            buffer_bytes: 20_000_000,
+            mobility: MobilitySpec::ShortestPathMapBased(SpmbConfig::default()),
+            is_relay: false,
+        }],
+        radio: RadioInterface::paper_80211b(),
+        detector: DetectorBackend::Grid,
+        traffic: TrafficSpec::paper(SimDuration::from_mins(30)),
+        router: RouterKind::Epidemic,
+        policy: PolicyCombo::LIFETIME,
+        sample_period_secs: 0.0,
+    }
+}
+
+/// Run the scenario in the given mode, returning the report (whose
+/// `wall_secs` is the engine-loop wall time).
+pub fn run_mode(scenario: &Scenario, mode: EngineMode) -> SimReport {
+    World::build_with_mode(scenario, mode).run()
+}
+
+/// Canonical report serialisation with the wall clock zeroed, for
+/// bit-identity checks between modes.
+pub fn canon(mut report: SimReport) -> String {
+    report.wall_secs = 0.0;
+    serde_json::to_string(&report).expect("reports serialise")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scenario_modes_agree() {
+        let sc = engine_scenario(20, 300.0, 1);
+        let ticked = run_mode(&sc, EngineMode::Ticked);
+        let event = run_mode(&sc, EngineMode::EventDriven);
+        assert!(ticked.messages.created > 0);
+        assert_eq!(canon(ticked), canon(event));
+    }
+}

@@ -22,9 +22,11 @@
 //! ```
 
 pub mod chart;
+pub mod engine_perf;
 pub mod harness;
 pub mod reference;
 
 pub use chart::{render, Series};
+pub use engine_perf::engine_scenario;
 pub use harness::{format_table, run_figure, FigureResult, FigureSpec, Metric};
 pub use reference::{paper_delta_reference, DeltaReference};

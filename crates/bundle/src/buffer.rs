@@ -4,6 +4,19 @@
 //! insertion (reception) order — the order FIFO policies rely on — while
 //! providing O(1) id lookups through a hash index. Iteration always follows
 //! insertion order so every traversal is deterministic.
+//!
+//! Internally three structures cooperate:
+//!
+//! * `store` — id → message copy (the source of truth for membership);
+//! * `order` + `index` — reception order with an id → position map.
+//!   Removal tombstones the `order` entry in O(1) (the entry is *live* iff
+//!   `index` maps its id back to its position) and compacts once tombstones
+//!   outnumber live entries, so eviction storms are amortised O(1) per
+//!   removal instead of the former O(n) scan-and-shift;
+//! * `expiry` — a min-heap of `(expiry time, id)` with lazy deletion, so
+//!   TTL housekeeping ([`Buffer::next_expiry`], [`Buffer::drain_expired`])
+//!   costs O(1) when nothing is due instead of a full-buffer scan. This is
+//!   the heap the engine's TTL-expiry events are scheduled from.
 
 use crate::message::{Message, MessageId};
 use serde::{Deserialize, Serialize};
@@ -47,15 +60,31 @@ impl std::fmt::Display for BufferError {
 
 impl std::error::Error for BufferError {}
 
+/// One entry of the lazy expiry min-heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+struct ExpiryEntry {
+    at: SimTime,
+    id: MessageId,
+}
+
 /// A node's message store.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Buffer {
     capacity: u64,
     used: u64,
-    /// Reception order (front = oldest). Drives FIFO semantics.
+    /// Reception order (front = oldest), possibly holding tombstoned
+    /// entries. An entry at position `p` is live iff `index[id] == p`.
     order: Vec<MessageId>,
+    /// Id → position in `order` for every *stored* message.
+    index: HashMap<MessageId, u32>,
+    /// Tombstoned entries currently in `order`.
+    stale: usize,
     /// Id → message copy.
     store: HashMap<MessageId, Message>,
+    /// Min-heap (array layout) of expiry times with lazy deletion: entries
+    /// whose id is gone, or whose stored copy has a different expiry (id
+    /// re-inserted), are discarded when they surface.
+    expiry: Vec<ExpiryEntry>,
 }
 
 impl Buffer {
@@ -65,7 +94,10 @@ impl Buffer {
             capacity,
             used: 0,
             order: Vec::new(),
+            index: HashMap::new(),
+            stale: 0,
             store: HashMap::new(),
+            expiry: Vec::new(),
         }
     }
 
@@ -95,12 +127,12 @@ impl Buffer {
 
     /// Number of stored messages.
     pub fn len(&self) -> usize {
-        self.order.len()
+        self.store.len()
     }
 
     /// True when nothing is stored.
     pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
+        self.store.is_empty()
     }
 
     /// True if a copy of `id` is stored.
@@ -136,52 +168,106 @@ impl Buffer {
             });
         }
         self.used += msg.size;
+        self.index.insert(msg.id, self.order.len() as u32);
         self.order.push(msg.id);
+        self.heap_push(ExpiryEntry {
+            at: msg.expiry(),
+            id: msg.id,
+        });
         self.store.insert(msg.id, msg);
         Ok(())
     }
 
-    /// Remove and return a copy.
+    /// Remove and return a copy. Amortised O(1): the `order` entry is
+    /// tombstoned and reclaimed by a later compaction; the expiry-heap entry
+    /// is discarded lazily.
     pub fn remove(&mut self, id: MessageId) -> Option<Message> {
         let msg = self.store.remove(&id)?;
         self.used -= msg.size;
-        // Linear removal keeps `order` exact; buffers hold at most a few
-        // hundred messages in the paper's scenario, and the hash index keeps
-        // lookups O(1) (see `buffer_ops` bench for the ablation).
-        let pos = self
-            .order
-            .iter()
-            .position(|&m| m == id)
-            .expect("order and store must agree");
-        self.order.remove(pos);
+        self.index.remove(&id);
+        self.stale += 1;
+        if self.stale * 2 > self.order.len() {
+            self.compact();
+        }
         Some(msg)
+    }
+
+    /// Rewrite `order` without tombstones, preserving relative order.
+    fn compact(&mut self) {
+        let mut w = 0usize;
+        for r in 0..self.order.len() {
+            let id = self.order[r];
+            if self.index.get(&id) == Some(&(r as u32)) {
+                self.order[w] = id;
+                self.index.insert(id, w as u32);
+                w += 1;
+            }
+        }
+        self.order.truncate(w);
+        self.stale = 0;
     }
 
     /// Oldest-received message id (FIFO head).
     pub fn head(&self) -> Option<MessageId> {
-        self.order.first().copied()
+        self.ids_in_order().next()
     }
 
     /// Ids in reception order (front = oldest).
-    pub fn ids_in_order(&self) -> &[MessageId] {
-        &self.order
+    pub fn ids_in_order(&self) -> impl Iterator<Item = MessageId> + '_ {
+        self.order
+            .iter()
+            .enumerate()
+            .filter(|(pos, id)| self.index.get(id) == Some(&(*pos as u32)))
+            .map(|(_, &id)| id)
     }
 
     /// Iterate stored messages in reception order.
     pub fn iter(&self) -> impl Iterator<Item = &Message> + '_ {
-        self.order.iter().map(move |id| &self.store[id])
+        self.ids_in_order().map(move |id| &self.store[&id])
     }
 
-    /// Remove every expired message, returning them (for stats recording).
+    /// Earliest expiry time among stored messages, or `None` when empty.
+    ///
+    /// O(1) amortised (lazily discards heap entries for removed copies).
+    /// The engine schedules its per-node TTL events from this value: no
+    /// stored message can expire before it.
+    pub fn next_expiry(&mut self) -> Option<SimTime> {
+        while let Some(&top) = self.expiry.first() {
+            match self.store.get(&top.id) {
+                Some(m) if m.expiry() == top.at => return Some(top.at),
+                _ => {
+                    self.heap_pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Remove every expired message, returning them in reception order (for
+    /// stats recording). Driven by the expiry heap: O(1) when nothing is
+    /// due, O(expired · log n) otherwise — never a full-buffer scan.
     pub fn drain_expired(&mut self, now: SimTime) -> Vec<Message> {
-        let expired: Vec<MessageId> = self
-            .iter()
-            .filter(|m| m.is_expired(now))
-            .map(|m| m.id)
-            .collect();
-        expired
-            .into_iter()
-            .map(|id| self.remove(id).expect("id just listed"))
+        if self.expiry.first().map_or(true, |top| top.at > now) {
+            return Vec::new();
+        }
+        // Collect due live ids with their reception positions first; the
+        // removals below may compact `order` and shuffle positions.
+        let mut due: Vec<(u32, MessageId)> = Vec::new();
+        while let Some(&top) = self.expiry.first() {
+            if top.at > now {
+                break;
+            }
+            self.heap_pop();
+            if let Some(m) = self.store.get(&top.id) {
+                if m.expiry() == top.at {
+                    due.push((self.index[&top.id], top.id));
+                }
+            }
+        }
+        due.sort_unstable();
+        due.dedup_by_key(|e| e.1);
+        due.into_iter()
+            .map(|(_, id)| self.remove(id).expect("live id collected above"))
             .collect()
     }
 
@@ -193,6 +279,47 @@ impl Buffer {
     /// True if `size` bytes fit right now without eviction.
     pub fn fits_now(&self, size: u64) -> bool {
         size <= self.free()
+    }
+
+    // --- expiry min-heap primitives (array layout, lazy deletion) ---
+
+    fn heap_push(&mut self, e: ExpiryEntry) {
+        self.expiry.push(e);
+        let mut i = self.expiry.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.expiry[i] < self.expiry[parent] {
+                self.expiry.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_pop(&mut self) -> Option<ExpiryEntry> {
+        if self.expiry.is_empty() {
+            return None;
+        }
+        let top = self.expiry.swap_remove(0);
+        let mut i = 0usize;
+        let n = self.expiry.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < n && self.expiry[l] < self.expiry[smallest] {
+                smallest = l;
+            }
+            if r < n && self.expiry[r] < self.expiry[smallest] {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.expiry.swap(i, smallest);
+            i = smallest;
+        }
+        Some(top)
     }
 }
 
@@ -210,6 +337,10 @@ mod tests {
             SimTime::from_secs_f64(created_s),
             SimDuration::from_mins(ttl_min),
         )
+    }
+
+    fn order_ids(b: &Buffer) -> Vec<MessageId> {
+        b.ids_in_order().collect()
     }
 
     #[test]
@@ -265,7 +396,7 @@ mod tests {
         let removed = b.remove(MessageId(2)).unwrap();
         assert_eq!(removed.size, 300);
         assert_eq!(b.used(), 600);
-        assert_eq!(b.ids_in_order(), &[MessageId(1), MessageId(3)]);
+        assert_eq!(order_ids(&b), vec![MessageId(1), MessageId(3)]);
         assert!(b.remove(MessageId(2)).is_none());
     }
 
@@ -293,6 +424,66 @@ mod tests {
         assert_eq!(dead.len(), 2);
         assert!(b.is_empty());
         assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn drain_expired_returns_reception_order() {
+        let mut b = Buffer::new(10_000);
+        // Reception order 5, 4, 3 — all expiring together.
+        for id in [5u64, 4, 3] {
+            b.insert(msg(id, 10, 0.0, 1)).unwrap();
+        }
+        let dead = b.drain_expired(SimTime::from_secs_f64(60.0));
+        let ids: Vec<u64> = dead.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, vec![5, 4, 3]);
+    }
+
+    #[test]
+    fn next_expiry_tracks_minimum() {
+        let mut b = Buffer::new(10_000);
+        assert_eq!(b.next_expiry(), None);
+        b.insert(msg(1, 10, 0.0, 60)).unwrap(); // 3600 s
+        b.insert(msg(2, 10, 0.0, 1)).unwrap(); // 60 s
+        assert_eq!(b.next_expiry(), Some(SimTime::from_secs_f64(60.0)));
+        // Removing the earliest rolls the minimum forward (lazily).
+        b.remove(MessageId(2)).unwrap();
+        assert_eq!(b.next_expiry(), Some(SimTime::from_secs_f64(3600.0)));
+        b.remove(MessageId(1)).unwrap();
+        assert_eq!(b.next_expiry(), None);
+    }
+
+    #[test]
+    fn reinserted_id_with_new_expiry_is_tracked_exactly() {
+        let mut b = Buffer::new(10_000);
+        b.insert(msg(7, 10, 0.0, 1)).unwrap(); // would expire at 60 s
+        b.remove(MessageId(7)).unwrap();
+        // Same id re-received later with a later expiry (fresh copy).
+        b.insert(msg(7, 10, 100.0, 1)).unwrap(); // expires at 160 s
+        assert_eq!(b.next_expiry(), Some(SimTime::from_secs_f64(160.0)));
+        assert!(b.drain_expired(SimTime::from_secs_f64(60.0)).is_empty());
+        let dead = b.drain_expired(SimTime::from_secs_f64(160.0));
+        assert_eq!(dead.len(), 1);
+    }
+
+    #[test]
+    fn eviction_storm_keeps_views_consistent() {
+        // Tombstone + compaction stress: interleave inserts and removals far
+        // past the compaction threshold and re-check every view.
+        let mut b = Buffer::new(u64::MAX);
+        for i in 0..100u64 {
+            b.insert(msg(i, 1, i as f64, 60)).unwrap();
+        }
+        // Evict from the head, like a FIFO drop policy under pressure.
+        for i in 0..90u64 {
+            assert_eq!(b.head(), Some(MessageId(i)));
+            b.remove(MessageId(i)).unwrap();
+        }
+        assert_eq!(b.len(), 10);
+        assert_eq!(order_ids(&b), (90..100).map(MessageId).collect::<Vec<_>>());
+        // Insert after heavy removal: order still appends at the back.
+        b.insert(msg(200, 1, 200.0, 60)).unwrap();
+        assert_eq!(order_ids(&b).last(), Some(&MessageId(200)));
+        assert_eq!(b.used(), 11);
     }
 
     #[test]
@@ -348,7 +539,7 @@ mod proptests {
                 }
                 prop_assert_eq!(b.used(), expected_used);
                 prop_assert!(b.used() <= b.capacity());
-                prop_assert_eq!(b.ids_in_order().len(), b.len());
+                prop_assert_eq!(b.ids_in_order().count(), b.len());
                 let sum: u64 = b.iter().map(|m| m.size).sum();
                 prop_assert_eq!(sum, b.used());
             }
@@ -373,7 +564,50 @@ mod proptests {
                     inserted.push(MessageId(id));
                 }
             }
-            prop_assert_eq!(b.ids_in_order(), inserted.as_slice());
+            prop_assert_eq!(b.ids_in_order().collect::<Vec<_>>(), inserted);
+        }
+
+        /// Heap-driven expiry drains exactly what a full scan would, in
+        /// reception order, across random insert/remove/advance sequences.
+        #[test]
+        fn drain_matches_full_scan_reference(
+            ops in proptest::collection::vec((0u64..20, 1u64..30, 0u64..3), 1..150)
+        ) {
+            let mut b = Buffer::new(u64::MAX);
+            let mut now = SimTime::ZERO;
+            for (id, ttl_min, action) in ops {
+                match action {
+                    0 => {
+                        let _ = b.insert(Message::new(
+                            MessageId(id),
+                            NodeId(0),
+                            NodeId(1),
+                            1,
+                            now,
+                            SimDuration::from_mins(ttl_min),
+                        ));
+                    }
+                    1 => { b.remove(MessageId(id)); }
+                    _ => {
+                        now += SimDuration::from_mins(ttl_min);
+                        // Reference: what a full scan would drain, in
+                        // reception order.
+                        let expected: Vec<MessageId> = b
+                            .iter()
+                            .filter(|m| m.is_expired(now))
+                            .map(|m| m.id)
+                            .collect();
+                        let drained: Vec<MessageId> =
+                            b.drain_expired(now).iter().map(|m| m.id).collect();
+                        prop_assert_eq!(drained, expected);
+                        // Nothing expired may remain.
+                        prop_assert!(b.iter().all(|m| !m.is_expired(now)));
+                        if let Some(e) = b.next_expiry() {
+                            prop_assert!(e > now);
+                        }
+                    }
+                }
+            }
         }
     }
 }

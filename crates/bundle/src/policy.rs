@@ -43,7 +43,7 @@ impl SchedulingPolicy {
     /// Ties (identical keys) preserve reception order, so results are fully
     /// deterministic given the RNG stream.
     pub fn order(&self, buffer: &Buffer, now: SimTime, rng: &mut SimRng) -> Vec<MessageId> {
-        let mut ids: Vec<MessageId> = buffer.ids_in_order().to_vec();
+        let mut ids: Vec<MessageId> = buffer.ids_in_order().collect();
         match self {
             SchedulingPolicy::Fifo => {} // reception order already
             SchedulingPolicy::Random => rng.shuffle(&mut ids),
@@ -114,12 +114,8 @@ impl DropPolicy {
         rng: &mut SimRng,
         protected: impl Fn(MessageId) -> bool,
     ) -> Option<MessageId> {
-        let candidates: Vec<MessageId> = buffer
-            .ids_in_order()
-            .iter()
-            .copied()
-            .filter(|&id| !protected(id))
-            .collect();
+        let candidates: Vec<MessageId> =
+            buffer.ids_in_order().filter(|&id| !protected(id)).collect();
         if candidates.is_empty() {
             return None;
         }

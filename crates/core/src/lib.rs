@@ -7,8 +7,10 @@
 //!
 //! * [`Scenario`] — a fully serialisable experiment description (map, node
 //!   groups, radio, traffic, routing protocol, buffer policies, duration);
-//! * [`World`] — the engine: per-tick movement → connectivity → transfers →
-//!   routing round → TTL sweep, with deterministic RNG lanes throughout;
+//! * [`World`] — the engine: movement → connectivity → transfers → routing
+//!   round → TTL sweep on a hybrid event-driven scheduler that skips
+//!   work-free ticks (bit-identical to the ticked reference, see
+//!   [`EngineMode`]), with deterministic RNG lanes throughout;
 //! * [`SimReport`] — every metric the paper reports (and more), derived
 //!   from engine events;
 //! * [`presets`] — the paper's Helsinki scenario parameterised by protocol,
@@ -43,7 +45,7 @@ pub mod scenario;
 pub mod sweep;
 
 pub use analysis::{oracle_delays, oracle_summary, MeetingModel, OracleSummary};
-pub use engine::World;
+pub use engine::{EngineMode, World};
 pub use logging::{ContactRecord, SimLog};
 pub use report::{DropCause, MessageStats, SimReport};
 pub use scenario::{MapSpec, MobilitySpec, NodeGroup, RelayPlacement, Scenario};

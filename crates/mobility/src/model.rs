@@ -21,6 +21,39 @@ pub trait MovementModel: Send {
         false
     }
 
+    /// Earliest future time at which stepping this model can have any effect.
+    ///
+    /// This is the hook the event-driven engine schedules movement wake-ups
+    /// from, and it carries a strict contract:
+    ///
+    /// * `Some(t)` — every [`step`](MovementModel::step) whose end time is
+    ///   strictly before `t` is a **pure no-op**: position unchanged, no
+    ///   internal state change, no RNG draw. The engine may therefore skip
+    ///   those calls entirely and wake the model at the first tick ≥ `t`.
+    ///   Parked vehicles return their wait deadline; [`Stationary`] returns
+    ///   [`SimTime::MAX`].
+    /// * `None` — the model is actively moving and must be stepped every
+    ///   tick (the conservative default).
+    fn next_decision_time(&self) -> Option<SimTime> {
+        None
+    }
+
+    /// Closed-form position `elapsed` after the current state, without
+    /// mutating the model.
+    ///
+    /// Valid while no decision boundary (waypoint arrival, wait expiry) is
+    /// crossed within `elapsed`; beyond one the result is a conservative
+    /// extrapolation (it clamps at the final waypoint for path-based
+    /// models). This never replaces per-tick stepping where bit-identical
+    /// trajectories matter — iterated stepping accumulates float rounding
+    /// differently — but gives analysis code and coarse look-ahead (e.g.
+    /// contact-recheck bounds) an `O(1)` interpolation. Default: the current
+    /// position (correct for anything not moving).
+    fn position_at(&self, elapsed: SimDuration) -> Point {
+        let _ = elapsed;
+        self.position()
+    }
+
     /// Diagnostic name for reports.
     fn name(&self) -> &'static str;
 }
@@ -49,6 +82,10 @@ impl MovementModel for Stationary {
 
     fn is_stationary(&self) -> bool {
         true
+    }
+
+    fn next_decision_time(&self) -> Option<SimTime> {
+        Some(SimTime::MAX)
     }
 
     fn name(&self) -> &'static str {
@@ -81,6 +118,14 @@ pub(crate) fn advance_along_path(
         }
     }
     cur
+}
+
+/// Pure counterpart of [`advance_along_path`]: the position `dist` metres
+/// further along the path, without committing the move. Used by
+/// [`MovementModel::position_at`] implementations.
+pub(crate) fn peek_along_path(path: &[Point], pos: Point, leg: usize, dist: f64) -> Point {
+    let mut leg = leg;
+    advance_along_path(path, pos, &mut leg, dist)
 }
 
 #[cfg(test)]
@@ -133,5 +178,22 @@ mod tests {
         let p = advance_along_path(&path, Point::new(3.0, 0.0), &mut leg, 0.0);
         assert_eq!(p, Point::new(3.0, 0.0));
         assert_eq!(leg, 0);
+    }
+
+    #[test]
+    fn peek_does_not_commit() {
+        let path = [Point::new(10.0, 0.0), Point::new(10.0, 10.0)];
+        let leg = 0;
+        let p = peek_along_path(&path, Point::ORIGIN, leg, 15.0);
+        assert_eq!(p, Point::new(10.0, 5.0));
+        // Peeking twice from the same state yields the same answer.
+        assert_eq!(p, peek_along_path(&path, Point::ORIGIN, leg, 15.0));
+    }
+
+    #[test]
+    fn stationary_decision_time_is_never() {
+        let s = Stationary::new(Point::ORIGIN);
+        assert_eq!(s.next_decision_time(), Some(SimTime::MAX));
+        assert_eq!(s.position_at(SimDuration::from_hours(5)), Point::ORIGIN);
     }
 }

@@ -124,6 +124,25 @@ impl MovementModel for MapRouteMovement {
         self.pos
     }
 
+    fn next_decision_time(&self) -> Option<SimTime> {
+        match &self.phase {
+            Phase::Dwelling { until } => Some(*until),
+            Phase::Driving { .. } => None,
+        }
+    }
+
+    fn position_at(&self, elapsed: SimDuration) -> Point {
+        match &self.phase {
+            Phase::Dwelling { .. } => self.pos,
+            Phase::Driving { path, leg } => crate::model::peek_along_path(
+                path,
+                self.pos,
+                *leg,
+                self.cfg.speed * elapsed.as_secs_f64(),
+            ),
+        }
+    }
+
     fn name(&self) -> &'static str {
         "MapRoute"
     }

@@ -222,6 +222,24 @@ impl MovementModel for ShortestPathMapBased {
         self.pos
     }
 
+    fn next_decision_time(&self) -> Option<SimTime> {
+        match &self.phase {
+            // Steps ending before `until` are pure no-ops (no RNG draw, no
+            // state change — see `step`), so the engine may skip them.
+            Phase::Waiting { until } => Some(*until),
+            Phase::Driving { .. } => None,
+        }
+    }
+
+    fn position_at(&self, elapsed: SimDuration) -> Point {
+        match &self.phase {
+            Phase::Waiting { .. } => self.pos,
+            Phase::Driving { path, leg, speed } => {
+                crate::model::peek_along_path(path, self.pos, *leg, *speed * elapsed.as_secs_f64())
+            }
+        }
+    }
+
     fn name(&self) -> &'static str {
         "ShortestPathMapBased"
     }
@@ -334,6 +352,70 @@ mod tests {
         let tc = drive(&mut c, 1_000);
         assert_eq!(ta, tb);
         assert_ne!(ta, tc);
+    }
+
+    #[test]
+    fn skipping_noop_steps_is_bit_identical() {
+        // The event-driven engine's movement contract: a model whose
+        // `next_decision_time()` is `Some(t)` may be left unstepped for every
+        // tick ending before `t` without changing its trajectory at all.
+        let g = grid();
+        let cfg = SpmbConfig {
+            wait_lo: 5.0,
+            wait_hi: 40.0,
+            ..SpmbConfig::default()
+        };
+        let mut every_tick = ShortestPathMapBased::new(g.clone(), cfg, SimRng::seed_from_u64(21));
+        let mut lazy = ShortestPathMapBased::new(g, cfg, SimRng::seed_from_u64(21));
+        let dt = SimDuration::from_secs(1);
+        let mut now = SimTime::ZERO;
+        for _ in 0..4_000 {
+            let end = now + dt;
+            let reference = every_tick.step(now, dt);
+            let due = match lazy.next_decision_time() {
+                None => true,
+                Some(t) => t <= end,
+            };
+            if due {
+                lazy.step(now, dt);
+            }
+            assert_eq!(reference, lazy.position(), "diverged at {end}");
+            assert_eq!(every_tick.next_decision_time(), lazy.next_decision_time());
+            now = end;
+        }
+    }
+
+    #[test]
+    fn position_at_interpolates_while_driving() {
+        let g = grid();
+        let cfg = SpmbConfig {
+            wait_lo: 1.0,
+            wait_hi: 2.0,
+            ..SpmbConfig::default()
+        };
+        let mut m = ShortestPathMapBased::new(g, cfg, SimRng::seed_from_u64(6));
+        let dt = SimDuration::from_secs(1);
+        let mut now = SimTime::ZERO;
+        let mut checked = 0;
+        for _ in 0..2_000 {
+            if m.next_decision_time().is_none() {
+                // Driving: a one-tick closed-form look-ahead must land within
+                // one tick's travel of the stepped position (float rounding
+                // aside, they follow the same polyline at the same speed).
+                let predicted = m.position_at(dt);
+                let actual = m.step(now, dt);
+                assert!(
+                    predicted.distance(actual) < 1e-6,
+                    "peek {predicted} vs step {actual}"
+                );
+                checked += 1;
+            } else {
+                assert_eq!(m.position_at(dt), m.position(), "waiting peek moved");
+                m.step(now, dt);
+            }
+            now += dt;
+        }
+        assert!(checked > 100, "never drove ({checked} checks)");
     }
 
     #[test]

@@ -104,6 +104,22 @@ impl MovementModel for RandomWaypoint {
         self.pos
     }
 
+    fn next_decision_time(&self) -> Option<SimTime> {
+        match self.phase {
+            Phase::Waiting { until } => Some(until),
+            Phase::Moving { .. } => None,
+        }
+    }
+
+    fn position_at(&self, elapsed: SimDuration) -> Point {
+        match self.phase {
+            Phase::Waiting { .. } => self.pos,
+            Phase::Moving { target, speed } => self
+                .pos
+                .advance_towards(target, speed * elapsed.as_secs_f64()),
+        }
+    }
+
     fn name(&self) -> &'static str {
         "RandomWaypoint"
     }

@@ -1,9 +1,23 @@
 //! Contact detection: turning node positions into link-up/down events.
 //!
-//! Each tick the detector computes the set of node pairs within radio range
-//! and diffs it against the previous tick's set. Pairs entering the set
-//! produce [`LinkEvent::Up`], pairs leaving produce [`LinkEvent::Down`].
-//! Events are emitted in deterministic (lexicographic pair) order.
+//! Two update disciplines produce identical event streams:
+//!
+//! * [`ContactDetector::update`] — the ticked reference: recompute the full
+//!   in-range pair set from scratch and diff it against the previous set.
+//! * [`ContactDetector::update_incremental`] — the event-driven path: the
+//!   caller names which nodes moved this tick (with their displacement), the
+//!   grid is patched in `O(moved)`, and only moved nodes re-query their
+//!   neighbourhood. A pair of unmoved nodes cannot change its in-range
+//!   status, so the diff restricted to moved nodes is exact, not heuristic.
+//!   On top of that, each node caches a *slack* — its smallest distance
+//!   margin to any in/out-of-range flip, learned from an extended-radius
+//!   query — and skips even its own re-query while the worst-case
+//!   accumulated motion of any two nodes cannot have consumed that margin.
+//!
+//! Pairs entering the set produce [`LinkEvent::Up`], pairs leaving produce
+//! [`LinkEvent::Down`]. Events are emitted in deterministic order (downs
+//! first, then ups, each lexicographically sorted), identically in both
+//! disciplines.
 
 use crate::interface::RadioInterface;
 use serde::{Deserialize, Serialize};
@@ -20,6 +34,37 @@ pub enum DetectorBackend {
     Grid,
 }
 
+/// Canonical (low, high) key for an unordered node pair — the one key form
+/// used for pair-indexed state everywhere (detector sets, link table,
+/// engine contact bookkeeping).
+pub fn pair_key(a: NodeId, b: NodeId) -> (u32, u32) {
+    if a.0 < b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
+}
+
+/// Assemble the canonical event stream from canonical-key diffs: downs
+/// first (freeing nodes for new contacts), then ups, each lexicographically
+/// sorted. Single-sourcing this keeps the ticked and incremental detector
+/// paths emitting byte-identical streams.
+fn assemble_events(mut downs: Vec<(u32, u32)>, mut ups: Vec<(u32, u32)>) -> Vec<LinkEvent> {
+    downs.sort_unstable();
+    ups.sort_unstable();
+    let mut events = Vec::with_capacity(downs.len() + ups.len());
+    events.extend(
+        downs
+            .into_iter()
+            .map(|(a, b)| LinkEvent::Down(NodeId(a), NodeId(b))),
+    );
+    events.extend(
+        ups.into_iter()
+            .map(|(a, b)| LinkEvent::Up(NodeId(a), NodeId(b))),
+    );
+    events
+}
+
 /// A connectivity change between two nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkEvent {
@@ -27,6 +72,16 @@ pub enum LinkEvent {
     Up(NodeId, NodeId),
     /// The pair left radio range.
     Down(NodeId, NodeId),
+}
+
+/// A node that moved during the current tick, for
+/// [`ContactDetector::update_incremental`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MovedNode {
+    /// Index of the node in the positions slice.
+    pub index: u32,
+    /// Straight-line displacement since the previous tick, metres.
+    pub displacement: f64,
 }
 
 /// Stateful contact detector.
@@ -37,6 +92,24 @@ pub struct ContactDetector {
     current: HashSet<(u32, u32)>,
     // Scratch buffers reused across ticks.
     pairs_scratch: Vec<(u32, u32)>,
+    query_scratch: Vec<u32>,
+
+    // --- Incremental state (valid while `primed`) ---
+    /// True once `update_incremental` has built its per-node state from a
+    /// full scan. A call to the ticked `update` invalidates it.
+    primed: bool,
+    /// Per-node adjacency mirror of `current`.
+    neighbors: Vec<HashSet<u32>>,
+    /// Per-node distance margin to the nearest possible in/out-of-range
+    /// flip, measured at the node's last re-query (capped at `range`, the
+    /// extended-query guarantee).
+    slack: Vec<f64>,
+    /// Value of `cum_drift` at the node's last re-query.
+    drift_at_check: Vec<f64>,
+    /// Running sum over ticks of the largest single-node displacement; any
+    /// one node's total motion since drift `d0` is bounded by
+    /// `cum_drift - d0`.
+    cum_drift: f64,
 }
 
 impl ContactDetector {
@@ -49,6 +122,12 @@ impl ContactDetector {
             grid: SpatialGrid::new(interface.range),
             current: HashSet::new(),
             pairs_scratch: Vec::new(),
+            query_scratch: Vec::new(),
+            primed: false,
+            neighbors: Vec::new(),
+            slack: Vec::new(),
+            drift_at_check: Vec::new(),
+            cum_drift: 0.0,
         }
     }
 
@@ -85,28 +164,144 @@ impl ContactDetector {
         }
         let fresh: HashSet<(u32, u32)> = self.pairs_scratch.iter().copied().collect();
 
-        let mut downs: Vec<(u32, u32)> = self.current.difference(&fresh).copied().collect();
-        let mut ups: Vec<(u32, u32)> = fresh.difference(&self.current).copied().collect();
-        downs.sort_unstable();
-        ups.sort_unstable();
-
-        let mut events = Vec::with_capacity(downs.len() + ups.len());
-        events.extend(
-            downs
-                .into_iter()
-                .map(|(a, b)| LinkEvent::Down(NodeId(a), NodeId(b))),
-        );
-        events.extend(
-            ups.into_iter()
-                .map(|(a, b)| LinkEvent::Up(NodeId(a), NodeId(b))),
-        );
+        let downs: Vec<(u32, u32)> = self.current.difference(&fresh).copied().collect();
+        let ups: Vec<(u32, u32)> = fresh.difference(&self.current).copied().collect();
         self.current = fresh;
-        events
+        // The per-node incremental caches no longer match `current`.
+        self.primed = false;
+        assemble_events(downs, ups)
+    }
+
+    /// Event-driven update: only `moved` nodes changed position since the
+    /// last call.
+    ///
+    /// Produces exactly the event stream [`ContactDetector::update`] would
+    /// for the same positions (the first call performs the full scan to
+    /// prime per-node state; `moved` entries are ignored for that call).
+    /// The caller is responsible for `moved` being complete — listing a
+    /// node that did not move is harmless, omitting one that did is not.
+    ///
+    /// Cost is `O(moved × neighbourhood)` instead of `O(n)`: each moved
+    /// node patches its grid cell, and re-queries its surroundings only if
+    /// the accumulated worst-case motion since its last re-query could have
+    /// consumed its cached flip margin (see module docs). Both detector
+    /// backends share this path — the backend choice only affects the
+    /// ticked `update`, and the two backends are property-tested equal.
+    pub fn update_incremental(
+        &mut self,
+        positions: &[Point],
+        moved: &[MovedNode],
+    ) -> Vec<LinkEvent> {
+        if !self.primed {
+            return self.prime(positions);
+        }
+        if moved.is_empty() {
+            return Vec::new();
+        }
+
+        // Worst-case per-node motion this tick, for the slack bound.
+        let max_disp = moved.iter().fold(0.0f64, |m, n| m.max(n.displacement));
+        self.cum_drift += max_disp;
+
+        // Patch every moved node's grid position before any query, so pairs
+        // of moved nodes see each other's new position.
+        for m in moved {
+            self.grid.move_point(m.index, positions[m.index as usize]);
+        }
+
+        let r2 = self.range * self.range;
+        let mut downs: Vec<(u32, u32)> = Vec::new();
+        let mut ups: Vec<(u32, u32)> = Vec::new();
+        let mut still: HashSet<u32> = HashSet::new();
+        for m in moved {
+            let i = m.index;
+            // Slack skip: pair (i, j) can only flip once the two endpoints'
+            // combined motion reaches the margin measured at i's last
+            // re-query; each endpoint's motion is bounded by the drift
+            // accumulated since then.
+            let drift = self.cum_drift - self.drift_at_check[i as usize];
+            if 2.0 * drift < self.slack[i as usize] {
+                continue;
+            }
+
+            // One extended-radius query yields both the exact new neighbour
+            // set (d ≤ range) and a fresh slack: nodes beyond 2·range are at
+            // margin > range, so the cap is safe.
+            let center = positions[i as usize];
+            self.query_scratch.clear();
+            self.grid
+                .query_within(center, 2.0 * self.range, Some(i), &mut self.query_scratch);
+            let mut new_slack = self.range;
+            still.clear();
+            for k in 0..self.query_scratch.len() {
+                let j = self.query_scratch[k];
+                let d2 = positions[j as usize].distance_sq(center);
+                new_slack = new_slack.min((d2.sqrt() - self.range).abs());
+                if d2 <= r2 {
+                    still.insert(j);
+                    if !self.neighbors[i as usize].contains(&j) {
+                        ups.push(pair_key(NodeId(i), NodeId(j)));
+                    }
+                }
+            }
+            for &j in &self.neighbors[i as usize] {
+                if !still.contains(&j) {
+                    downs.push(pair_key(NodeId(i), NodeId(j)));
+                }
+            }
+            self.slack[i as usize] = new_slack;
+            self.drift_at_check[i as usize] = self.cum_drift;
+        }
+
+        // Pairs where both endpoints moved are discovered twice; canonical
+        // keys + dedup collapse them.
+        downs.sort_unstable();
+        downs.dedup();
+        ups.sort_unstable();
+        ups.dedup();
+        for &(a, b) in &downs {
+            self.current.remove(&(a, b));
+            self.neighbors[a as usize].remove(&b);
+            self.neighbors[b as usize].remove(&a);
+        }
+        for &(a, b) in &ups {
+            self.current.insert((a, b));
+            self.neighbors[a as usize].insert(b);
+            self.neighbors[b as usize].insert(a);
+        }
+        assemble_events(downs, ups)
+    }
+
+    /// Full scan that initialises the incremental per-node state. Emits the
+    /// same events a ticked `update` would from an empty previous set.
+    fn prime(&mut self, positions: &[Point]) -> Vec<LinkEvent> {
+        self.grid.rebuild(positions);
+        self.pairs_scratch.clear();
+        self.grid.pairs_within(self.range, &mut self.pairs_scratch);
+        let fresh: HashSet<(u32, u32)> = self.pairs_scratch.iter().copied().collect();
+
+        let downs: Vec<(u32, u32)> = self.current.difference(&fresh).copied().collect();
+        let ups: Vec<(u32, u32)> = fresh.difference(&self.current).copied().collect();
+
+        self.neighbors = vec![HashSet::new(); positions.len()];
+        for &(a, b) in &fresh {
+            self.neighbors[a as usize].insert(b);
+            self.neighbors[b as usize].insert(a);
+        }
+        // Zero slack forces a real re-query on each node's first move.
+        self.slack = vec![0.0; positions.len()];
+        self.drift_at_check = vec![0.0; positions.len()];
+        self.cum_drift = 0.0;
+        self.current = fresh;
+        self.primed = true;
+
+        assemble_events(downs, ups)
     }
 
     /// Forget all link state (e.g. between independent runs).
     pub fn reset(&mut self) {
         self.current.clear();
+        self.primed = false;
     }
 }
 
@@ -192,6 +387,94 @@ mod tests {
                 LinkEvent::Up(NodeId(0), NodeId(2)),
             ]
         );
+    }
+
+    /// Deterministic LCG in [0, 1).
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (*state >> 33) as f64 / (1u64 << 31) as f64
+    }
+
+    /// Random-walk equivalence harness: an incrementally updated detector
+    /// must emit exactly the reference (full-rescan) event stream, tick by
+    /// tick, for any mix of moving and parked nodes.
+    fn random_walk_equivalence(seed: u64, n: usize, ticks: usize, move_prob: f64) {
+        let mut reference = detector(DetectorBackend::Grid);
+        let mut incremental = detector(DetectorBackend::Grid);
+        let mut state = seed;
+        let mut pos: Vec<Point> = (0..n)
+            .map(|_| Point::new(lcg(&mut state) * 400.0, lcg(&mut state) * 400.0))
+            .collect();
+        // Prime both on the initial layout.
+        let er = reference.update(&pos);
+        let ei = incremental.update_incremental(&pos, &[]);
+        assert_eq!(er, ei, "priming events differ");
+        for tick in 0..ticks {
+            let mut moved = Vec::new();
+            for (i, p) in pos.iter_mut().enumerate() {
+                if lcg(&mut state) < move_prob {
+                    let old = *p;
+                    p.x += (lcg(&mut state) - 0.5) * 25.0;
+                    p.y += (lcg(&mut state) - 0.5) * 25.0;
+                    moved.push(MovedNode {
+                        index: i as u32,
+                        displacement: old.distance(*p),
+                    });
+                }
+            }
+            let er = reference.update(&pos);
+            let ei = incremental.update_incremental(&pos, &moved);
+            assert_eq!(er, ei, "tick {tick}: event streams diverged");
+            assert_eq!(
+                reference.active_count(),
+                incremental.active_count(),
+                "tick {tick}: active sets diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_reference_all_moving() {
+        random_walk_equivalence(1, 40, 60, 1.0);
+    }
+
+    #[test]
+    fn incremental_matches_reference_sparse_movement() {
+        // Most nodes parked, as in the paper scenario; exercises the slack
+        // skip over many consecutive small displacements.
+        random_walk_equivalence(2, 40, 120, 0.15);
+    }
+
+    #[test]
+    fn incremental_matches_reference_dense_cluster() {
+        random_walk_equivalence(3, 25, 60, 0.5);
+    }
+
+    #[test]
+    fn incremental_with_no_movement_is_silent() {
+        let mut d = detector(DetectorBackend::Grid);
+        let pos = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let ev = d.update_incremental(&pos, &[]);
+        assert_eq!(ev, vec![LinkEvent::Up(NodeId(0), NodeId(1))]);
+        for _ in 0..5 {
+            assert!(d.update_incremental(&pos, &[]).is_empty());
+        }
+        assert_eq!(d.active_count(), 1);
+    }
+
+    #[test]
+    fn ticked_update_invalidates_incremental_state() {
+        let mut d = detector(DetectorBackend::Grid);
+        let close = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let apart = vec![Point::new(0.0, 0.0), Point::new(200.0, 0.0)];
+        assert_eq!(d.update_incremental(&close, &[]).len(), 1);
+        // A ticked update in between must not confuse a later incremental
+        // call: it re-primes from the full scan.
+        assert_eq!(d.update(&apart).len(), 1); // down
+        let ev = d.update_incremental(&close, &[]);
+        assert_eq!(ev, vec![LinkEvent::Up(NodeId(0), NodeId(1))]);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod interface;
 pub mod link;
 pub mod trace;
 
-pub use contact::{ContactDetector, DetectorBackend, LinkEvent};
+pub use contact::{pair_key, ContactDetector, DetectorBackend, LinkEvent, MovedNode};
 pub use interface::RadioInterface;
 pub use link::{LinkTable, Transfer, TransferOutcome};
 pub use trace::ContactTrace;

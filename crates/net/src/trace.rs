@@ -61,7 +61,12 @@ impl ContactTrace {
 
     /// Close any still-open contacts at end of run so their durations count.
     pub fn finish(&mut self, now: SimTime) {
-        let open: Vec<(u32, u32)> = self.open.keys().copied().collect();
+        // Sorted order matters: Welford accumulation is order-sensitive at
+        // the ULP level, and HashMap iteration order is randomised per
+        // instance — without the sort, two runs of the same seed could
+        // disagree in the last bit of the mean.
+        let mut open: Vec<(u32, u32)> = self.open.keys().copied().collect();
+        open.sort_unstable();
         for k in open {
             let start = self.open.remove(&k).expect("listed key");
             self.durations.push(now.since(start).as_secs_f64());

@@ -1,13 +1,68 @@
-//! Deterministic time-ordered event queue.
+//! Deterministic time-ordered event queue and the engine's event kinds.
 //!
-//! A thin wrapper around [`std::collections::BinaryHeap`] that pops events in
-//! `(time, insertion sequence)` order. The sequence tie-break makes the queue
-//! fully deterministic: two events scheduled for the same millisecond always
-//! come out in the order they were scheduled, regardless of heap internals.
+//! [`EventQueue`] is a thin wrapper around [`std::collections::BinaryHeap`]
+//! that pops events in `(time, insertion sequence)` order. The sequence
+//! tie-break makes the queue fully deterministic: two events scheduled for
+//! the same millisecond always come out in the order they were scheduled,
+//! regardless of heap internals.
+//!
+//! [`EngineEvent`] enumerates the wake-up kinds the hybrid event-driven
+//! scheduler uses to decide *which ticks execute at all*. The contract is
+//! deliberately weak: an event is a conservative "something may happen at
+//! this tick" marker, never an obligation. The engine re-derives the actual
+//! work from simulation state when the tick runs, so stale or duplicate
+//! events are harmless — they cost one wasted wake-up, not correctness.
 
+use crate::ids::NodeId;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Wake-up kinds scheduled by the hybrid event-driven engine.
+///
+/// Each variant maps to one class of per-tick work the classic ticked loop
+/// performs unconditionally:
+///
+/// * [`TrafficDue`](EngineEvent::TrafficDue) — the traffic generator's next
+///   message creation time (one pending instance, rescheduled after each
+///   drain).
+/// * [`MovementWake`](EngineEvent::MovementWake) — a parked node's wait
+///   deadline: the next instant stepping its movement model can change
+///   state (plan a trip, draw RNG). Driving nodes are not scheduled this
+///   way — they are stepped every tick via `ContactRecheck`.
+/// * [`ContactRecheck`](EngineEvent::ContactRecheck) — at least one node is
+///   moving, so positions (and therefore the in-range pair set) must be
+///   re-evaluated next tick. Doubles as the waypoint-arrival clock: a
+///   driving node's arrival is detected by stepping it each tick.
+/// * [`LinkRound`](EngineEvent::LinkRound) — at least one contact is open,
+///   so transfer progress/completions and the routing round must run next
+///   tick. Transfer completions are a strict subset of these wake-ups
+///   (transfers only exist on open links).
+/// * [`TtlExpiry`](EngineEvent::TtlExpiry) — the earliest TTL expiry in one
+///   node's buffer (conservative: may fire early after evictions, never
+///   late).
+/// * [`Sample`](EngineEvent::Sample) — the next time-series sample boundary.
+///
+/// A tick with no due event is provably a no-op for every engine phase, so
+/// the scheduler advances the clock straight to the next due event instead
+/// of executing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// Next message creation is due at the traffic generator.
+    TrafficDue,
+    /// A parked node's movement-decision deadline (trip planning / waypoint
+    /// departure) is due.
+    MovementWake(NodeId),
+    /// Node positions changed recently: re-evaluate contacts next tick.
+    ContactRecheck,
+    /// Open contacts exist: run transfer progress and a routing round next
+    /// tick.
+    LinkRound,
+    /// A node's earliest buffered-message TTL may elapse at this time.
+    TtlExpiry(NodeId),
+    /// A time-series sample boundary.
+    Sample,
+}
 
 struct Entry<T> {
     time: SimTime,
@@ -159,6 +214,21 @@ mod tests {
         assert!(!q.is_empty());
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn engine_events_queue_deterministically() {
+        use crate::ids::NodeId;
+        let mut q = EventQueue::new();
+        q.schedule(t(20), EngineEvent::TtlExpiry(NodeId(3)));
+        q.schedule(t(10), EngineEvent::MovementWake(NodeId(1)));
+        q.schedule(t(10), EngineEvent::TrafficDue);
+        q.schedule(t(10), EngineEvent::ContactRecheck);
+        // Same-time events come out in schedule order.
+        assert_eq!(q.pop(), Some((t(10), EngineEvent::MovementWake(NodeId(1)))));
+        assert_eq!(q.pop(), Some((t(10), EngineEvent::TrafficDue)));
+        assert_eq!(q.pop(), Some((t(10), EngineEvent::ContactRecheck)));
+        assert_eq!(q.pop(), Some((t(20), EngineEvent::TtlExpiry(NodeId(3)))));
     }
 
     #[test]

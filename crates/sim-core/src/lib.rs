@@ -41,7 +41,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use events::EventQueue;
+pub use events::{EngineEvent, EventQueue};
 pub use ids::NodeId;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
