@@ -15,14 +15,15 @@ use vdtn_bench::engine_perf::{engine_scenario, run_mode};
 fn engine_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_modes");
     group.sample_size(10);
-    for &nodes in &[50usize, 200, 1000] {
+    for &nodes in &[50usize, 200, 1000, 5000, 10000] {
         // Shorter horizons at larger fleets keep the ticked reference
         // affordable inside a bench run; speedups are per-tick properties
         // and do not depend on the horizon.
         let duration = match nodes {
             50 => 1_200.0,
             200 => 600.0,
-            _ => 240.0,
+            1000 => 240.0,
+            _ => 120.0,
         };
         let scenario = engine_scenario(nodes, duration, 42);
         group.bench_with_input(BenchmarkId::new("ticked", nodes), &scenario, |b, sc| {

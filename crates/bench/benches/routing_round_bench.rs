@@ -1,0 +1,80 @@
+//! Routing-round microbenchmark: dense permanent contacts, isolated from
+//! mobility.
+//!
+//! [`dense_routing_scenario`] pins every node to a tight stationary grid
+//! (spacing below radio range), so movement, contact detection and TTL
+//! housekeeping are negligible and wall time tracks phase 5 — the routing
+//! round this PR makes incremental (schedule caches, per-contact offer
+//! cursors, silent-round memo). Covers every scheduling policy (paper
+//! combos plus extensions) under Epidemic, and the paper's Spray-and-Wait,
+//! whose wait phase is the canonical idle-contact regime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vdtn::engine::EngineMode;
+use vdtn::{DropPolicy, PolicyCombo, RouterKind, SchedulingPolicy};
+use vdtn_bench::engine_perf::{dense_routing_scenario, run_mode};
+
+fn routing_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_round");
+    group.sample_size(10);
+
+    // The paper's Table I combos, then every extension scheduling policy
+    // paired with the paper's winning drop policy.
+    let combos: Vec<(String, PolicyCombo)> = PolicyCombo::paper_table()
+        .into_iter()
+        .map(|p| (p.label(), p))
+        .chain(
+            [
+                SchedulingPolicy::LifetimeAsc,
+                SchedulingPolicy::SmallestFirst,
+                SchedulingPolicy::YoungestFirst,
+                SchedulingPolicy::FewestHops,
+            ]
+            .into_iter()
+            .map(|s| {
+                let p = PolicyCombo {
+                    scheduling: s,
+                    dropping: DropPolicy::LifetimeAsc,
+                };
+                (p.label(), p)
+            }),
+        )
+        .collect();
+
+    for (label, policy) in &combos {
+        let scenario = dense_routing_scenario(400, 240.0, RouterKind::Epidemic, *policy, 42);
+        group.bench_with_input(BenchmarkId::new("epidemic", label), &scenario, |b, sc| {
+            b.iter(|| {
+                run_mode(sc, EngineMode::EventDriven)
+                    .messages
+                    .transfers_started
+            })
+        });
+    }
+
+    // Spray and Wait: after the spray, contacts sit idle with full buffers
+    // — the configuration where the incremental round pays off most.
+    let scenario = dense_routing_scenario(
+        400,
+        240.0,
+        RouterKind::paper_snw(),
+        PolicyCombo::LIFETIME,
+        42,
+    );
+    group.bench_with_input(
+        BenchmarkId::new("snw", "Lifetime DESC-Lifetime ASC"),
+        &scenario,
+        |b, sc| {
+            b.iter(|| {
+                run_mode(sc, EngineMode::EventDriven)
+                    .messages
+                    .transfers_started
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, routing_round);
+criterion_main!(benches);

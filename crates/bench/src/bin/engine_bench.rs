@@ -6,12 +6,23 @@
 //! (default `BENCH_engine.json`), which is the repo's perf trajectory for
 //! the scheduler.
 //!
+//! With `--routing [PATH]` it additionally measures the routing-round-
+//! dominated dense-contact scenario (stationary mesh, permanent contacts;
+//! see [`vdtn_bench::engine_perf::dense_routing_scenario`]) after the
+//! engine-modes table and records it as JSON (default
+//! `BENCH_routing.json`) — the trajectory for the incremental-routing
+//! work. The routing section's fleet sizes and durations are fixed (the
+//! regime, not the scale, is the point); `--nodes`/`--duration-secs` apply
+//! to the engine-modes section only.
+//!
 //! ```text
-//! engine_bench [--json [PATH]] [--nodes 50,200,1000] [--duration-secs N] [--seed N]
+//! engine_bench [--json [PATH]] [--routing [PATH]] [--nodes 50,200,1000,5000,10000]
+//!              [--duration-secs N] [--seed N]
 //! ```
 
 use vdtn::engine::EngineMode;
-use vdtn_bench::engine_perf::{canon, engine_scenario, run_mode};
+use vdtn::{PolicyCombo, RouterKind};
+use vdtn_bench::engine_perf::{canon, dense_routing_scenario, engine_scenario, run_mode};
 
 struct Entry {
     nodes: usize,
@@ -24,7 +35,8 @@ struct Entry {
 
 fn main() {
     let mut json_path: Option<String> = None;
-    let mut nodes: Vec<usize> = vec![50, 200, 1000];
+    let mut routing_path: Option<String> = None;
+    let mut nodes: Vec<usize> = vec![50, 200, 1000, 5000, 10000];
     let mut duration_override: Option<f64> = None;
     let mut seed = 42u64;
 
@@ -38,6 +50,13 @@ fn main() {
                     _ => "BENCH_engine.json".to_string(),
                 };
                 json_path = Some(path);
+            }
+            "--routing" => {
+                let path = match args.peek() {
+                    Some(p) if !p.starts_with("--") => args.next().expect("peeked"),
+                    _ => "BENCH_routing.json".to_string(),
+                };
+                routing_path = Some(path);
             }
             "--nodes" => {
                 let list = args.next().expect("--nodes needs a comma-separated list");
@@ -63,7 +82,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: engine_bench [--json [PATH]] [--nodes 50,200,1000] [--duration-secs N] [--seed N]");
+                eprintln!("usage: engine_bench [--json [PATH]] [--routing [PATH]] [--nodes 50,200,1000,5000,10000] [--duration-secs N] [--seed N]");
                 std::process::exit(2);
             }
         }
@@ -79,7 +98,8 @@ fn main() {
         let duration = duration_override.unwrap_or(match n {
             0..=99 => 1_200.0,
             100..=499 => 600.0,
-            _ => 240.0,
+            500..=2_499 => 240.0,
+            _ => 120.0,
         });
         let scenario = engine_scenario(n, duration, seed);
         let ticked = run_mode(&scenario, EngineMode::Ticked);
@@ -124,6 +144,66 @@ fn main() {
         std::fs::write(&path, doc).expect("write benchmark JSON");
         println!("wrote {path}");
     }
+    if any_mismatch {
+        eprintln!("ERROR: event-driven report diverged from ticked reference");
+        std::process::exit(1);
+    }
+    if let Some(path) = routing_path {
+        run_routing_section(&path, seed);
+    }
+}
+
+/// Measure the dense-contact, routing-round-dominated scenario (event-driven
+/// wall time, with a ticked identity check) across fleet sizes and the
+/// paper's sorted-vs-FIFO policy extremes, writing `path` as JSON.
+fn run_routing_section(path: &str, seed: u64) {
+    println!("routing round: dense stationary mesh, permanent contacts");
+    println!(
+        "{:>6} {:>10} {:>24} {:>12} {:>12} {:>10}",
+        "nodes", "sim secs", "policy", "ticked s", "event s", "identical"
+    );
+    let mut rows = Vec::new();
+    let mut any_mismatch = false;
+    for &(n, duration) in &[(1000usize, 600.0f64), (5000, 300.0), (10000, 300.0)] {
+        for (router, policy, label) in [
+            (
+                RouterKind::Epidemic,
+                PolicyCombo::FIFO_FIFO,
+                "Epidemic FIFO-FIFO",
+            ),
+            (
+                RouterKind::Epidemic,
+                PolicyCombo::LIFETIME,
+                "Epidemic Lifetime",
+            ),
+            (
+                RouterKind::paper_snw(),
+                PolicyCombo::LIFETIME,
+                "SnW Lifetime",
+            ),
+        ] {
+            let scenario = dense_routing_scenario(n, duration, router, policy, seed);
+            let ticked = run_mode(&scenario, EngineMode::Ticked);
+            let event = run_mode(&scenario, EngineMode::EventDriven);
+            let identical = canon(ticked.clone()) == canon(event.clone());
+            any_mismatch |= !identical;
+            println!(
+                "{:>6} {:>10.0} {:>24} {:>12.3} {:>12.3} {:>10}",
+                n, duration, label, ticked.wall_secs, event.wall_secs, identical
+            );
+            rows.push(format!(
+                "    {{\"nodes\": {}, \"sim_duration_secs\": {}, \"policy\": \"{}\", \"ticked_wall_secs\": {:.6}, \"event_wall_secs\": {:.6}, \"reports_identical\": {}}}",
+                n, duration, label, ticked.wall_secs, event.wall_secs, identical
+            ));
+        }
+    }
+    let doc = format!(
+        "{{\n  \"benchmark\": \"routing_round\",\n  \"description\": \"World::run wall time on the dense-contact stationary mesh (routing round dominates; Epidemic, permanent contacts)\",\n  \"seed\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        seed,
+        rows.join(",\n")
+    );
+    std::fs::write(path, doc).expect("write routing benchmark JSON");
+    println!("wrote {path}");
     if any_mismatch {
         eprintln!("ERROR: event-driven report diverged from ticked reference");
         std::process::exit(1);

@@ -41,6 +41,9 @@ pub enum BufferError {
     },
     /// A copy of this message is already stored.
     Duplicate(MessageId),
+    /// The id `u64::MAX` is reserved as the internal tombstone sentinel and
+    /// can never be stored.
+    ReservedId,
 }
 
 impl std::fmt::Display for BufferError {
@@ -54,11 +57,18 @@ impl std::fmt::Display for BufferError {
             }
             BufferError::NoSpace { missing } => write!(f, "buffer lacks {missing} B"),
             BufferError::Duplicate(id) => write!(f, "duplicate message {id}"),
+            BufferError::ReservedId => write!(f, "message id u64::MAX is reserved"),
         }
     }
 }
 
 impl std::error::Error for BufferError {}
+
+/// In-place marker for removed `order` entries. `u64::MAX` can never be a
+/// real message id: [`Buffer::insert`] rejects it with
+/// [`BufferError::ReservedId`] (the traffic generator allocates ids
+/// sequentially from zero and never reaches it).
+const TOMBSTONE: MessageId = MessageId(u64::MAX);
 
 /// One entry of the lazy expiry min-heap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -73,7 +83,9 @@ pub struct Buffer {
     capacity: u64,
     used: u64,
     /// Reception order (front = oldest), possibly holding tombstoned
-    /// entries. An entry at position `p` is live iff `index[id] == p`.
+    /// entries. Removal overwrites the entry with the `TOMBSTONE` sentinel
+    /// in place, so liveness checks during iteration are a plain compare —
+    /// no hash lookups on the hot traversal paths.
     order: Vec<MessageId>,
     /// Id → position in `order` for every *stored* message.
     index: HashMap<MessageId, u32>,
@@ -85,6 +97,12 @@ pub struct Buffer {
     /// whose id is gone, or whose stored copy has a different expiry (id
     /// re-inserted), are discarded when they surface.
     expiry: Vec<ExpiryEntry>,
+    /// Monotone membership-change counter: bumped on every successful
+    /// insert and remove (and therefore on eviction and TTL drain, which go
+    /// through `remove`). [`crate::ScheduleCache`] revalidates against it.
+    /// In-place mutation via [`Buffer::get_mut`] does *not* bump it — see
+    /// `generation()` for the contract.
+    generation: u64,
 }
 
 impl Buffer {
@@ -98,7 +116,23 @@ impl Buffer {
             stale: 0,
             store: HashMap::new(),
             expiry: Vec::new(),
+            generation: 0,
         }
+    }
+
+    /// Monotone counter distinguishing buffer *membership* states: any
+    /// successful [`Buffer::insert`] or [`Buffer::remove`] bumps it, so two
+    /// observations with equal generations hold exactly the same message
+    /// set in the same reception order.
+    ///
+    /// [`Buffer::get_mut`] deliberately does **not** bump it: the fields
+    /// protocols mutate in place (spray quotas) are not scheduling keys —
+    /// every [`crate::SchedulingPolicy`] orders by immutable message fields
+    /// (reception position, absolute expiry, size, creation time, the
+    /// stored copy's hop count), which is what makes generation-keyed
+    /// schedule caching sound.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Total capacity in bytes.
@@ -153,6 +187,9 @@ impl Buffer {
     /// Insert a message copy. Fails without modifying the buffer if the
     /// message cannot fit or is already present.
     pub fn insert(&mut self, msg: Message) -> Result<(), BufferError> {
+        if msg.id == TOMBSTONE {
+            return Err(BufferError::ReservedId);
+        }
         if self.store.contains_key(&msg.id) {
             return Err(BufferError::Duplicate(msg.id));
         }
@@ -168,6 +205,7 @@ impl Buffer {
             });
         }
         self.used += msg.size;
+        self.generation += 1;
         self.index.insert(msg.id, self.order.len() as u32);
         self.order.push(msg.id);
         self.heap_push(ExpiryEntry {
@@ -179,12 +217,15 @@ impl Buffer {
     }
 
     /// Remove and return a copy. Amortised O(1): the `order` entry is
-    /// tombstoned and reclaimed by a later compaction; the expiry-heap entry
-    /// is discarded lazily.
+    /// overwritten with the `TOMBSTONE` sentinel and reclaimed by a later
+    /// compaction;
+    /// the expiry-heap entry is discarded lazily.
     pub fn remove(&mut self, id: MessageId) -> Option<Message> {
         let msg = self.store.remove(&id)?;
         self.used -= msg.size;
-        self.index.remove(&id);
+        self.generation += 1;
+        let pos = self.index.remove(&id).expect("stored ids are indexed");
+        self.order[pos as usize] = TOMBSTONE;
         self.stale += 1;
         if self.stale * 2 > self.order.len() {
             self.compact();
@@ -197,7 +238,7 @@ impl Buffer {
         let mut w = 0usize;
         for r in 0..self.order.len() {
             let id = self.order[r];
-            if self.index.get(&id) == Some(&(r as u32)) {
+            if id != TOMBSTONE {
                 self.order[w] = id;
                 self.index.insert(id, w as u32);
                 w += 1;
@@ -212,13 +253,10 @@ impl Buffer {
         self.ids_in_order().next()
     }
 
-    /// Ids in reception order (front = oldest).
+    /// Ids in reception order (front = oldest). A plain filtered slice
+    /// walk — tombstones are in-place sentinels, so no hashing is needed.
     pub fn ids_in_order(&self) -> impl Iterator<Item = MessageId> + '_ {
-        self.order
-            .iter()
-            .enumerate()
-            .filter(|(pos, id)| self.index.get(id) == Some(&(*pos as u32)))
-            .map(|(_, &id)| id)
+        self.order.iter().copied().filter(|&id| id != TOMBSTONE)
     }
 
     /// Iterate stored messages in reception order.
@@ -484,6 +522,17 @@ mod tests {
         b.insert(msg(200, 1, 200.0, 60)).unwrap();
         assert_eq!(order_ids(&b).last(), Some(&MessageId(200)));
         assert_eq!(b.used(), 11);
+    }
+
+    #[test]
+    fn reserved_tombstone_id_rejected() {
+        let mut b = Buffer::new(1000);
+        assert_eq!(
+            b.insert(msg(u64::MAX, 10, 0.0, 60)),
+            Err(BufferError::ReservedId)
+        );
+        assert!(b.is_empty());
+        assert_eq!(b.used(), 0);
     }
 
     #[test]

@@ -41,9 +41,11 @@
 pub mod buffer;
 pub mod message;
 pub mod policy;
+pub mod schedule;
 pub mod traffic;
 
 pub use buffer::{Buffer, BufferError};
 pub use message::{Message, MessageId};
 pub use policy::{DropPolicy, PolicyCombo, SchedulingPolicy};
+pub use schedule::ScheduleCache;
 pub use traffic::{TrafficConfig, TrafficGenerator};

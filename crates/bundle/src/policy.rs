@@ -42,18 +42,28 @@ impl SchedulingPolicy {
     ///
     /// Ties (identical keys) preserve reception order, so results are fully
     /// deterministic given the RNG stream.
-    pub fn order(&self, buffer: &Buffer, now: SimTime, rng: &mut SimRng) -> Vec<MessageId> {
+    ///
+    /// Every policy except [`SchedulingPolicy::Random`] keys on **immutable**
+    /// message fields, so the result is a pure function of the buffer's
+    /// membership state and can be cached across ticks (see
+    /// [`crate::ScheduleCache`]). In particular the lifetime policies sort by
+    /// *absolute expiry* rather than remaining TTL: at any fixed `now` the
+    /// two keys induce the same ranking over non-expired messages (expiry =
+    /// now + remaining), and expired messages — where the saturating
+    /// remaining-TTL key would tie at zero — are filtered out by every
+    /// scheduling consumer before use.
+    pub fn order(&self, buffer: &Buffer, _now: SimTime, rng: &mut SimRng) -> Vec<MessageId> {
         let mut ids: Vec<MessageId> = buffer.ids_in_order().collect();
         match self {
             SchedulingPolicy::Fifo => {} // reception order already
             SchedulingPolicy::Random => rng.shuffle(&mut ids),
             SchedulingPolicy::LifetimeDesc => {
                 ids.sort_by_key(|&id| {
-                    std::cmp::Reverse(buffer.get(id).expect("listed id").remaining_ttl(now))
+                    std::cmp::Reverse(buffer.get(id).expect("listed id").expiry())
                 });
             }
             SchedulingPolicy::LifetimeAsc => {
-                ids.sort_by_key(|&id| buffer.get(id).expect("listed id").remaining_ttl(now));
+                ids.sort_by_key(|&id| buffer.get(id).expect("listed id").expiry());
             }
             SchedulingPolicy::SmallestFirst => {
                 ids.sort_by_key(|&id| buffer.get(id).expect("listed id").size);

@@ -1,0 +1,230 @@
+//! Generation-validated caching of scheduling-policy orders.
+//!
+//! Every routing round asks the scheduling policy for the buffer's
+//! transmission order. Recomputing that order per idle connection per tick
+//! is O(B log B) allocation + sort even when nothing changed — the dominant
+//! cost of dense-contact scenarios once movement and contact detection are
+//! event-driven. [`ScheduleCache`] materialises the order once and
+//! revalidates it against [`Buffer::generation`], which changes exactly
+//! when buffer membership does.
+//!
+//! Soundness rests on two facts:
+//!
+//! * every policy except [`SchedulingPolicy::Random`] keys on immutable
+//!   message fields (reception position, absolute expiry, size, creation
+//!   time, the stored copy's hop count), so the order is a pure function of
+//!   membership — time- and RNG-independent, valid across ticks;
+//! * [`SchedulingPolicy::Random`] re-draws its permutation on every call by
+//!   contract, so the cache never retains it and the RNG stream is
+//!   bit-identical to the uncached path.
+
+use crate::buffer::Buffer;
+use crate::message::MessageId;
+use crate::policy::SchedulingPolicy;
+use vdtn_sim_core::{SimRng, SimTime};
+
+/// A memoised [`SchedulingPolicy::order`] result, revalidated by buffer
+/// generation.
+///
+/// **Contract: one cache serves one buffer for its whole life** (routers
+/// embed one next to their node's buffer). Generations are per-buffer
+/// counters, so feeding the same cache two different buffers can collide
+/// and return an order that does not match the buffer at all — the length
+/// cross-check below catches most such misuse, but equal-length collisions
+/// are undetectable by design.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleCache {
+    order: Vec<MessageId>,
+    generation: u64,
+    valid: bool,
+}
+
+impl ScheduleCache {
+    fn is_fresh(&self, buffer: &Buffer) -> bool {
+        self.valid && self.generation == buffer.generation() && self.order.len() == buffer.len()
+    }
+}
+
+impl ScheduleCache {
+    /// Empty cache; the first [`ScheduleCache::refresh`] always computes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The transmission order for `buffer` under `policy`, recomputed only
+    /// when the buffer's generation moved (or on every call for `Random`).
+    ///
+    /// The second return value is the **cursor token**: `Some(generation)`
+    /// when the returned slice is stable for that buffer generation (so
+    /// per-contact scan cursors into it stay meaningful), `None` when the
+    /// order is ephemeral (`Random`) and any saved cursor must not be used.
+    pub fn refresh(
+        &mut self,
+        policy: SchedulingPolicy,
+        buffer: &Buffer,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> (&[MessageId], Option<u64>) {
+        if policy == SchedulingPolicy::Random {
+            // Never cached: the permutation (and its RNG draws) belongs to
+            // this call alone.
+            self.valid = false;
+            self.order = policy.order(buffer, now, rng);
+            return (&self.order, None);
+        }
+        if !self.is_fresh(buffer) {
+            self.order = policy.order(buffer, now, rng);
+            self.generation = buffer.generation();
+            self.valid = true;
+        }
+        (&self.order, Some(self.generation))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use vdtn_sim_core::{NodeId, SimDuration};
+
+    fn msg(id: u64, size: u64, ttl_min: u64) -> Message {
+        Message::new(
+            MessageId(id),
+            NodeId(0),
+            NodeId(9),
+            size,
+            SimTime::ZERO,
+            SimDuration::from_mins(ttl_min),
+        )
+    }
+
+    #[test]
+    fn cache_hits_until_membership_changes() {
+        let mut b = Buffer::new(10_000);
+        b.insert(msg(1, 100, 10)).unwrap();
+        b.insert(msg(2, 100, 30)).unwrap();
+        let mut cache = ScheduleCache::new();
+        let mut rng = SimRng::seed_from_u64(1);
+
+        let (order, token) =
+            cache.refresh(SchedulingPolicy::LifetimeDesc, &b, SimTime::ZERO, &mut rng);
+        assert_eq!(order, [MessageId(2), MessageId(1)]);
+        let token = token.expect("sorted policies are cacheable");
+
+        // Same generation ⇒ same token, later `now` irrelevant.
+        let later = SimTime::from_secs_f64(120.0);
+        let (order, token2) = cache.refresh(SchedulingPolicy::LifetimeDesc, &b, later, &mut rng);
+        assert_eq!(order, [MessageId(2), MessageId(1)]);
+        assert_eq!(token2, Some(token));
+
+        // Membership change ⇒ new token, fresh order.
+        b.insert(msg(3, 100, 60)).unwrap();
+        let (order, token3) = cache.refresh(SchedulingPolicy::LifetimeDesc, &b, later, &mut rng);
+        assert_eq!(order, [MessageId(3), MessageId(2), MessageId(1)]);
+        assert_ne!(token3, Some(token));
+    }
+
+    #[test]
+    fn random_is_uncached_and_stream_identical() {
+        let mut b = Buffer::new(10_000);
+        for id in 1..=5u64 {
+            b.insert(msg(id, 100, 30)).unwrap();
+        }
+        let mut cache = ScheduleCache::new();
+        let mut cached_rng = SimRng::seed_from_u64(9);
+        let mut fresh_rng = SimRng::seed_from_u64(9);
+        for _ in 0..4 {
+            let (order, token) =
+                cache.refresh(SchedulingPolicy::Random, &b, SimTime::ZERO, &mut cached_rng);
+            assert_eq!(token, None, "Random must never hand out a cursor token");
+            let fresh = SchedulingPolicy::Random.order(&b, SimTime::ZERO, &mut fresh_rng);
+            assert_eq!(order, &fresh[..], "identical RNG stream call by call");
+        }
+        assert_eq!(cached_rng, fresh_rng);
+    }
+
+    #[test]
+    fn remove_invalidates() {
+        let mut b = Buffer::new(10_000);
+        b.insert(msg(1, 100, 10)).unwrap();
+        b.insert(msg(2, 100, 30)).unwrap();
+        let mut cache = ScheduleCache::new();
+        let mut rng = SimRng::seed_from_u64(1);
+        cache.refresh(SchedulingPolicy::Fifo, &b, SimTime::ZERO, &mut rng);
+        b.remove(MessageId(1)).unwrap();
+        let (order, _) = cache.refresh(SchedulingPolicy::Fifo, &b, SimTime::ZERO, &mut rng);
+        assert_eq!(order, [MessageId(2)]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::message::Message;
+    use crate::policy::SchedulingPolicy::*;
+    use proptest::prelude::*;
+    use vdtn_sim_core::{NodeId, SimDuration};
+
+    /// All scheduling policies, cacheable and not.
+    const POLICIES: [SchedulingPolicy; 7] = [
+        Fifo,
+        Random,
+        LifetimeDesc,
+        LifetimeAsc,
+        SmallestFirst,
+        YoungestFirst,
+        FewestHops,
+    ];
+
+    proptest! {
+        /// Issue satellite: across random buffers and mutation sequences,
+        /// the cached order equals a freshly computed
+        /// `SchedulingPolicy::order` for every policy — at every step, with
+        /// interleaved inserts, removes and time advances.
+        #[test]
+        fn cached_order_matches_fresh_order(
+            policy_idx in 0usize..POLICIES.len(),
+            ops in proptest::collection::vec(
+                (0u64..25, 1u64..400, 0u64..90, 0u64..3),
+                1..120,
+            ),
+        ) {
+            let policy = POLICIES[policy_idx];
+            let mut b = Buffer::new(20_000);
+            let mut cache = ScheduleCache::new();
+            // Twin RNG lanes: the cached and fresh paths must consume
+            // identical draws (only Random draws at all).
+            let mut cached_rng = SimRng::seed_from_u64(7);
+            let mut fresh_rng = SimRng::seed_from_u64(7);
+            let mut now = SimTime::ZERO;
+            for (id, size, ttl_min, action) in ops {
+                match action {
+                    0 => {
+                        let mut m = Message::new(
+                            MessageId(id),
+                            NodeId(0),
+                            NodeId(1),
+                            size,
+                            now,
+                            SimDuration::from_mins(ttl_min + 1),
+                        );
+                        m.hops = (size % 5) as u32;
+                        m.received = now;
+                        let _ = b.insert(m);
+                    }
+                    1 => {
+                        b.remove(MessageId(id));
+                    }
+                    _ => {
+                        now += SimDuration::from_secs(ttl_min);
+                    }
+                }
+                let fresh = policy.order(&b, now, &mut fresh_rng);
+                let (cached, token) = cache.refresh(policy, &b, now, &mut cached_rng);
+                prop_assert_eq!(cached, &fresh[..]);
+                prop_assert_eq!(token.is_none(), policy == Random);
+                prop_assert_eq!(&cached_rng, &fresh_rng);
+            }
+        }
+    }
+}

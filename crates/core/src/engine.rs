@@ -50,7 +50,7 @@
 use crate::logging::{SimLog, SimLogBuilder};
 use crate::report::{DropCause, Sample, SimReport};
 use crate::scenario::{place_relays_high_degree, MobilitySpec, RelayPlacement, Scenario};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 use vdtn_bundle::{MessageId, TrafficConfig, TrafficGenerator};
 use vdtn_geo::Point;
@@ -58,7 +58,7 @@ use vdtn_mobility::{MovementModel, ShortestPathMapBased, Stationary};
 use vdtn_net::{
     pair_key, ContactDetector, ContactTrace, LinkEvent, LinkTable, MovedNode, TransferOutcome,
 };
-use vdtn_routing::{NodeState, ReceiveOutcome, Router};
+use vdtn_routing::{ContactOffers, NodeState, ReceiveOutcome, Router};
 use vdtn_sim_core::{EngineEvent, EventQueue, NodeId, SimDuration, SimRng, SimTime};
 
 /// Split two distinct mutable references out of a slice.
@@ -106,11 +106,15 @@ pub struct World {
     detector: ContactDetector,
     links: LinkTable,
     traffic: TrafficGenerator,
-    /// Message ids already offered on a connection during this contact.
-    offered: HashMap<(u32, u32), HashSet<MessageId>>,
-    /// Payload bytes sent during the current contact, per endpoint
-    /// (`[lower id, higher id]` of the pair key).
-    sent_bytes: HashMap<(u32, u32), [u64; 2]>,
+    /// Per-connection offer state: ids already offered during the contact
+    /// (TTL-pruned so long contacts stay bounded), the per-direction resume
+    /// cursors into the cached schedule orders, and the per-direction
+    /// payload-byte counters (`[lower id, higher id]` of the pair key).
+    contacts: HashMap<(u32, u32), ContactOffers>,
+    /// Current radio neighbours per node, mirroring the live connection
+    /// set, so per-node housekeeping (TTL pruning of offer sets) touches
+    /// O(degree) contacts instead of scanning the whole table.
+    adjacency: Vec<Vec<u32>>,
 
     trace: ContactTrace,
     report: SimReport,
@@ -282,8 +286,8 @@ impl World {
             detector: ContactDetector::new(scenario.detector, scenario.radio),
             links: LinkTable::new(),
             traffic,
-            offered: HashMap::new(),
-            sent_bytes: HashMap::new(),
+            contacts: HashMap::new(),
+            adjacency: vec![Vec::new(); n],
             trace: ContactTrace::new(),
             report: SimReport {
                 scenario: scenario.name.clone(),
@@ -635,6 +639,18 @@ impl World {
             let ids: Vec<MessageId> = expired.iter().map(|m| m.id).collect();
             self.routers[i].on_messages_expired(&mut self.states[i], &ids);
             self.report.on_dropped(DropCause::Expired, ids.len() as u64);
+            // Prune this node's per-contact offer sets so they stay bounded
+            // by live traffic over arbitrarily long contacts. Behaviour-
+            // neutral (ids are never reused and expired messages are never
+            // re-offered), and cursor-safe: the drain above bumped this
+            // buffer's generation, so any cursor into a stale order rewinds
+            // at its next scan. O(degree) via the adjacency mirror.
+            let node = NodeId(i as u32);
+            for &peer in &self.adjacency[i] {
+                if let Some(contact) = self.contacts.get_mut(&pair_key(node, NodeId(peer))) {
+                    contact.prune_expired(now);
+                }
+            }
         }
         self.routers[i].on_tick(&mut self.states[i], now);
     }
@@ -689,8 +705,9 @@ impl World {
             log.on_up(a, b, self.now);
         }
         let key = pair_key(a, b);
-        self.offered.insert(key, HashSet::new());
-        self.sent_bytes.insert(key, [0, 0]);
+        self.contacts.insert(key, ContactOffers::new());
+        self.adjacency[a.index()].push(b.0);
+        self.adjacency[b.index()].push(a.0);
 
         // Digest exchange: both digests reflect pre-contact state.
         let da = self.routers[a.index()].digest(&self.states[a.index()], self.now);
@@ -719,8 +736,13 @@ impl World {
             log.on_down(a, b, self.now);
         }
         let key = pair_key(a, b);
-        self.offered.remove(&key);
-        let bytes = self.sent_bytes.remove(&key).unwrap_or([0, 0]);
+        let bytes = self
+            .contacts
+            .remove(&key)
+            .map(|c| c.sent_bytes())
+            .unwrap_or([0, 0]);
+        self.adjacency[a.index()].retain(|&x| x != b.0);
+        self.adjacency[b.index()].retain(|&x| x != a.0);
         let (lo, hi) = (NodeId(key.0), NodeId(key.1));
         self.routers[lo.index()].on_contact_down(
             &mut self.states[lo.index()],
@@ -742,9 +764,8 @@ impl World {
         self.report.messages.bytes_transferred += t.msg.size;
         // Account contact volume for MaxProp's threshold estimator.
         let key = pair_key(t.from, t.to);
-        if let Some(bytes) = self.sent_bytes.get_mut(&key) {
-            let side = usize::from(t.from.0 != key.0);
-            bytes[side] += t.msg.size;
+        if let Some(contact) = self.contacts.get_mut(&key) {
+            contact.add_sent(usize::from(t.from.0 != key.0), t.msg.size);
         }
 
         let outcome = self.routers[to].on_message_received(
@@ -796,17 +817,37 @@ impl World {
     /// if it names one. Returns whether a transfer started.
     fn try_start_transfer(&mut self, from: NodeId, to: NodeId) -> bool {
         let key = pair_key(from, to);
-        let offered = self
-            .offered
-            .get(&key)
+        let side = usize::from(from.0 != key.0);
+        // Single lookup serves the whole call: the router scans through a
+        // directional view (offered set + this direction's resume cursor)
+        // and a successful offer is recorded on the same borrow.
+        let contact = self
+            .contacts
+            .get_mut(&key)
             .expect("routing round only visits live connections");
         let (rf, rt) = pair_mut(&mut self.routers, from.index(), to.index());
-        let excluded = |id: MessageId| offered.contains(&id);
+
+        // Silence short-circuit: if this direction answered `None` from
+        // exactly this state snapshot, re-asking is provably futile (see
+        // `SilenceKey`); skipping the scan is bit-identical as long as the
+        // router draws no RNG in `next_transfer`.
+        let silence_key = [
+            self.states[from.index()].buffer.generation(),
+            rf.routing_generation(),
+            self.states[to.index()].buffer.generation(),
+            rt.routing_generation(),
+            self.states[to.index()].delivered.len() as u64,
+        ];
+        let cacheable = !rf.next_transfer_draws_rng();
+        if cacheable && contact.is_silent(side, &silence_key) {
+            return false;
+        }
+
         let intent = rf.next_transfer(
             &self.states[from.index()],
             &self.states[to.index()],
             &**rt,
-            &excluded,
+            &mut contact.view(side),
             self.now,
             &mut self.node_rngs[from.index()],
         );
@@ -816,15 +857,17 @@ impl World {
                     .buffer
                     .get(id)
                     .expect("router offered a message it does not hold");
+                contact.record(id, msg.expiry());
                 self.links.start_transfer(from, to, msg, self.now);
-                self.offered
-                    .get_mut(&key)
-                    .expect("checked above")
-                    .insert(id);
                 self.report.messages.transfers_started += 1;
                 true
             }
-            None => false,
+            None => {
+                if cacheable {
+                    contact.set_silent(side, silence_key);
+                }
+                false
+            }
         }
     }
 

@@ -7,28 +7,37 @@
 //! extension benches and as sanity anchors in the integration tests
 //! (Epidemic must dominate both on delivery ratio).
 
+use crate::offers::OfferView;
 use crate::router::{CreateOutcome, ReceiveOutcome, Router};
 use crate::state::NodeState;
-use crate::util::{make_room_and_store, policy_victim, standard_receive};
-use vdtn_bundle::{Message, MessageId, PolicyCombo};
+use crate::util::{make_room_and_store, policy_victim, scan_schedule, standard_receive};
+use vdtn_bundle::{Message, MessageId, PolicyCombo, ScheduleCache, SchedulingPolicy};
 use vdtn_sim_core::{NodeId, SimRng, SimTime};
 
 /// Source holds every message until it meets the destination.
 pub struct DirectDeliveryRouter {
     policy: PolicyCombo,
+    cache: ScheduleCache,
 }
 
 impl DirectDeliveryRouter {
     /// Create with the given buffer policies (scheduling matters only for
     /// the order of multiple deliverable messages at one contact).
     pub fn new(policy: PolicyCombo) -> Self {
-        DirectDeliveryRouter { policy }
+        DirectDeliveryRouter {
+            policy,
+            cache: ScheduleCache::new(),
+        }
     }
 }
 
 impl Router for DirectDeliveryRouter {
     fn kind_label(&self) -> &'static str {
         "Direct Delivery"
+    }
+
+    fn next_transfer_draws_rng(&self) -> bool {
+        self.policy.scheduling == SchedulingPolicy::Random
     }
 
     fn on_message_created(
@@ -55,21 +64,25 @@ impl Router for DirectDeliveryRouter {
         own: &NodeState,
         peer: &NodeState,
         _peer_router: &dyn Router,
-        excluded: &dyn Fn(MessageId) -> bool,
+        offers: &mut OfferView<'_>,
         now: SimTime,
         rng: &mut SimRng,
     ) -> Option<MessageId> {
-        self.policy
-            .scheduling
-            .order(&own.buffer, now, rng)
-            .into_iter()
-            .find(|&id| {
-                if excluded(id) || peer.knows(id) {
+        scan_schedule(
+            &mut self.cache,
+            self.policy.scheduling,
+            &own.buffer,
+            offers,
+            now,
+            rng,
+            |id| {
+                if peer.knows(id) {
                     return false;
                 }
                 let msg = own.buffer.get(id).expect("ordered id is stored");
                 msg.dst == peer.id && !msg.is_expired(now)
-            })
+            },
+        )
     }
 
     fn on_message_received(
@@ -103,18 +116,26 @@ impl Router for DirectDeliveryRouter {
 /// the sender), hopping until it meets the destination or expires.
 pub struct FirstContactRouter {
     policy: PolicyCombo,
+    cache: ScheduleCache,
 }
 
 impl FirstContactRouter {
     /// Create with the given buffer policies.
     pub fn new(policy: PolicyCombo) -> Self {
-        FirstContactRouter { policy }
+        FirstContactRouter {
+            policy,
+            cache: ScheduleCache::new(),
+        }
     }
 }
 
 impl Router for FirstContactRouter {
     fn kind_label(&self) -> &'static str {
         "First Contact"
+    }
+
+    fn next_transfer_draws_rng(&self) -> bool {
+        self.policy.scheduling == SchedulingPolicy::Random
     }
 
     fn on_message_created(
@@ -141,21 +162,25 @@ impl Router for FirstContactRouter {
         own: &NodeState,
         peer: &NodeState,
         _peer_router: &dyn Router,
-        excluded: &dyn Fn(MessageId) -> bool,
+        offers: &mut OfferView<'_>,
         now: SimTime,
         rng: &mut SimRng,
     ) -> Option<MessageId> {
-        self.policy
-            .scheduling
-            .order(&own.buffer, now, rng)
-            .into_iter()
-            .find(|&id| {
-                if excluded(id) || peer.knows(id) {
+        scan_schedule(
+            &mut self.cache,
+            self.policy.scheduling,
+            &own.buffer,
+            offers,
+            now,
+            rng,
+            |id| {
+                if peer.knows(id) {
                     return false;
                 }
                 let msg = own.buffer.get(id).expect("ordered id is stored");
                 !msg.is_expired(now) && peer.buffer.could_fit(msg.size)
-            })
+            },
+        )
     }
 
     fn on_message_received(
@@ -185,6 +210,7 @@ impl Router for FirstContactRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::offers::ContactOffers;
     use vdtn_sim_core::SimDuration;
 
     fn msg(id: u64, dst: u32) -> Message {
@@ -208,13 +234,27 @@ mod tests {
 
         let relay = NodeState::new(NodeId(5), 10_000, false);
         assert_eq!(
-            r.next_transfer(&own, &relay, &dummy_dd(), &|_| false, now, &mut rng),
+            r.next_transfer(
+                &own,
+                &relay,
+                &dummy_dd(),
+                &mut ContactOffers::new().view(0),
+                now,
+                &mut rng
+            ),
             None,
             "never offers to a relay"
         );
         let dest = NodeState::new(NodeId(9), 10_000, false);
         assert_eq!(
-            r.next_transfer(&own, &dest, &dummy_dd(), &|_| false, now, &mut rng),
+            r.next_transfer(
+                &own,
+                &dest,
+                &dummy_dd(),
+                &mut ContactOffers::new().view(0),
+                now,
+                &mut rng
+            ),
             Some(MessageId(1))
         );
         r.on_transfer_success(&mut own, MessageId(1), NodeId(9), true, now);
@@ -235,7 +275,14 @@ mod tests {
 
         let relay = NodeState::new(NodeId(5), 10_000, false);
         assert_eq!(
-            r.next_transfer(&own, &relay, &dummy_fc(), &|_| false, now, &mut rng),
+            r.next_transfer(
+                &own,
+                &relay,
+                &dummy_fc(),
+                &mut ContactOffers::new().view(0),
+                now,
+                &mut rng
+            ),
             Some(MessageId(1)),
             "first contact forwards to any peer"
         );
@@ -262,7 +309,14 @@ mod tests {
         r.on_message_created(&mut own, m2, now, &mut rng);
         let dest = NodeState::new(NodeId(9), 10_000, false);
         assert_eq!(
-            r.next_transfer(&own, &dest, &dummy_dd(), &|_| false, now, &mut rng),
+            r.next_transfer(
+                &own,
+                &dest,
+                &dummy_dd(),
+                &mut ContactOffers::new().view(0),
+                now,
+                &mut rng
+            ),
             Some(MessageId(2)),
             "Lifetime DESC offers the longest-lived first"
         );

@@ -6,21 +6,26 @@
 //! scheduling and dropping policies — which is precisely the knob the paper
 //! turns.
 
+use crate::offers::OfferView;
 use crate::router::{CreateOutcome, ReceiveOutcome, Router};
 use crate::state::NodeState;
-use crate::util::{make_room_and_store, policy_victim, standard_receive};
-use vdtn_bundle::{Message, MessageId, PolicyCombo};
+use crate::util::{make_room_and_store, policy_victim, scan_schedule, standard_receive};
+use vdtn_bundle::{Message, MessageId, PolicyCombo, ScheduleCache, SchedulingPolicy};
 use vdtn_sim_core::{NodeId, SimRng, SimTime};
 
 /// Flooding router with pluggable buffer policies.
 pub struct EpidemicRouter {
     policy: PolicyCombo,
+    cache: ScheduleCache,
 }
 
 impl EpidemicRouter {
     /// Create with the given scheduling/dropping combination.
     pub fn new(policy: PolicyCombo) -> Self {
-        EpidemicRouter { policy }
+        EpidemicRouter {
+            policy,
+            cache: ScheduleCache::new(),
+        }
     }
 
     /// The active policy combination.
@@ -32,6 +37,10 @@ impl EpidemicRouter {
 impl Router for EpidemicRouter {
     fn kind_label(&self) -> &'static str {
         "Epidemic"
+    }
+
+    fn next_transfer_draws_rng(&self) -> bool {
+        self.policy.scheduling == SchedulingPolicy::Random
     }
 
     fn on_message_created(
@@ -58,23 +67,27 @@ impl Router for EpidemicRouter {
         own: &NodeState,
         peer: &NodeState,
         _peer_router: &dyn Router,
-        excluded: &dyn Fn(MessageId) -> bool,
+        offers: &mut OfferView<'_>,
         now: SimTime,
         rng: &mut SimRng,
     ) -> Option<MessageId> {
         // Scheduling policy orders the buffer; offer the first message the
         // peer does not already know and that could physically fit there.
-        self.policy
-            .scheduling
-            .order(&own.buffer, now, rng)
-            .into_iter()
-            .find(|&id| {
-                if excluded(id) || peer.knows(id) {
+        scan_schedule(
+            &mut self.cache,
+            self.policy.scheduling,
+            &own.buffer,
+            offers,
+            now,
+            rng,
+            |id| {
+                if peer.knows(id) {
                     return false;
                 }
                 let msg = own.buffer.get(id).expect("ordered id is stored");
                 !msg.is_expired(now) && peer.buffer.could_fit(msg.size)
-            })
+            },
+        )
     }
 
     fn on_message_received(
@@ -107,6 +120,7 @@ impl Router for EpidemicRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::offers::ContactOffers;
     use vdtn_sim_core::SimDuration;
 
     fn msg(id: u64, dst: u32, size: u64, ttl_min: u64) -> Message {
@@ -137,7 +151,8 @@ mod tests {
         r.on_message_created(&mut own, msg(2, 9, 100, 90), now, &mut rng);
         r.on_message_created(&mut own, msg(3, 9, 100, 50), now, &mut rng);
         // Lifetime DESC: longest TTL first → message 2.
-        let next = r.next_transfer(&own, &peer, &r_dummy(), &|_| false, now, &mut rng);
+        let mut offers = ContactOffers::new();
+        let next = r.next_transfer(&own, &peer, &r_dummy(), &mut offers.view(0), now, &mut rng);
         assert_eq!(next, Some(MessageId(2)));
     }
 
@@ -153,17 +168,12 @@ mod tests {
         r.on_message_created(&mut own, msg(2, 9, 100, 50), now, &mut rng);
         // Peer already carries message 1.
         peer.buffer.insert(msg(1, 9, 100, 90)).unwrap();
-        let next = r.next_transfer(&own, &peer, &r_dummy(), &|_| false, now, &mut rng);
+        let mut offers = ContactOffers::new();
+        let next = r.next_transfer(&own, &peer, &r_dummy(), &mut offers.view(0), now, &mut rng);
         assert_eq!(next, Some(MessageId(2)));
-        // Excluding message 2 silences the router.
-        let next = r.next_transfer(
-            &own,
-            &peer,
-            &r_dummy(),
-            &|id| id == MessageId(2),
-            now,
-            &mut rng,
-        );
+        // Marking message 2 offered silences the router.
+        offers.record(MessageId(2), SimTime::MAX);
+        let next = r.next_transfer(&own, &peer, &r_dummy(), &mut offers.view(0), now, &mut rng);
         assert_eq!(next, None);
     }
 
@@ -174,7 +184,14 @@ mod tests {
         r.on_message_created(&mut own, msg(1, 2, 100, 90), now, &mut rng);
         peer.delivered.insert(MessageId(1));
         assert_eq!(
-            r.next_transfer(&own, &peer, &r_dummy(), &|_| false, now, &mut rng),
+            r.next_transfer(
+                &own,
+                &peer,
+                &r_dummy(),
+                &mut ContactOffers::new().view(0),
+                now,
+                &mut rng
+            ),
             None
         );
     }
@@ -187,16 +204,33 @@ mod tests {
         let later = SimTime::from_secs_f64(120.0);
         let peer = NodeState::new(NodeId(2), 10_000, false);
         assert_eq!(
-            r.next_transfer(&own, &peer, &r_dummy(), &|_| false, later, &mut rng),
+            r.next_transfer(
+                &own,
+                &peer,
+                &r_dummy(),
+                &mut ContactOffers::new().view(0),
+                later,
+                &mut rng
+            ),
             None,
             "expired message must not be offered"
         );
         // Message larger than the peer's whole buffer is never offered.
+        // (Fresh router for the fresh node: a router's schedule cache is
+        // bound to its own node's buffer, as in the engine.)
+        let mut r2 = EpidemicRouter::new(PolicyCombo::LIFETIME);
         let mut own2 = NodeState::new(NodeId(1), 10_000, false);
-        r.on_message_created(&mut own2, msg(2, 9, 9_000, 90), now, &mut rng);
+        r2.on_message_created(&mut own2, msg(2, 9, 9_000, 90), now, &mut rng);
         let tiny_peer = NodeState::new(NodeId(2), 1_000, false);
         assert_eq!(
-            r.next_transfer(&own2, &tiny_peer, &r_dummy(), &|_| false, now, &mut rng),
+            r2.next_transfer(
+                &own2,
+                &tiny_peer,
+                &r_dummy(),
+                &mut ContactOffers::new().view(0),
+                now,
+                &mut rng
+            ),
             None
         );
     }

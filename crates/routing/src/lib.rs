@@ -48,6 +48,7 @@
 pub mod direct;
 pub mod epidemic;
 pub mod maxprop;
+pub mod offers;
 pub mod prophet;
 pub mod router;
 pub mod snw;
@@ -58,6 +59,7 @@ pub(crate) mod util;
 pub use direct::{DirectDeliveryRouter, FirstContactRouter};
 pub use epidemic::EpidemicRouter;
 pub use maxprop::{MaxPropConfig, MaxPropRouter};
+pub use offers::{ContactOffers, OfferView};
 pub use prophet::{ProphetConfig, ProphetRouter};
 pub use router::{CreateOutcome, Digest, ReceiveOutcome, RejectReason, Router, RouterKind};
 pub use snw::SprayAndWaitRouter;

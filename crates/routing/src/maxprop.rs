@@ -23,6 +23,7 @@
 //! same statistic; our accounting of it is an approximation documented in
 //! DESIGN.md.)
 
+use crate::offers::OfferView;
 use crate::router::{CreateOutcome, Digest, ReceiveOutcome, Router};
 use crate::state::NodeState;
 use crate::util::{make_room_and_store, standard_receive};
@@ -48,6 +49,9 @@ impl Default for MaxPropConfig {
     }
 }
 
+/// Memoised digest payload: `(state generation, probs, acks)`.
+type MaxPropDigestCache = (u64, Vec<(NodeId, f64)>, Vec<MessageId>);
+
 /// Flooding router with cost-ranked scheduling, adaptive head start and
 /// delivery-ack purging.
 pub struct MaxPropRouter {
@@ -65,6 +69,17 @@ pub struct MaxPropRouter {
     /// Online mean of payload bytes sent per completed contact.
     avg_contact_bytes: f64,
     contacts_closed: u64,
+    /// Monotone counter bumped whenever `probs` or `acks` change; keys
+    /// `digest_cache` (MaxProp digests are time-independent, so the state
+    /// generation alone identifies them).
+    state_gen: u64,
+    /// Memoised digest payload for `state_gen`.
+    digest_cache: Option<MaxPropDigestCache>,
+    /// Memoised head-start threshold, keyed by `(buffer generation,
+    /// contacts_closed)` — its only inputs are buffer membership (hop
+    /// counts and sizes are immutable per stored copy) and the per-contact
+    /// volume estimate, which moves only when a contact closes.
+    threshold_cache: Option<((u64, u64), u32)>,
 }
 
 impl MaxPropRouter {
@@ -81,6 +96,9 @@ impl MaxPropRouter {
             costs: vec![f64::INFINITY; n_nodes],
             avg_contact_bytes: 0.0,
             contacts_closed: 0,
+            state_gen: 0,
+            digest_cache: None,
+            threshold_cache: None,
         }
     }
 
@@ -100,11 +118,21 @@ impl MaxPropRouter {
     }
 
     fn record_meeting(&mut self, peer: NodeId) {
+        self.state_gen += 1;
         self.probs[peer.index()] += 1.0;
         let sum: f64 = self.probs.iter().sum();
         for p in &mut self.probs {
             *p /= sum;
         }
+    }
+
+    /// Record a delivery acknowledgement; true if it was new.
+    fn learn_ack(&mut self, id: MessageId) -> bool {
+        let new = self.acks.insert(id);
+        if new {
+            self.state_gen += 1;
+        }
+        new
     }
 
     /// Single-source Dijkstra over the collected probability vectors.
@@ -153,9 +181,19 @@ impl MaxPropRouter {
     /// whose cumulative size fits in `head_start_fraction` of the average
     /// contact volume. With no contact statistics yet the threshold is 0
     /// (pure cost ranking), as in ONE.
-    fn threshold(&self, own: &NodeState) -> u32 {
+    ///
+    /// Memoised per `(buffer generation, contacts closed)`: between those
+    /// two moving, the O(B log B) hop-count sort would recompute the same
+    /// value on every routing round and every reception.
+    fn threshold(&mut self, own: &NodeState) -> u32 {
         if self.contacts_closed == 0 || self.avg_contact_bytes <= 0.0 {
             return 0;
+        }
+        let key = (own.buffer.generation(), self.contacts_closed);
+        if let Some((k, cached)) = self.threshold_cache {
+            if k == key {
+                return cached;
+            }
         }
         let budget = self.cfg.head_start_fraction * self.avg_contact_bytes;
         let mut msgs: Vec<(u32, u64)> = own.buffer.iter().map(|m| (m.hops, m.size)).collect();
@@ -169,6 +207,7 @@ impl MaxPropRouter {
             }
             threshold = hops + 1;
         }
+        self.threshold_cache = Some((key, threshold));
         threshold
     }
 
@@ -221,16 +260,24 @@ impl Router for MaxPropRouter {
         }
     }
 
-    fn digest(&self, _own: &NodeState, _now: SimTime) -> Digest {
-        Digest::MaxProp {
-            probs: self
-                .probs
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &p)| (p > 0.0).then_some((NodeId(i as u32), p)))
-                .collect(),
-            acks: self.acks.iter().copied().collect(),
+    fn digest(&mut self, _own: &NodeState, _now: SimTime) -> Digest {
+        if let Some((gen, probs, acks)) = &self.digest_cache {
+            if *gen == self.state_gen {
+                return Digest::MaxProp {
+                    probs: probs.clone(),
+                    acks: acks.clone(),
+                };
+            }
         }
+        let probs: Vec<(NodeId, f64)> = self
+            .probs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| (p > 0.0).then_some((NodeId(i as u32), p)))
+            .collect();
+        let acks: Vec<MessageId> = self.acks.iter().copied().collect();
+        self.digest_cache = Some((self.state_gen, probs.clone(), acks.clone()));
+        Digest::MaxProp { probs, acks }
     }
 
     fn on_contact_up(
@@ -249,7 +296,7 @@ impl Router for MaxPropRouter {
             }
             self.known.insert(peer.0, dense);
             for &ack in acks {
-                if self.acks.insert(ack) {
+                if self.learn_ack(ack) {
                     if let Some(m) = own.buffer.remove(ack) {
                         purged.push(m);
                     }
@@ -278,7 +325,7 @@ impl Router for MaxPropRouter {
         own: &NodeState,
         peer: &NodeState,
         _peer_router: &dyn Router,
-        excluded: &dyn Fn(MessageId) -> bool,
+        offers: &mut OfferView<'_>,
         now: SimTime,
         _rng: &mut SimRng,
     ) -> Option<MessageId> {
@@ -287,7 +334,7 @@ impl Router for MaxPropRouter {
         // start (by hop count), class 2 = cost-ranked. Lowest wins.
         let mut best: Option<((u8, f64), MessageId)> = None;
         for msg in own.buffer.iter() {
-            if excluded(msg.id)
+            if offers.is_offered(msg.id)
                 || peer.knows(msg.id)
                 || msg.is_expired(now)
                 || self.acks.contains(&msg.id)
@@ -328,7 +375,7 @@ impl Router for MaxPropRouter {
         let outcome = standard_receive(own, msg, now, |state| self.pick_victim(state, threshold));
         if let ReceiveOutcome::Delivered { .. } = outcome {
             // Destination floods the acknowledgement from now on.
-            self.acks.insert(msg.id);
+            self.learn_ack(msg.id);
         }
         outcome
     }
@@ -343,7 +390,7 @@ impl Router for MaxPropRouter {
     ) {
         if delivered {
             // Sender both discards (paper rule) and starts flooding the ack.
-            self.acks.insert(msg_id);
+            self.learn_ack(msg_id);
             own.buffer.remove(msg_id);
         }
     }
@@ -355,11 +402,18 @@ impl Router for MaxPropRouter {
     fn delivery_metric(&self, dest: NodeId, _now: SimTime) -> Option<f64> {
         Some(-self.costs[dest.index()])
     }
+
+    fn routing_generation(&self) -> u64 {
+        // Eligibility depends on the ack set (and, through rank only, the
+        // cost vectors); both move exactly with `state_gen`.
+        self.state_gen
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::offers::ContactOffers;
     use vdtn_sim_core::SimDuration;
 
     fn msg(id: u64, src: u32, dst: u32, size: u64) -> Message {
@@ -502,19 +556,22 @@ mod tests {
         let peer_router = MaxPropRouter::new(NodeId(1), 5, MaxPropConfig::default());
         // Message 3 goes first (peer is its destination).
         assert_eq!(
-            r.next_transfer(&s, &peer, &peer_router, &|_| false, now, &mut rng),
-            Some(MessageId(3))
-        );
-        // Excluding it, the cheap-cost message beats the unreachable one.
-        assert_eq!(
             r.next_transfer(
                 &s,
                 &peer,
                 &peer_router,
-                &|id| id == MessageId(3),
+                &mut ContactOffers::new().view(0),
                 now,
                 &mut rng
             ),
+            Some(MessageId(3))
+        );
+        // With it already offered, the cheap-cost message beats the
+        // unreachable one.
+        let mut offers = ContactOffers::new();
+        offers.record(MessageId(3), SimTime::MAX);
+        assert_eq!(
+            r.next_transfer(&s, &peer, &peer_router, &mut offers.view(0), now, &mut rng),
             Some(MessageId(2))
         );
     }
@@ -541,7 +598,14 @@ mod tests {
         let peer = state(2);
         let pr = MaxPropRouter::new(NodeId(2), 5, MaxPropConfig::default());
         assert_eq!(
-            r.next_transfer(&s, &peer, &pr, &|_| false, now, &mut rng),
+            r.next_transfer(
+                &s,
+                &peer,
+                &pr,
+                &mut ContactOffers::new().view(0),
+                now,
+                &mut rng
+            ),
             Some(MessageId(1)),
             "lowest hop count first within the head start"
         );

@@ -1,0 +1,216 @@
+//! Per-contact offer bookkeeping: what was already offered on a connection,
+//! plus each direction's resume cursor into its cached schedule order.
+//!
+//! The engine owns one [`ContactOffers`] per live connection (replacing the
+//! former pair-keyed `HashSet<MessageId>` + separate sent-bytes map) and
+//! hands routers a directional [`OfferView`] at every routing round.
+//!
+//! # The offer-cursor protocol
+//!
+//! A schedule-order router scans its cached order for the first message the
+//! peer should get. During a long contact that order's prefix fills up with
+//! already-offered messages, and a scan that restarts from zero re-checks
+//! every one of them each round. The cursor removes that rescan:
+//!
+//! * [`OfferView::resume`] returns the saved position when the supplied
+//!   **token** (the sender's cached-order generation) matches the one the
+//!   cursor was saved under, and `0` otherwise — the cursor *only rewinds
+//!   when the generation changes*;
+//! * the router advances past the contiguous offered prefix and calls
+//!   [`OfferView::save`] so the next round starts there;
+//! * soundness: the offered set only grows during a contact (TTL pruning
+//!   removes only globally expired ids, which every router filters out
+//!   anyway), and a cached order is immutable for its generation — so every
+//!   position below the cursor stays offered-or-expired for as long as the
+//!   token matches.
+
+use std::collections::HashMap;
+use vdtn_bundle::MessageId;
+use vdtn_sim_core::SimTime;
+
+/// One direction's resume point into a cached schedule order.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cursor {
+    token: u64,
+    pos: u32,
+    valid: bool,
+}
+
+/// Snapshot of every input that can turn a silent routing round loud again:
+/// `[sender buffer generation, sender routing generation, receiver buffer
+/// generation, receiver routing generation, receiver delivered-count]`.
+///
+/// If a round returned `None` under some key and the key is unchanged, the
+/// round is still `None` — every eligibility input is monotone between key
+/// changes (offered sets and delivered sets only grow, TTL expiry only
+/// removes candidates, capacity fits are constant per message, and the
+/// protocols' metric comparisons are invariant under pure time shift — see
+/// `Router::routing_generation`). The engine uses this to skip provably
+/// silent rounds outright.
+pub type SilenceKey = [u64; 5];
+
+/// Offer state for one live connection (both directions).
+#[derive(Debug, Clone, Default)]
+pub struct ContactOffers {
+    /// Ids already offered during this contact → their absolute expiry, so
+    /// the engine can prune entries whose message died of TTL and the set
+    /// stays bounded by *live* traffic over arbitrarily long contacts.
+    offered: HashMap<MessageId, SimTime>,
+    /// Scan cursors per direction: `[lower-id sender, higher-id sender]`.
+    cursors: [Cursor; 2],
+    /// Payload bytes completed per direction (same indexing), feeding
+    /// MaxProp's per-contact volume estimator at contact teardown.
+    sent_bytes: [u64; 2],
+    /// Last state snapshot under which each direction's routing round
+    /// returned `None`. A stale snapshot simply fails to match — no
+    /// explicit invalidation is ever needed.
+    silence: [Option<SilenceKey>; 2],
+}
+
+impl ContactOffers {
+    /// Fresh state for a contact that just came up.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `id` (expiring at `expiry`) was offered on this contact.
+    pub fn record(&mut self, id: MessageId, expiry: SimTime) {
+        self.offered.insert(id, expiry);
+    }
+
+    /// True if `id` was already offered on this contact.
+    pub fn is_offered(&self, id: MessageId) -> bool {
+        self.offered.contains_key(&id)
+    }
+
+    /// Number of ids currently tracked.
+    pub fn offered_count(&self) -> usize {
+        self.offered.len()
+    }
+
+    /// Drop every tracked id whose message has expired at `now`.
+    ///
+    /// Behaviour-neutral: message ids are never reused and every router
+    /// refuses to offer expired messages, so a pruned id can never be
+    /// re-offered — this is purely a memory bound. Cursors stay valid: an
+    /// expired id below a cursor was drained from the sender's buffer by
+    /// the same tick's TTL sweep, which bumped the buffer generation and
+    /// therefore rewinds that cursor at its next scan.
+    pub fn prune_expired(&mut self, now: SimTime) {
+        self.offered.retain(|_, expiry| *expiry > now);
+    }
+
+    /// Account `bytes` of completed payload for direction `side`.
+    pub fn add_sent(&mut self, side: usize, bytes: u64) {
+        self.sent_bytes[side] += bytes;
+    }
+
+    /// Payload bytes completed per direction.
+    pub fn sent_bytes(&self) -> [u64; 2] {
+        self.sent_bytes
+    }
+
+    /// True if direction `side` is known to be silent under `key` — i.e. a
+    /// routing round was already answered `None` from exactly this state.
+    pub fn is_silent(&self, side: usize, key: &SilenceKey) -> bool {
+        self.silence[side].as_ref() == Some(key)
+    }
+
+    /// Record that direction `side` answered `None` under `key`.
+    pub fn set_silent(&mut self, side: usize, key: SilenceKey) {
+        self.silence[side] = Some(key);
+    }
+
+    /// Directional view for the sender on `side` (0 = lower node id).
+    pub fn view(&mut self, side: usize) -> OfferView<'_> {
+        OfferView {
+            offered: &self.offered,
+            cursor: &mut self.cursors[side],
+        }
+    }
+}
+
+/// What a router sees of a contact's offer state when choosing the next
+/// transfer: the offered-id set plus its own direction's cursor.
+#[derive(Debug)]
+pub struct OfferView<'a> {
+    offered: &'a HashMap<MessageId, SimTime>,
+    cursor: &'a mut Cursor,
+}
+
+impl OfferView<'_> {
+    /// True if `id` was already offered during this contact.
+    pub fn is_offered(&self, id: MessageId) -> bool {
+        self.offered.contains_key(&id)
+    }
+
+    /// Scan-start position for the schedule order identified by `token`;
+    /// rewinds to 0 when the order changed since the cursor was saved.
+    pub fn resume(&self, token: u64) -> usize {
+        if self.cursor.valid && self.cursor.token == token {
+            self.cursor.pos as usize
+        } else {
+            0
+        }
+    }
+
+    /// Save the resume position for the order identified by `token`. Every
+    /// position below `pos` must be offered (see the module docs).
+    pub fn save(&mut self, token: u64, pos: usize) {
+        *self.cursor = Cursor {
+            token,
+            pos: pos as u32,
+            valid: true,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut c = ContactOffers::new();
+        assert!(!c.is_offered(MessageId(1)));
+        c.record(MessageId(1), SimTime::from_secs_f64(60.0));
+        assert!(c.is_offered(MessageId(1)));
+        assert_eq!(c.offered_count(), 1);
+        assert!(c.view(0).is_offered(MessageId(1)));
+        assert!(c.view(1).is_offered(MessageId(1)));
+    }
+
+    #[test]
+    fn prune_drops_only_expired() {
+        let mut c = ContactOffers::new();
+        c.record(MessageId(1), SimTime::from_secs_f64(60.0));
+        c.record(MessageId(2), SimTime::from_secs_f64(120.0));
+        c.prune_expired(SimTime::from_secs_f64(60.0)); // expiry ≤ now is dead
+        assert!(!c.is_offered(MessageId(1)));
+        assert!(c.is_offered(MessageId(2)));
+        assert_eq!(c.offered_count(), 1);
+    }
+
+    #[test]
+    fn cursor_resumes_per_token_and_side() {
+        let mut c = ContactOffers::new();
+        // Unsaved cursor always starts at zero.
+        assert_eq!(c.view(0).resume(7), 0);
+        c.view(0).save(7, 3);
+        assert_eq!(c.view(0).resume(7), 3, "same token resumes");
+        assert_eq!(c.view(0).resume(8), 0, "generation change rewinds");
+        assert_eq!(c.view(1).resume(7), 0, "sides are independent");
+        c.view(1).save(9, 5);
+        assert_eq!(c.view(0).resume(7), 3);
+        assert_eq!(c.view(1).resume(9), 5);
+    }
+
+    #[test]
+    fn sent_bytes_accumulate_per_side() {
+        let mut c = ContactOffers::new();
+        c.add_sent(0, 100);
+        c.add_sent(1, 40);
+        c.add_sent(0, 1);
+        assert_eq!(c.sent_bytes(), [101, 40]);
+    }
+}

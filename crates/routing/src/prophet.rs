@@ -18,6 +18,7 @@
 //! time), which is numerically identical to per-tick aging but O(1) per
 //! access instead of O(n) per tick.
 
+use crate::offers::OfferView;
 use crate::router::{CreateOutcome, Digest, ReceiveOutcome, Router};
 use crate::state::NodeState;
 use crate::util::{make_room_and_store, standard_receive};
@@ -55,12 +56,22 @@ struct Entry {
     last_update: SimTime,
 }
 
+/// Memoised digest payload: `(table generation, timestamp, entries)`.
+type ProphetDigestCache = (u64, SimTime, Vec<(NodeId, f64)>);
+
 /// Probabilistic router with GRTRMax forwarding.
 pub struct ProphetRouter {
     own: NodeId,
     cfg: ProphetConfig,
     /// `table[d]` = predictability of delivering to node `d`.
     table: Vec<Entry>,
+    /// Monotone counter bumped on every table mutation; keys `digest_cache`.
+    table_gen: u64,
+    /// Memoised digest vector: valid while `(table_gen, now)` both match —
+    /// aged predictabilities are time-dependent, so the timestamp is part of
+    /// the key. Saves the per-entry `powf` rebuild when several contacts of
+    /// this node come up in the same tick.
+    digest_cache: Option<ProphetDigestCache>,
 }
 
 impl ProphetRouter {
@@ -80,6 +91,8 @@ impl ProphetRouter {
                 };
                 n_nodes
             ],
+            table_gen: 0,
+            digest_cache: None,
         }
     }
 
@@ -106,6 +119,7 @@ impl ProphetRouter {
     }
 
     fn on_encounter(&mut self, peer: NodeId, now: SimTime) {
+        self.table_gen += 1;
         self.age_in_place(peer.index(), now);
         let e = &mut self.table[peer.index()];
         e.p += (1.0 - e.p) * self.cfg.p_init;
@@ -116,6 +130,7 @@ impl ProphetRouter {
         if p_ab == 0.0 {
             return;
         }
+        self.table_gen += 1;
         for &(c, p_bc) in peer_probs {
             if c == self.own || c == peer {
                 continue;
@@ -153,8 +168,15 @@ impl Router for ProphetRouter {
         }
     }
 
-    fn digest(&self, _own: &NodeState, now: SimTime) -> Digest {
-        let probs = self
+    fn digest(&mut self, _own: &NodeState, now: SimTime) -> Digest {
+        if let Some((gen, at, probs)) = &self.digest_cache {
+            if *gen == self.table_gen && *at == now {
+                return Digest::Prophet {
+                    probs: probs.clone(),
+                };
+            }
+        }
+        let probs: Vec<(NodeId, f64)> = self
             .table
             .iter()
             .enumerate()
@@ -163,6 +185,7 @@ impl Router for ProphetRouter {
                 (p > 1e-6).then_some((NodeId(i as u32), p))
             })
             .collect();
+        self.digest_cache = Some((self.table_gen, now, probs.clone()));
         Digest::Prophet { probs }
     }
 
@@ -185,7 +208,7 @@ impl Router for ProphetRouter {
         own: &NodeState,
         peer: &NodeState,
         peer_router: &dyn Router,
-        excluded: &dyn Fn(MessageId) -> bool,
+        offers: &mut OfferView<'_>,
         now: SimTime,
         _rng: &mut SimRng,
     ) -> Option<MessageId> {
@@ -194,7 +217,7 @@ impl Router for ProphetRouter {
         // predictability, destination contacts first.
         let mut best: Option<(f64, MessageId)> = None;
         for msg in own.buffer.iter() {
-            if excluded(msg.id) || peer.knows(msg.id) || msg.is_expired(now) {
+            if offers.is_offered(msg.id) || peer.knows(msg.id) || msg.is_expired(now) {
                 continue;
             }
             if !peer.buffer.could_fit(msg.size) && msg.dst != peer.id {
@@ -250,11 +273,19 @@ impl Router for ProphetRouter {
     fn delivery_metric(&self, dest: NodeId, now: SimTime) -> Option<f64> {
         Some(self.predictability(dest, now))
     }
+
+    fn routing_generation(&self) -> u64 {
+        // GRTRMax eligibility compares aged predictabilities; aging scales
+        // both sides of the comparison by the same factor, so the verdict
+        // can only change when the table itself does.
+        self.table_gen
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::offers::ContactOffers;
     use vdtn_sim_core::SimDuration;
 
     fn t(s: f64) -> SimTime {
@@ -335,20 +366,41 @@ mod tests {
         a.on_message_created(&mut sa, m, now, &mut rng);
         // Neither side knows node 2: no forward.
         assert_eq!(
-            a.next_transfer(&sa, &sb, &b, &|_| false, now, &mut rng),
+            a.next_transfer(
+                &sa,
+                &sb,
+                &b,
+                &mut ContactOffers::new().view(0),
+                now,
+                &mut rng
+            ),
             None
         );
         // Peer has met node 2: forward.
         b.on_encounter(NodeId(2), now);
         assert_eq!(
-            a.next_transfer(&sa, &sb, &b, &|_| false, now, &mut rng),
+            a.next_transfer(
+                &sa,
+                &sb,
+                &b,
+                &mut ContactOffers::new().view(0),
+                now,
+                &mut rng
+            ),
             Some(MessageId(1))
         );
         // If we now beat the peer, stay silent again.
         a.on_encounter(NodeId(2), now);
         a.on_encounter(NodeId(2), now);
         assert_eq!(
-            a.next_transfer(&sa, &sb, &b, &|_| false, now, &mut rng),
+            a.next_transfer(
+                &sa,
+                &sb,
+                &b,
+                &mut ContactOffers::new().view(0),
+                now,
+                &mut rng
+            ),
             None
         );
     }
@@ -371,7 +423,14 @@ mod tests {
         );
         a.on_message_created(&mut sa, m, now, &mut rng);
         assert_eq!(
-            a.next_transfer(&sa, &sb, &b, &|_| false, now, &mut rng),
+            a.next_transfer(
+                &sa,
+                &sb,
+                &b,
+                &mut ContactOffers::new().view(0),
+                now,
+                &mut rng
+            ),
             Some(MessageId(1))
         );
     }
@@ -402,7 +461,14 @@ mod tests {
         // GRTRMax sends the message with the highest peer predictability
         // first: message 2 (dst 3, P ≈ 0.9375) over message 1 (P = 0.75).
         assert_eq!(
-            a.next_transfer(&sa, &sb, &b, &|_| false, now, &mut rng),
+            a.next_transfer(
+                &sa,
+                &sb,
+                &b,
+                &mut ContactOffers::new().view(0),
+                now,
+                &mut rng
+            ),
             Some(MessageId(2))
         );
     }

@@ -1,5 +1,6 @@
 //! The `Router` trait, its outcome types, and the protocol factory.
 
+use crate::offers::OfferView;
 use crate::state::NodeState;
 use crate::{
     DirectDeliveryRouter, EpidemicRouter, FirstContactRouter, MaxPropConfig, MaxPropRouter,
@@ -90,8 +91,10 @@ pub trait Router: Send {
         rng: &mut SimRng,
     ) -> CreateOutcome;
 
-    /// Metadata to hand to a newly met peer. Called once per contact per side.
-    fn digest(&self, _own: &NodeState, _now: SimTime) -> Digest {
+    /// Metadata to hand to a newly met peer. Called once per contact per
+    /// side. Takes `&mut self` so protocols can memoise the assembled
+    /// vectors behind a state-generation check (PRoPHET, MaxProp).
+    fn digest(&mut self, _own: &NodeState, _now: SimTime) -> Digest {
         Digest::None
     }
 
@@ -122,15 +125,18 @@ pub trait Router: Send {
 
     /// Choose the next message to send to `peer` over an idle connection.
     ///
-    /// `excluded` returns true for messages already attempted during this
-    /// contact (the engine tracks this to mirror ONE's per-contact retry
-    /// suppression). Return `None` to stay silent this round.
+    /// `offers` tracks the messages already attempted during this contact
+    /// (the engine keeps it to mirror ONE's per-contact retry suppression):
+    /// [`OfferView::is_offered`] ids must not be offered again, and
+    /// schedule-order routers may use the view's resume cursor (see
+    /// [`crate::offers`]) to skip the already-offered prefix of their
+    /// cached order. Return `None` to stay silent this round.
     fn next_transfer(
         &mut self,
         own: &NodeState,
         peer: &NodeState,
         peer_router: &dyn Router,
-        excluded: &dyn Fn(MessageId) -> bool,
+        offers: &mut OfferView<'_>,
         now: SimTime,
         rng: &mut SimRng,
     ) -> Option<MessageId>;
@@ -175,6 +181,28 @@ pub trait Router: Send {
     /// `None` for protocols without such a metric.
     fn delivery_metric(&self, _dest: NodeId, _now: SimTime) -> Option<f64> {
         None
+    }
+
+    /// Monotone counter over protocol state that can change a
+    /// [`Router::next_transfer`] *eligibility* verdict — encounter tables,
+    /// ack sets, meeting probabilities. Together with the two buffers'
+    /// generations and the peer's delivered-count it forms the engine's
+    /// [`crate::offers::SilenceKey`]: between bumps, eligibility can only
+    /// shrink (messages expire, peers learn messages, spray quotas halve)
+    /// and the protocols' metric *comparisons* are invariant under pure
+    /// time shift (PRoPHET ages both sides by the same factor, recency
+    /// utilities shift by the same offset), so a `None` round stays `None`.
+    /// Stateless protocols keep the default `0`.
+    fn routing_generation(&self) -> u64 {
+        0
+    }
+
+    /// True when [`Router::next_transfer`] consumes RNG draws (the `Random`
+    /// scheduling policy re-shuffles per call). The engine never skips
+    /// rounds for such routers — a skipped draw would shift the node's RNG
+    /// lane and change downstream behaviour.
+    fn next_transfer_draws_rng(&self) -> bool {
+        false
     }
 }
 

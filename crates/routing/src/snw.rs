@@ -11,10 +11,11 @@
 //! the total number of logical copies in the network never exceeds `L`
 //! (property-tested in the integration suite).
 
+use crate::offers::OfferView;
 use crate::router::{CreateOutcome, ReceiveOutcome, Router};
 use crate::state::NodeState;
-use crate::util::{make_room_and_store, policy_victim, standard_receive};
-use vdtn_bundle::{Message, MessageId, PolicyCombo};
+use crate::util::{make_room_and_store, policy_victim, scan_schedule, standard_receive};
+use vdtn_bundle::{Message, MessageId, PolicyCombo, ScheduleCache, SchedulingPolicy};
 use vdtn_sim_core::{NodeId, SimRng, SimTime};
 
 /// Quota-replication router with pluggable buffer policies.
@@ -22,6 +23,7 @@ pub struct SprayAndWaitRouter {
     initial_copies: u32,
     binary: bool,
     policy: PolicyCombo,
+    cache: ScheduleCache,
 }
 
 impl SprayAndWaitRouter {
@@ -33,6 +35,7 @@ impl SprayAndWaitRouter {
             initial_copies,
             binary,
             policy,
+            cache: ScheduleCache::new(),
         }
     }
 
@@ -54,6 +57,10 @@ impl SprayAndWaitRouter {
 impl Router for SprayAndWaitRouter {
     fn kind_label(&self) -> &'static str {
         "Spray and Wait"
+    }
+
+    fn next_transfer_draws_rng(&self) -> bool {
+        self.policy.scheduling == SchedulingPolicy::Random
     }
 
     fn on_message_created(
@@ -81,16 +88,19 @@ impl Router for SprayAndWaitRouter {
         own: &NodeState,
         peer: &NodeState,
         _peer_router: &dyn Router,
-        excluded: &dyn Fn(MessageId) -> bool,
+        offers: &mut OfferView<'_>,
         now: SimTime,
         rng: &mut SimRng,
     ) -> Option<MessageId> {
-        self.policy
-            .scheduling
-            .order(&own.buffer, now, rng)
-            .into_iter()
-            .find(|&id| {
-                if excluded(id) || peer.knows(id) {
+        scan_schedule(
+            &mut self.cache,
+            self.policy.scheduling,
+            &own.buffer,
+            offers,
+            now,
+            rng,
+            |id| {
+                if peer.knows(id) {
                     return false;
                 }
                 let msg = own.buffer.get(id).expect("ordered id is stored");
@@ -99,7 +109,8 @@ impl Router for SprayAndWaitRouter {
                 }
                 // Spray phase needs quota; wait phase only direct delivery.
                 msg.dst == peer.id || msg.copies > 1
-            })
+            },
+        )
     }
 
     fn on_message_received(
@@ -143,6 +154,7 @@ impl Router for SprayAndWaitRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::offers::ContactOffers;
     use vdtn_sim_core::SimDuration;
 
     fn msg(id: u64, dst: u32) -> Message {
@@ -197,20 +209,43 @@ mod tests {
         r.on_message_created(&mut own, msg(1, 9), now, &mut rng);
         // Quota 12 > 1 ⇒ sprayable to a non-destination peer.
         assert_eq!(
-            r.next_transfer(&own, &peer, &dummy(), &|_| false, now, &mut rng),
+            r.next_transfer(
+                &own,
+                &peer,
+                &dummy(),
+                &mut ContactOffers::new().view(0),
+                now,
+                &mut rng
+            ),
             Some(MessageId(1))
         );
-        // Force the wait phase: single copy left.
+        // Force the wait phase: single copy left. The in-place quota edit
+        // must be visible through the schedule cache (copies is not a
+        // scheduling key, so the cached order stays valid).
         own.buffer.get_mut(MessageId(1)).unwrap().copies = 1;
         assert_eq!(
-            r.next_transfer(&own, &peer, &dummy(), &|_| false, now, &mut rng),
+            r.next_transfer(
+                &own,
+                &peer,
+                &dummy(),
+                &mut ContactOffers::new().view(0),
+                now,
+                &mut rng
+            ),
             None,
             "wait phase: no spray to non-destination"
         );
         // But direct delivery is always allowed.
         let dest = NodeState::new(NodeId(9), 10_000, false);
         assert_eq!(
-            r.next_transfer(&own, &dest, &dummy(), &|_| false, now, &mut rng),
+            r.next_transfer(
+                &own,
+                &dest,
+                &dummy(),
+                &mut ContactOffers::new().view(0),
+                now,
+                &mut rng
+            ),
             Some(MessageId(1))
         );
     }

@@ -8,10 +8,11 @@
 //! where the source's spray never reaches the destination's neighbourhood,
 //! and is the natural "future work" extension of the paper's SnW results.
 
+use crate::offers::OfferView;
 use crate::router::{CreateOutcome, ReceiveOutcome, Router};
 use crate::state::NodeState;
-use crate::util::{make_room_and_store, policy_victim, standard_receive};
-use vdtn_bundle::{Message, MessageId, PolicyCombo};
+use crate::util::{make_room_and_store, policy_victim, scan_schedule, standard_receive};
+use vdtn_bundle::{Message, MessageId, PolicyCombo, ScheduleCache, SchedulingPolicy};
 use vdtn_sim_core::{NodeId, SimRng, SimTime};
 
 /// Quota-replication router with utility-based focus phase.
@@ -20,6 +21,10 @@ pub struct SprayAndFocusRouter {
     policy: PolicyCombo,
     /// `last_met[d]` = time this node last encountered node `d` directly.
     last_met: Vec<Option<SimTime>>,
+    /// Bumped on every `last_met` write; the focus-phase eligibility
+    /// compares recencies, so this is the router's routing generation.
+    met_gen: u64,
+    cache: ScheduleCache,
 }
 
 impl SprayAndFocusRouter {
@@ -31,6 +36,8 @@ impl SprayAndFocusRouter {
             initial_copies,
             policy,
             last_met: vec![None; n_nodes],
+            met_gen: 0,
+            cache: ScheduleCache::new(),
         }
     }
 
@@ -44,6 +51,14 @@ impl SprayAndFocusRouter {
 impl Router for SprayAndFocusRouter {
     fn kind_label(&self) -> &'static str {
         "Spray and Focus"
+    }
+
+    fn routing_generation(&self) -> u64 {
+        self.met_gen
+    }
+
+    fn next_transfer_draws_rng(&self) -> bool {
+        self.policy.scheduling == SchedulingPolicy::Random
     }
 
     fn on_message_created(
@@ -74,6 +89,7 @@ impl Router for SprayAndFocusRouter {
         now: SimTime,
     ) -> Vec<Message> {
         self.last_met[peer.index()] = Some(now);
+        self.met_gen += 1;
         Vec::new()
     }
 
@@ -82,16 +98,22 @@ impl Router for SprayAndFocusRouter {
         own: &NodeState,
         peer: &NodeState,
         peer_router: &dyn Router,
-        excluded: &dyn Fn(MessageId) -> bool,
+        offers: &mut OfferView<'_>,
         now: SimTime,
         rng: &mut SimRng,
     ) -> Option<MessageId> {
-        self.policy
-            .scheduling
-            .order(&own.buffer, now, rng)
-            .into_iter()
-            .find(|&id| {
-                if excluded(id) || peer.knows(id) {
+        // Split borrows: the scan holds the cache mutably while the
+        // eligibility check reads the encounter table.
+        let last_met = &self.last_met;
+        scan_schedule(
+            &mut self.cache,
+            self.policy.scheduling,
+            &own.buffer,
+            offers,
+            now,
+            rng,
+            |id| {
+                if peer.knows(id) {
                     return false;
                 }
                 let msg = own.buffer.get(id).expect("ordered id is stored");
@@ -104,12 +126,12 @@ impl Router for SprayAndFocusRouter {
                 // Focus phase: hand off the single copy only if the peer has
                 // strictly better (more recent) last-encounter utility.
                 let peer_recency = peer_router.delivery_metric(msg.dst, now);
-                let own_recency = self
-                    .recency_secs(msg.dst, now)
-                    .map(|s| -s)
+                let own_recency = last_met[msg.dst.index()]
+                    .map(|t| -now.since(t).as_secs_f64())
                     .unwrap_or(f64::NEG_INFINITY);
                 matches!(peer_recency, Some(p) if p > own_recency)
-            })
+            },
+        )
     }
 
     fn on_message_received(
@@ -121,6 +143,7 @@ impl Router for SprayAndFocusRouter {
         rng: &mut SimRng,
     ) -> ReceiveOutcome {
         self.last_met[from.index()] = Some(now);
+        self.met_gen += 1;
         let mut incoming = *msg;
         // Spray phase splits the quota; focus phase moves the whole copy.
         incoming.copies = if msg.copies > 1 {
@@ -169,6 +192,7 @@ impl Router for SprayAndFocusRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::offers::ContactOffers;
     use vdtn_sim_core::SimDuration;
 
     fn t(s: f64) -> SimTime {
@@ -209,7 +233,14 @@ mod tests {
         a.on_message_created(&mut sa, msg(1, 9, 0), t(0.0), &mut rng);
         assert_eq!(sa.buffer.get(MessageId(1)).unwrap().copies, 8);
         assert_eq!(
-            a.next_transfer(&sa, &sb, &b, &|_| false, t(0.0), &mut rng),
+            a.next_transfer(
+                &sa,
+                &sb,
+                &b,
+                &mut ContactOffers::new().view(0),
+                t(0.0),
+                &mut rng
+            ),
             Some(MessageId(1))
         );
         a.on_transfer_success(&mut sa, MessageId(1), NodeId(2), false, t(0.0));
@@ -224,13 +255,27 @@ mod tests {
 
         // Peer never met node 9: no handoff.
         assert_eq!(
-            a.next_transfer(&sa, &sb, &b, &|_| false, t(100.0), &mut rng),
+            a.next_transfer(
+                &sa,
+                &sb,
+                &b,
+                &mut ContactOffers::new().view(0),
+                t(100.0),
+                &mut rng
+            ),
             None
         );
         // Peer met node 9 at t = 50: handoff happens.
         b.on_contact_up(&mut sb, NodeId(9), &crate::router::Digest::None, t(50.0));
         assert_eq!(
-            a.next_transfer(&sa, &sb, &b, &|_| false, t(100.0), &mut rng),
+            a.next_transfer(
+                &sa,
+                &sb,
+                &b,
+                &mut ContactOffers::new().view(0),
+                t(100.0),
+                &mut rng
+            ),
             Some(MessageId(1))
         );
         // After the handoff the single copy is gone from the sender.
@@ -247,7 +292,14 @@ mod tests {
         a.on_contact_up(&mut sa, NodeId(9), &crate::router::Digest::None, t(80.0));
         b.on_contact_up(&mut sb, NodeId(9), &crate::router::Digest::None, t(50.0));
         assert_eq!(
-            a.next_transfer(&sa, &sb, &b, &|_| false, t(100.0), &mut rng),
+            a.next_transfer(
+                &sa,
+                &sb,
+                &b,
+                &mut ContactOffers::new().view(0),
+                t(100.0),
+                &mut rng
+            ),
             None
         );
     }
@@ -260,7 +312,14 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(1);
         sa.buffer.insert(msg(1, 9, 1)).unwrap();
         assert_eq!(
-            a.next_transfer(&sa, &sb_dest, &b_dest, &|_| false, t(5.0), &mut rng),
+            a.next_transfer(
+                &sa,
+                &sb_dest,
+                &b_dest,
+                &mut ContactOffers::new().view(0),
+                t(5.0),
+                &mut rng
+            ),
             Some(MessageId(1))
         );
         a.on_transfer_success(&mut sa, MessageId(1), NodeId(9), true, t(5.0));

@@ -1,8 +1,9 @@
-//! Shared storage logic used by every protocol.
+//! Shared storage and scheduling-scan logic used by every protocol.
 
+use crate::offers::OfferView;
 use crate::router::{ReceiveOutcome, RejectReason};
 use crate::state::NodeState;
-use vdtn_bundle::{DropPolicy, Message, MessageId};
+use vdtn_bundle::{Buffer, DropPolicy, Message, MessageId, ScheduleCache, SchedulingPolicy};
 use vdtn_sim_core::{SimRng, SimTime};
 
 /// Store `msg` in `own.buffer`, evicting victims chosen by `pick_victim`
@@ -42,6 +43,44 @@ pub fn make_room_and_store(
     }
     own.buffer.insert(msg).expect("space was just ensured");
     Ok(evicted)
+}
+
+/// The shared scheduling scan of every policy-driven router: walk the
+/// cached schedule order and return the first not-yet-offered message that
+/// `eligible` accepts (peer- and protocol-specific checks). `eligible`
+/// receives the bare id so routers can order their rejection tests
+/// cheapest-first (a `peer.knows` hit should not pay for a message fetch).
+///
+/// Implements the consumer side of the offer-cursor protocol (see
+/// [`crate::offers`]): scanning resumes at the saved cursor when the cached
+/// order's generation still matches, the contiguous offered prefix advances
+/// the cursor for the next round, and `Random` orders — which carry no
+/// cursor token — always scan from the front. Exactly equivalent to
+/// re-ordering the buffer and scanning from zero, minus the redundant work.
+pub fn scan_schedule(
+    cache: &mut ScheduleCache,
+    policy: SchedulingPolicy,
+    buffer: &Buffer,
+    offers: &mut OfferView<'_>,
+    now: SimTime,
+    rng: &mut SimRng,
+    mut eligible: impl FnMut(MessageId) -> bool,
+) -> Option<MessageId> {
+    let (order, token) = cache.refresh(policy, buffer, now, rng);
+    let mut start = match token {
+        Some(t) => offers.resume(t),
+        None => 0,
+    };
+    while start < order.len() && offers.is_offered(order[start]) {
+        start += 1;
+    }
+    if let Some(t) = token {
+        offers.save(t, start);
+    }
+    order[start..]
+        .iter()
+        .copied()
+        .find(|&id| !offers.is_offered(id) && eligible(id))
 }
 
 /// The standard reception pipeline shared by every protocol:
