@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vdtn::engine::EngineMode;
-use vdtn_bench::engine_perf::{engine_scenario, run_mode};
+use vdtn_bench::engine_perf::{engine_scenario, run_mode, transfer_bound_scenario};
 
 fn engine_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_modes");
@@ -36,5 +36,28 @@ fn engine_modes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, engine_modes);
+/// Transfer-bound regime: isolated stationary pairs draining few large
+/// bundles over a slow radio. The ticked engine burns one tick per second
+/// of drain; the event engine wakes once per bundle (`TransferComplete`),
+/// so its wall time is independent of the drain duration.
+fn transfer_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer_bound");
+    group.sample_size(10);
+    for &pairs in &[4usize, 16] {
+        let scenario = transfer_bound_scenario(pairs, 2_400.0, 42);
+        group.bench_with_input(BenchmarkId::new("ticked", pairs * 2), &scenario, |b, sc| {
+            b.iter(|| run_mode(sc, EngineMode::Ticked).messages.bytes_transferred)
+        });
+        group.bench_with_input(BenchmarkId::new("event", pairs * 2), &scenario, |b, sc| {
+            b.iter(|| {
+                run_mode(sc, EngineMode::EventDriven)
+                    .messages
+                    .bytes_transferred
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_modes, transfer_bound);
 criterion_main!(benches);

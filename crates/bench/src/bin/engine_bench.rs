@@ -1,10 +1,14 @@
 //! One-shot engine-scheduler benchmark harness.
 //!
 //! Runs the ticked and event-driven engines on identical scenarios across
-//! fleet sizes, verifies the reports are bit-identical, and prints a small
-//! table. With `--json [PATH]` it also records the measurements as JSON
-//! (default `BENCH_engine.json`), which is the repo's perf trajectory for
-//! the scheduler.
+//! fleet sizes — the paper-mobility sweep plus the transfer-bound scenario
+//! (few large bundles over a slow radio; the event engine rides scheduled
+//! `TransferComplete` instants instead of per-tick byte draining) —
+//! verifies the reports are bit-identical, and prints small tables. With
+//! `--json [PATH]` it also records the measurements as JSON (default
+//! `BENCH_engine.json`, with the transfer scenario under
+//! `"transfer_bound"`), which is the repo's perf trajectory for the
+//! scheduler. `--duration-secs` shortens both sections (CI smoke).
 //!
 //! With `--routing [PATH]` it additionally measures the routing-round-
 //! dominated dense-contact scenario (stationary mesh, permanent contacts;
@@ -22,7 +26,9 @@
 
 use vdtn::engine::EngineMode;
 use vdtn::{PolicyCombo, RouterKind};
-use vdtn_bench::engine_perf::{canon, dense_routing_scenario, engine_scenario, run_mode};
+use vdtn_bench::engine_perf::{
+    canon, dense_routing_scenario, engine_scenario, run_mode, transfer_bound_scenario,
+};
 
 struct Entry {
     nodes: usize,
@@ -125,21 +131,62 @@ fn main() {
         entries.push(entry);
     }
 
-    let any_mismatch = entries.iter().any(|e| !e.identical);
+    // Transfer-bound section: few large bundles over a slow radio under
+    // permanent contacts — engine work should be O(bundles), independent of
+    // how many seconds each bundle drains. Part of the default run (and of
+    // BENCH_engine.json) so the smoke step always checks its identity too.
+    println!("transfer-bound: isolated stationary pairs, 1-2 MB bundles at 4 kB/s");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>9} {:>10}",
+        "nodes", "sim secs", "ticked s", "event s", "speedup", "identical"
+    );
+    let mut transfer_entries = Vec::new();
+    for &pairs in &[4usize, 16] {
+        let duration = duration_override.unwrap_or(2_400.0);
+        let scenario = transfer_bound_scenario(pairs, duration, seed);
+        let ticked = run_mode(&scenario, EngineMode::Ticked);
+        let event = run_mode(&scenario, EngineMode::EventDriven);
+        let identical = canon(ticked.clone()) == canon(event.clone());
+        let entry = Entry {
+            nodes: pairs * 2,
+            duration_secs: duration,
+            ticked_wall_secs: ticked.wall_secs,
+            event_wall_secs: event.wall_secs,
+            speedup: ticked.wall_secs / event.wall_secs.max(1e-9),
+            identical,
+        };
+        println!(
+            "{:>6} {:>10.0} {:>12.3} {:>12.3} {:>8.2}x {:>10}",
+            entry.nodes,
+            entry.duration_secs,
+            entry.ticked_wall_secs,
+            entry.event_wall_secs,
+            entry.speedup,
+            entry.identical,
+        );
+        transfer_entries.push(entry);
+    }
+
+    let any_mismatch = entries
+        .iter()
+        .chain(transfer_entries.iter())
+        .any(|e| !e.identical);
     if let Some(path) = json_path {
         // Hand-rolled JSON keeps the schema explicit and the vendored
         // serde_json shim out of the float-formatting hot seat.
-        let mut rows = Vec::new();
-        for e in &entries {
-            rows.push(format!(
+        let row = |e: &Entry| {
+            format!(
                 "    {{\"nodes\": {}, \"sim_duration_secs\": {}, \"ticked_wall_secs\": {:.6}, \"event_wall_secs\": {:.6}, \"speedup\": {:.3}, \"reports_identical\": {}}}",
                 e.nodes, e.duration_secs, e.ticked_wall_secs, e.event_wall_secs, e.speedup, e.identical
-            ));
-        }
+            )
+        };
+        let rows: Vec<String> = entries.iter().map(row).collect();
+        let transfer_rows: Vec<String> = transfer_entries.iter().map(row).collect();
         let doc = format!(
-            "{{\n  \"benchmark\": \"engine_modes\",\n  \"description\": \"World::run wall time, ticked vs event-driven scheduler, identical scenarios (paper mobility, Epidemic + Lifetime policies)\",\n  \"seed\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"benchmark\": \"engine_modes\",\n  \"description\": \"World::run wall time, ticked vs event-driven scheduler, identical scenarios (paper mobility, Epidemic + Lifetime policies)\",\n  \"seed\": {},\n  \"entries\": [\n{}\n  ],\n  \"transfer_bound\": [\n{}\n  ]\n}}\n",
             seed,
-            rows.join(",\n")
+            rows.join(",\n"),
+            transfer_rows.join(",\n")
         );
         std::fs::write(&path, doc).expect("write benchmark JSON");
         println!("wrote {path}");

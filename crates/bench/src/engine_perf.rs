@@ -105,6 +105,65 @@ pub fn dense_routing_scenario(
     }
 }
 
+/// A transfer-bound scenario: `pairs` isolated stationary node pairs (both
+/// partners pinned to the same road vertex, pairs a full grid cell apart)
+/// exchanging **few, large bundles over a very slow radio** — 2 MB at
+/// 4 kB/s is 500 s of drain per bundle, under permanent contacts.
+///
+/// Movement, contact churn and the routing round are all negligible; the
+/// run is wall-to-wall byte draining. The per-tick engine burns one tick
+/// per simulated second of drain; the event engine schedules one
+/// `TransferComplete` instant per bundle and sleeps through the drain, so
+/// its work is O(bundles), independent of how long each bundle drains.
+pub fn transfer_bound_scenario(pairs: usize, duration_secs: f64, seed: u64) -> Scenario {
+    let side = ((pairs as f64).sqrt().ceil() as usize).max(2);
+    let spacing = 200.0; // ≫ radio range: pairs never see each other
+    let points: Vec<Point> = (0..pairs * 2)
+        .map(|k| {
+            let cell = k / 2; // both partners of a pair share a vertex
+            Point::new(
+                (cell % side) as f64 * spacing,
+                (cell / side) as f64 * spacing,
+            )
+        })
+        .collect();
+    Scenario {
+        name: format!("transfer-bound-{pairs}x2"),
+        seed,
+        duration_secs,
+        tick_secs: 1.0,
+        map: MapSpec::Grid(GridMapGen {
+            cols: side,
+            rows: side,
+            spacing,
+        }),
+        groups: vec![NodeGroup {
+            name: "pairs".into(),
+            count: pairs * 2,
+            buffer_bytes: 200_000_000,
+            mobility: MobilitySpec::Stationary(RelayPlacement::Explicit(points)),
+            is_relay: false,
+        }],
+        // The paper's range with a deliberately slow radio: each bundle
+        // occupies its link for minutes of simulated time.
+        radio: RadioInterface {
+            range: 30.0,
+            rate: 4_000.0,
+        },
+        detector: DetectorBackend::Grid,
+        traffic: TrafficSpec {
+            interval_lo: 120.0,
+            interval_hi: 240.0,
+            size_lo: 1_000_000,
+            size_hi: 2_000_000,
+            ttl: SimDuration::from_mins(120),
+        },
+        router: RouterKind::Epidemic,
+        policy: PolicyCombo::LIFETIME,
+        sample_period_secs: 0.0,
+    }
+}
+
 /// Run the scenario in the given mode, returning the report (whose
 /// `wall_secs` is the engine-loop wall time).
 pub fn run_mode(scenario: &Scenario, mode: EngineMode) -> SimReport {
@@ -128,6 +187,19 @@ mod tests {
         let ticked = run_mode(&sc, EngineMode::Ticked);
         let event = run_mode(&sc, EngineMode::EventDriven);
         assert!(ticked.messages.created > 0);
+        assert_eq!(canon(ticked), canon(event));
+    }
+
+    #[test]
+    fn transfer_bound_scenario_modes_agree_and_transfer() {
+        let sc = transfer_bound_scenario(4, 900.0, 1);
+        let ticked = run_mode(&sc, EngineMode::Ticked);
+        let event = run_mode(&sc, EngineMode::EventDriven);
+        // The regime is real: messages were created and bytes drained over
+        // long-lived transfers.
+        assert!(ticked.messages.created > 0);
+        assert!(ticked.messages.transfers_started > 0);
+        assert!(ticked.messages.bytes_transferred > 0);
         assert_eq!(canon(ticked), canon(event));
     }
 }

@@ -7,11 +7,14 @@
 //! 1. **traffic**: due messages are created at their sources;
 //! 2. **movement**: mobile nodes advance along their models;
 //! 3. **connectivity**: the contact detector diffs the in-range pair set;
-//!    link-down events abort in-flight transfers and close contacts,
-//!    link-up events open connections and exchange protocol digests;
-//! 4. **transfers**: in-flight transfers progress at the link rate;
-//!    completions are handed to the receiving router (which may deliver,
-//!    store — evicting via its drop policy — or reject);
+//!    link-down events abort in-flight transfers (settling partial bytes
+//!    analytically from elapsed drain time) and close contacts, link-up
+//!    events open connections and exchange protocol digests;
+//! 4. **transfers**: transfers whose exact drain instant
+//!    ([`vdtn_net::Transfer::completion_time`] = `started + size/rate`) has
+//!    passed complete, in ordered-pair-key order; completions are handed to
+//!    the receiving router (which may deliver, store — evicting via its
+//!    drop policy — or reject);
 //! 5. **routing round**: every idle connection asks the endpoint routers
 //!    (alternating initiative per tick) for the next message to send, as
 //!    ordered by the scheduling policy;
@@ -28,10 +31,13 @@
 //! * [`EngineMode::EventDriven`] (the default) keeps the exact same phase
 //!   semantics but schedules [`EngineEvent`] wake-ups in a deterministic
 //!   [`EventQueue`] — traffic creation times, parked vehicles' wait
-//!   deadlines, per-node TTL expiries, sample boundaries, plus per-tick
-//!   re-arms while vehicles drive ([`EngineEvent::ContactRecheck`]) or
-//!   contacts are open ([`EngineEvent::LinkRound`]). Ticks with no due
-//!   wake-up are provably work-free for every phase and are skipped in O(1)
+//!   deadlines, per-transfer byte-drain instants
+//!   ([`EngineEvent::TransferComplete`], scheduled once at transfer start),
+//!   per-node TTL expiries, sample boundaries, plus per-tick re-arms while
+//!   vehicles drive ([`EngineEvent::ContactRecheck`]) or some idle
+//!   connection could still produce a transfer ([`EngineEvent::LinkRound`],
+//!   re-armed only while a direction is not provably silent). Ticks with no
+//!   due wake-up are provably work-free for every phase and are skipped in O(1)
 //!   (the clock jumps straight to the next wake-up); executed ticks
 //!   restrict each phase to its active frontier: only driving vehicles are
 //!   stepped, only moved nodes re-examine their radio neighbourhood
@@ -461,9 +467,17 @@ impl World {
                 EngineEvent::TrafficDue => traffic_due = true,
                 EngineEvent::ContactRecheck => self.contact_recheck_scheduled = false,
                 EngineEvent::LinkRound => self.link_round_scheduled = false,
-                // Movement, TTL and sampling work is re-derived from
-                // `mover_wake` / `ttl_wake` / `next_sample` below.
-                EngineEvent::MovementWake(_) | EngineEvent::TtlExpiry(_) | EngineEvent::Sample => {}
+                // Movement, TTL, sampling and transfer-completion work is
+                // re-derived from `mover_wake` / `ttl_wake` / `next_sample`
+                // / the link table below. In particular a TransferComplete
+                // is only a wake-up: the due completions are drained from
+                // the link table in pair-key order, so same-instant
+                // completions resolve deterministically no matter in which
+                // order their transfers started.
+                EngineEvent::MovementWake(_)
+                | EngineEvent::TransferComplete(_, _)
+                | EngineEvent::TtlExpiry(_)
+                | EngineEvent::Sample => {}
             }
         }
 
@@ -556,13 +570,63 @@ impl World {
             self.events
                 .schedule(now + self.tick, EngineEvent::ContactRecheck);
         }
-        if self.links.connection_count() > 0 && !self.link_round_scheduled {
+        // A routing round next tick can only do work if some *idle*
+        // connection has a direction that is not provably silent — busy
+        // connections drain via their scheduled TransferComplete instants,
+        // and every state change that could flip a silent verdict (traffic,
+        // contact churn, completions, TTL expiry, deliveries) happens
+        // inside an executed tick, where this re-arm is re-evaluated.
+        if !self.link_round_scheduled && self.routing_work_possible() {
             self.link_round_scheduled = true;
             self.events
                 .schedule(now + self.tick, EngineEvent::LinkRound);
         }
 
         self.tick_index += 1;
+    }
+
+    /// True if next tick's routing round could do anything at all: some
+    /// idle connection has a direction whose router draws RNG per round
+    /// (never skippable) or whose last `None` verdict is stale under the
+    /// current [`vdtn_routing::offers::SilenceKey`] inputs. When this is
+    /// false, phase 5 next tick is provably the empty round the ticked
+    /// reference would also execute — `try_start_transfer` would
+    /// short-circuit every direction without touching state or RNG — so no
+    /// `LinkRound` wake is needed (the silent-round memo re-arms through
+    /// here as soon as a completion frees a busy endpoint or any generation
+    /// moves).
+    fn routing_work_possible(&self) -> bool {
+        if self.links.connection_count() == 0 {
+            return false;
+        }
+        for (a, b) in self.links.idle_pairs() {
+            let Some(contact) = self.contacts.get(&pair_key(a, b)) else {
+                return true; // conservative: unknown state ⇒ wake
+            };
+            for (from, to, side) in [(a, b, 0usize), (b, a, 1usize)] {
+                let rf = &self.routers[from.index()];
+                if rf.next_transfer_draws_rng() {
+                    return true;
+                }
+                let key = self.silence_key(from, to);
+                if !contact.is_silent(side, &key) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Snapshot of every input that can change a `from → to` routing-round
+    /// verdict (see [`vdtn_routing::offers::SilenceKey`]).
+    fn silence_key(&self, from: NodeId, to: NodeId) -> [u64; 5] {
+        [
+            self.states[from.index()].buffer.generation(),
+            self.routers[from.index()].routing_generation(),
+            self.states[to.index()].buffer.generation(),
+            self.routers[to.index()].routing_generation(),
+            self.states[to.index()].delivered.len() as u64,
+        ]
     }
 
     /// Phase 1: create due messages at their sources.
@@ -598,9 +662,19 @@ impl World {
         }
     }
 
-    /// Phase 4: progress in-flight transfers.
+    /// Phase 4: complete transfers whose byte-drain instant has passed, in
+    /// ordered-pair-key order (the deterministic tie-break for completions
+    /// due at the same instant). The ticked reference polls via
+    /// [`LinkTable::tick`]; the event engine reaches the same drain through
+    /// [`LinkTable::complete_due`] on ticks a `TransferComplete` wake (or
+    /// any other event) forces to execute — the two are the same function,
+    /// which is what makes the modes structurally bit-identical here.
     fn phase_transfers(&mut self) {
-        for outcome in self.links.tick(self.tick) {
+        let done = match self.mode {
+            EngineMode::Ticked => self.links.tick(self.now),
+            EngineMode::EventDriven => self.links.complete_due(self.now),
+        };
+        for outcome in done {
             if let TransferOutcome::Completed(t) = outcome {
                 self.handle_transfer_complete(t);
             }
@@ -699,7 +773,9 @@ impl World {
     }
 
     fn handle_link_up(&mut self, a: NodeId, b: NodeId) {
-        self.links.link_up(a, b, self.now, self.radio_rate);
+        self.links
+            .link_up(a, b, self.now, self.radio_rate)
+            .expect("scenario validation guarantees a finite positive radio rate");
         self.trace.on_up(a, b, self.now);
         if let Some(log) = &mut self.log {
             log.on_up(a, b, self.now);
@@ -723,8 +799,13 @@ impl World {
     }
 
     fn handle_link_down(&mut self, a: NodeId, b: NodeId) {
-        if let Some(TransferOutcome::Aborted(t)) = self.links.link_down(a, b) {
+        if let Some(TransferOutcome::Aborted {
+            transfer: t,
+            bytes_transferred,
+        }) = self.links.link_down(a, b, self.now)
+        {
             self.report.messages.transfers_aborted += 1;
+            self.report.messages.bytes_aborted += bytes_transferred;
             self.routers[t.from.index()].on_transfer_aborted(
                 &mut self.states[t.from.index()],
                 t.msg.id,
@@ -830,7 +911,9 @@ impl World {
         // Silence short-circuit: if this direction answered `None` from
         // exactly this state snapshot, re-asking is provably futile (see
         // `SilenceKey`); skipping the scan is bit-identical as long as the
-        // router draws no RNG in `next_transfer`.
+        // router draws no RNG in `next_transfer`. Same inputs as
+        // `silence_key()` (inlined here because the routers are already
+        // split-borrowed).
         let silence_key = [
             self.states[from.index()].buffer.generation(),
             rf.routing_generation(),
@@ -858,7 +941,14 @@ impl World {
                     .get(id)
                     .expect("router offered a message it does not hold");
                 contact.record(id, msg.expiry());
-                self.links.start_transfer(from, to, msg, self.now);
+                let completes = self.links.start_transfer(from, to, msg, self.now);
+                if self.mode == EngineMode::EventDriven {
+                    // One wake-up at the exact byte-drain instant; the
+                    // drain itself happens in phase 4 of that tick, in
+                    // pair-key order with any other due completion.
+                    self.events
+                        .schedule(completes, EngineEvent::TransferComplete(from, to));
+                }
                 self.report.messages.transfers_started += 1;
                 true
             }
@@ -872,9 +962,18 @@ impl World {
     }
 
     fn finish(mut self, t0: std::time::Instant) -> (SimReport, Option<SimLog>) {
-        // Tear down: in-flight transfers at the horizon count as aborted.
-        let aborted = self.links.clear();
+        // Tear down: in-flight transfers at the horizon count as aborted,
+        // with whatever bytes were on the wire settled at the horizon.
+        let aborted = self.links.clear(self.now);
         self.report.messages.transfers_aborted += aborted.len() as u64;
+        for outcome in &aborted {
+            if let TransferOutcome::Aborted {
+                bytes_transferred, ..
+            } = outcome
+            {
+                self.report.messages.bytes_aborted += bytes_transferred;
+            }
+        }
         self.trace.finish(self.now);
         self.report.contacts = self.trace.contact_count;
         self.report.mean_contact_secs = self.trace.mean_duration();

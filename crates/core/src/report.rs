@@ -48,6 +48,10 @@ pub struct MessageStats {
     pub hops: Welford,
     /// Payload bytes moved by completed transfers.
     pub bytes_transferred: u64,
+    /// Payload bytes that were on the wire when their transfer aborted
+    /// (contact break or end of run) — spent bandwidth that delivered no
+    /// copy, settled analytically from elapsed drain time.
+    pub bytes_aborted: u64,
 }
 
 impl MessageStats {
@@ -137,7 +141,7 @@ impl SimReport {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} [{}{}] ttl={}m: created={} delivered={} (P={:.3}) delay={:.1}m relayed={} dropped={} aborted={}",
+            "{} [{}{}] ttl={}m: created={} delivered={} (P={:.3}) delay={:.1}m relayed={} dropped={} aborted={} (lost {} B)",
             self.scenario,
             self.router,
             if self.policy.is_empty() {
@@ -153,6 +157,7 @@ impl SimReport {
             self.messages.relayed,
             self.messages.total_drops(),
             self.messages.transfers_aborted,
+            self.messages.bytes_aborted,
         )
     }
 

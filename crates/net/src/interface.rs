@@ -25,10 +25,19 @@ impl RadioInterface {
         }
     }
 
-    /// Validate parameters.
+    /// Validate parameters. Rates must be finite as well as positive —
+    /// `LinkTable::link_up` rejects non-finite rates (they would poison
+    /// every completion time), and validating here keeps that a
+    /// configuration-time error instead of a mid-run one.
     pub fn validate(&self) {
-        assert!(self.range > 0.0, "radio range must be positive");
-        assert!(self.rate > 0.0, "radio rate must be positive");
+        assert!(
+            self.range.is_finite() && self.range > 0.0,
+            "radio range must be finite and positive"
+        );
+        assert!(
+            self.rate.is_finite() && self.rate > 0.0,
+            "radio rate must be finite and positive"
+        );
     }
 
     /// Effective rate between two interfaces: the slower side limits, as in
@@ -81,11 +90,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "range must be positive")]
+    #[should_panic(expected = "range must be finite and positive")]
     fn rejects_zero_range() {
         RadioInterface {
             range: 0.0,
             rate: 1.0,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be finite and positive")]
+    fn rejects_infinite_rate() {
+        RadioInterface {
+            range: 30.0,
+            rate: f64::INFINITY,
         }
         .validate();
     }

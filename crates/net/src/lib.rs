@@ -10,8 +10,10 @@
 //!   spatial-grid back-ends (ablation-benchmarked).
 //! * **Connections and transfers** ([`LinkTable`], [`Transfer`]): one
 //!   message in flight per connection, one transfer per node at a time
-//!   (half-duplex radio, as ONE models it); a transfer takes
-//!   `size / rate` seconds and aborts if the contact breaks first.
+//!   (half-duplex radio, as ONE models it); a transfer is an immutable
+//!   `{msg, from, to, rate, started}` record that completes at exactly
+//!   `started + size/rate` ([`Transfer::completion_time`]) and settles
+//!   partial bytes analytically if the contact breaks first.
 //! * **Contact tracing** ([`ContactTrace`]): per-pair contact counts,
 //!   durations and inter-contact times for the statistics reports.
 //!
@@ -39,5 +41,5 @@ pub mod trace;
 
 pub use contact::{pair_key, ContactDetector, DetectorBackend, LinkEvent, MovedNode};
 pub use interface::RadioInterface;
-pub use link::{LinkTable, Transfer, TransferOutcome};
+pub use link::{LinkError, LinkTable, Transfer, TransferOutcome};
 pub use trace::ContactTrace;

@@ -8,15 +8,36 @@
 //! (only the first few messages in the schedule make it through a short
 //! contact).
 //!
-//! Internally connections live in a `BTreeMap` keyed by the ordered node
-//! pair, so iteration — and therefore the whole routing round — is
-//! deterministic.
+//! # Event-time transfers
+//!
+//! A transfer is a static record `{msg, from, to, rate, started}`; nothing
+//! about it changes while it drains. Its completion instant is the pure
+//! function [`Transfer::completion_time`] = `started + ceil(size/rate)`
+//! (rounded **up** to the millisecond grid so a transfer never completes
+//! before all bytes are on the wire), and the bytes moved by any partial
+//! drain are settled analytically from elapsed time
+//! ([`Transfer::bytes_transferred`]). This is what lets the engine schedule
+//! one completion event per transfer instead of draining byte counters
+//! every tick: [`LinkTable::complete_due`] pops every transfer whose
+//! completion instant has passed, and [`LinkTable::tick`] survives only as
+//! the per-tick poll of the `Ticked` reference engine (it is the same
+//! function).
+//!
+//! Completions due at the same instant resolve in **ordered-pair-key
+//! order**: connections live in a `BTreeMap` keyed by the ordered node
+//! pair, and both drain entry points walk that map in key order — so
+//! simultaneous completions, and the whole routing round, are
+//! deterministic regardless of start order.
 
 use std::collections::{BTreeMap, HashSet};
+use std::fmt;
 use vdtn_bundle::Message;
 use vdtn_sim_core::{NodeId, SimDuration, SimTime};
 
 /// A message copy in flight between two connected nodes.
+///
+/// The record is immutable while the transfer drains: progress is derived
+/// from elapsed time, never stored.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Transfer {
     /// The copy being transmitted (snapshot taken at transfer start).
@@ -25,20 +46,73 @@ pub struct Transfer {
     pub from: NodeId,
     /// Receiving node.
     pub to: NodeId,
-    /// Bytes still to transmit.
-    pub bytes_left: f64,
+    /// Link rate in bytes per second (fixed for the transfer's lifetime).
+    pub rate: f64,
     /// When the transfer started.
     pub started: SimTime,
 }
 
-/// Result of progressing or tearing down a transfer.
+impl Transfer {
+    /// Time needed to drain all bytes, rounded **up** to the millisecond
+    /// grid (a transfer never completes before every byte is on the wire).
+    pub fn drain_duration(&self) -> SimDuration {
+        SimDuration::from_millis((self.msg.size as f64 * 1000.0 / self.rate).ceil() as u64)
+    }
+
+    /// The exact instant the last byte lands: `started + size/rate`.
+    pub fn completion_time(&self) -> SimTime {
+        self.started + self.drain_duration()
+    }
+
+    /// Bytes on the wire by `now`, settled analytically from elapsed time:
+    /// `min(size, rate × elapsed)`. Used to account partial progress when a
+    /// contact breaks mid-transfer.
+    pub fn bytes_transferred(&self, now: SimTime) -> u64 {
+        if now >= self.completion_time() {
+            return self.msg.size;
+        }
+        let elapsed = now.since(self.started).as_secs_f64();
+        self.msg.size.min((self.rate * elapsed).floor() as u64)
+    }
+}
+
+/// Result of completing or tearing down a transfer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TransferOutcome {
     /// Transfer delivered all bytes.
     Completed(Transfer),
-    /// Contact broke before all bytes were delivered.
-    Aborted(Transfer),
+    /// Contact broke (or the run ended) before all bytes were delivered.
+    Aborted {
+        /// The interrupted transfer record.
+        transfer: Transfer,
+        /// Bytes that made it onto the wire before the abort (analytic,
+        /// see [`Transfer::bytes_transferred`]).
+        bytes_transferred: u64,
+    },
 }
+
+/// Typed error for invalid [`LinkTable`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkError {
+    /// [`LinkTable::link_up`] was given a non-finite or non-positive rate,
+    /// which would produce NaN or infinite completion times.
+    InvalidRate {
+        /// The offending rate, in bytes per second.
+        rate: f64,
+    },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::InvalidRate { rate } => {
+                write!(f, "link rate must be finite and positive, got {rate}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
 
 /// One active link.
 #[derive(Debug, Clone)]
@@ -69,10 +143,20 @@ impl LinkTable {
         Self::default()
     }
 
-    /// Register a new link. Panics if the pair is already connected
-    /// (the contact detector never double-reports).
-    pub fn link_up(&mut self, a: NodeId, b: NodeId, now: SimTime, rate: f64) {
-        assert!(rate > 0.0, "link rate must be positive");
+    /// Register a new link. Returns [`LinkError::InvalidRate`] for a
+    /// non-finite or non-positive rate (which would poison every completion
+    /// time computed from it). Panics if the pair is already connected (the
+    /// contact detector never double-reports).
+    pub fn link_up(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        now: SimTime,
+        rate: f64,
+    ) -> Result<(), LinkError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(LinkError::InvalidRate { rate });
+        }
         let prev = self.conns.insert(
             key(a, b),
             Connection {
@@ -82,16 +166,39 @@ impl LinkTable {
             },
         );
         assert!(prev.is_none(), "duplicate link_up for {a}-{b}");
+        Ok(())
     }
 
-    /// Tear down a link, returning the aborted transfer if one was active.
-    pub fn link_down(&mut self, a: NodeId, b: NodeId) -> Option<TransferOutcome> {
+    /// Tear down a link, returning the aborted transfer — with its partial
+    /// bytes settled analytically at `now` — if one was active.
+    pub fn link_down(&mut self, a: NodeId, b: NodeId, now: SimTime) -> Option<TransferOutcome> {
         let conn = self.conns.remove(&key(a, b))?;
-        conn.transfer.map(|t| {
-            self.busy.remove(&t.from.0);
-            self.busy.remove(&t.to.0);
-            TransferOutcome::Aborted(t)
-        })
+        conn.transfer.map(|t| self.abort_outcome(t, now))
+    }
+
+    /// Abort the in-flight transfer on a connection **without** tearing the
+    /// link down (the connection stays up and idle). Returns `None` if the
+    /// pair is not connected or has no active transfer.
+    ///
+    /// The engine currently aborts only through [`LinkTable::link_down`]
+    /// and [`LinkTable::clear`]; this entry point exists for policies that
+    /// preempt a transfer while keeping the contact (callers owning
+    /// per-contact offer state must invalidate it themselves).
+    pub fn abort(&mut self, a: NodeId, b: NodeId, now: SimTime) -> Option<TransferOutcome> {
+        let conn = self.conns.get_mut(&key(a, b))?;
+        let t = conn.transfer.take()?;
+        Some(self.abort_outcome(t, now))
+    }
+
+    /// Free the endpoints and settle partial bytes for an aborted transfer.
+    fn abort_outcome(&mut self, t: Transfer, now: SimTime) -> TransferOutcome {
+        self.busy.remove(&t.from.0);
+        self.busy.remove(&t.to.0);
+        let bytes_transferred = t.bytes_transferred(now);
+        TransferOutcome::Aborted {
+            transfer: t,
+            bytes_transferred,
+        }
     }
 
     /// True if the pair is currently connected.
@@ -127,12 +234,20 @@ impl LinkTable {
             .collect()
     }
 
-    /// Begin transmitting `msg` from `from` to `to`.
+    /// Begin transmitting `msg` from `from` to `to`; returns the exact
+    /// instant the transfer will complete (for completion-event
+    /// scheduling).
     ///
     /// Preconditions (checked): the pair is connected, the connection is
     /// idle, and neither node is busy. The engine upholds these by only
     /// starting transfers on [`LinkTable::idle_pairs`].
-    pub fn start_transfer(&mut self, from: NodeId, to: NodeId, msg: Message, now: SimTime) {
+    pub fn start_transfer(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: Message,
+        now: SimTime,
+    ) -> SimTime {
         assert!(!self.is_busy(from), "{from} already transferring");
         assert!(!self.is_busy(to), "{to} already transferring");
         let conn = self
@@ -140,29 +255,29 @@ impl LinkTable {
             .get_mut(&key(from, to))
             .unwrap_or_else(|| panic!("no connection {from}-{to}"));
         assert!(conn.transfer.is_none(), "connection {from}-{to} busy");
-        let bytes = msg.size as f64;
-        conn.transfer = Some(Transfer {
+        let t = Transfer {
             msg,
             from,
             to,
-            bytes_left: bytes,
+            rate: conn.rate,
             started: now,
-        });
+        };
+        let completes = t.completion_time();
+        conn.transfer = Some(t);
         self.busy.insert(from.0);
         self.busy.insert(to.0);
+        completes
     }
 
-    /// Advance every active transfer by `dt`; returns completed transfers in
-    /// deterministic order. Zero-byte edge cases complete on the first tick.
-    pub fn tick(&mut self, dt: SimDuration) -> Vec<TransferOutcome> {
-        let secs = dt.as_secs_f64();
+    /// Pop every transfer whose completion instant has passed (`≤ now`), in
+    /// deterministic ordered-pair-key order — the tie-break rule for
+    /// completions due at the same instant. Zero-byte edge cases complete
+    /// at the first poll after they start.
+    pub fn complete_due(&mut self, now: SimTime) -> Vec<TransferOutcome> {
         let mut done = Vec::new();
         for (_, conn) in self.conns.iter_mut() {
-            let finished = match &mut conn.transfer {
-                Some(t) => {
-                    t.bytes_left -= conn.rate * secs;
-                    t.bytes_left <= 0.0
-                }
+            let finished = match &conn.transfer {
+                Some(t) => t.completion_time() <= now,
                 None => false,
             };
             if finished {
@@ -175,12 +290,25 @@ impl LinkTable {
         done
     }
 
-    /// Drop every connection (end of run), returning aborted transfers.
-    pub fn clear(&mut self) -> Vec<TransferOutcome> {
+    /// Per-tick completion poll, kept for the `EngineMode::Ticked`
+    /// reference engine: identical to [`LinkTable::complete_due`] (the
+    /// event-driven engine calls that at scheduled completion instants
+    /// instead of polling).
+    pub fn tick(&mut self, now: SimTime) -> Vec<TransferOutcome> {
+        self.complete_due(now)
+    }
+
+    /// Drop every connection (end of run), returning aborted transfers with
+    /// their partial bytes settled at `now`.
+    pub fn clear(&mut self, now: SimTime) -> Vec<TransferOutcome> {
         let mut aborted = Vec::new();
         for (_, conn) in std::mem::take(&mut self.conns) {
             if let Some(t) = conn.transfer {
-                aborted.push(TransferOutcome::Aborted(t));
+                let bytes_transferred = t.bytes_transferred(now);
+                aborted.push(TransferOutcome::Aborted {
+                    transfer: t,
+                    bytes_transferred,
+                });
             }
         }
         self.busy.clear();
@@ -209,14 +337,16 @@ mod tests {
     }
 
     #[test]
-    fn transfer_completes_after_size_over_rate() {
+    fn transfer_completes_at_size_over_rate() {
         let mut lt = LinkTable::new();
-        lt.link_up(NodeId(0), NodeId(1), t(0.0), 750_000.0);
-        lt.start_transfer(NodeId(0), NodeId(1), msg(1, 1_500_000), t(0.0));
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 750_000.0).unwrap();
+        let completes = lt.start_transfer(NodeId(0), NodeId(1), msg(1, 1_500_000), t(0.0));
+        // 1.5 MB at 750 kB/s = exactly 2 s.
+        assert_eq!(completes, t(2.0));
         assert!(lt.is_busy(NodeId(0)) && lt.is_busy(NodeId(1)));
-        // 1.5 MB at 750 kB/s = 2 s.
-        assert!(lt.tick(SimDuration::from_secs(1)).is_empty());
-        let done = lt.tick(SimDuration::from_secs(1));
+        assert!(lt.complete_due(t(1.0)).is_empty());
+        assert!(lt.complete_due(t(1.999)).is_empty());
+        let done = lt.complete_due(t(2.0));
         assert_eq!(done.len(), 1);
         match &done[0] {
             TransferOutcome::Completed(tr) => {
@@ -233,16 +363,41 @@ mod tests {
     }
 
     #[test]
-    fn link_down_aborts_transfer() {
+    fn completion_time_rounds_up_to_millis() {
         let mut lt = LinkTable::new();
-        lt.link_up(NodeId(0), NodeId(1), t(0.0), 750_000.0);
+        // 1000 bytes at 300 B/s = 3.333… s → must round UP to 3334 ms.
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 300.0).unwrap();
+        let completes = lt.start_transfer(NodeId(0), NodeId(1), msg(1, 1_000), t(0.0));
+        assert_eq!(completes, SimTime::from_millis(3_334));
+        assert!(lt.complete_due(SimTime::from_millis(3_333)).is_empty());
+        assert_eq!(lt.complete_due(SimTime::from_millis(3_334)).len(), 1);
+    }
+
+    #[test]
+    fn tick_is_the_same_poll_as_complete_due() {
+        let mut lt = LinkTable::new();
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1_000.0).unwrap();
+        lt.start_transfer(NodeId(0), NodeId(1), msg(1, 2_000), t(0.0));
+        assert!(lt.tick(t(1.0)).is_empty());
+        let done = lt.tick(t(2.0));
+        assert_eq!(done.len(), 1);
+        assert!(matches!(&done[0], TransferOutcome::Completed(tr) if tr.msg.id == MessageId(1)));
+    }
+
+    #[test]
+    fn link_down_aborts_with_partial_bytes() {
+        let mut lt = LinkTable::new();
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 750_000.0).unwrap();
         lt.start_transfer(NodeId(1), NodeId(0), msg(7, 2_000_000), t(0.0));
-        lt.tick(SimDuration::from_secs(1));
-        let out = lt.link_down(NodeId(0), NodeId(1)).unwrap();
+        let out = lt.link_down(NodeId(0), NodeId(1), t(1.0)).unwrap();
         match out {
-            TransferOutcome::Aborted(tr) => {
-                assert_eq!(tr.msg.id, MessageId(7));
-                assert!(tr.bytes_left > 0.0);
+            TransferOutcome::Aborted {
+                transfer,
+                bytes_transferred,
+            } => {
+                assert_eq!(transfer.msg.id, MessageId(7));
+                // 1 s at 750 kB/s of a 2 MB message.
+                assert_eq!(bytes_transferred, 750_000);
             }
             other => panic!("expected abort, got {other:?}"),
         }
@@ -251,18 +406,95 @@ mod tests {
     }
 
     #[test]
+    fn partial_bytes_cap_at_message_size() {
+        let mut lt = LinkTable::new();
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1_000.0).unwrap();
+        lt.start_transfer(NodeId(0), NodeId(1), msg(1, 3_000), t(0.0));
+        // Same-tick race: the link drops at an instant the completion is
+        // also due. Phase order (downs before completion drain) means the
+        // abort wins — but all bytes were on the wire, so accounting must
+        // not exceed the size nor lose the progress.
+        let out = lt.link_down(NodeId(0), NodeId(1), t(5.0)).unwrap();
+        match out {
+            TransferOutcome::Aborted {
+                bytes_transferred, ..
+            } => assert_eq!(bytes_transferred, 3_000),
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_keeps_the_link_up() {
+        let mut lt = LinkTable::new();
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1_000.0).unwrap();
+        lt.start_transfer(NodeId(0), NodeId(1), msg(1, 10_000), t(0.0));
+        let out = lt.abort(NodeId(0), NodeId(1), t(2.0)).unwrap();
+        assert!(matches!(
+            out,
+            TransferOutcome::Aborted {
+                bytes_transferred: 2_000,
+                ..
+            }
+        ));
+        // Link survives, endpoints are free, and the pair is idle again.
+        assert!(lt.is_connected(NodeId(0), NodeId(1)));
+        assert!(!lt.is_busy(NodeId(0)) && !lt.is_busy(NodeId(1)));
+        assert_eq!(lt.idle_pairs(), vec![(NodeId(0), NodeId(1))]);
+        // No transfer left to abort.
+        assert!(lt.abort(NodeId(0), NodeId(1), t(3.0)).is_none());
+    }
+
+    #[test]
+    fn simultaneous_completions_resolve_in_pair_key_order() {
+        let mut lt = LinkTable::new();
+        lt.link_up(NodeId(6), NodeId(7), t(0.0), 1_000.0).unwrap();
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1_000.0).unwrap();
+        lt.link_up(NodeId(2), NodeId(3), t(0.0), 2_000.0).unwrap();
+        // Start in scrambled order; all three complete at exactly t = 2 s.
+        lt.start_transfer(NodeId(6), NodeId(7), msg(3, 2_000), t(0.0));
+        lt.start_transfer(NodeId(2), NodeId(3), msg(2, 4_000), t(0.0));
+        lt.start_transfer(NodeId(0), NodeId(1), msg(1, 2_000), t(0.0));
+        let done = lt.complete_due(t(2.0));
+        let ids: Vec<u64> = done
+            .iter()
+            .map(|o| match o {
+                TransferOutcome::Completed(tr) => tr.msg.id.0,
+                other => panic!("expected completion, got {other:?}"),
+            })
+            .collect();
+        // Pair-key order (0,1) < (2,3) < (6,7), not start order 3, 2, 1.
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
     fn link_down_without_transfer_is_quiet() {
         let mut lt = LinkTable::new();
-        lt.link_up(NodeId(2), NodeId(5), t(0.0), 100.0);
-        assert!(lt.link_down(NodeId(5), NodeId(2)).is_none());
+        lt.link_up(NodeId(2), NodeId(5), t(0.0), 100.0).unwrap();
+        assert!(lt.link_down(NodeId(5), NodeId(2), t(1.0)).is_none());
+    }
+
+    #[test]
+    fn invalid_rates_are_typed_errors() {
+        let mut lt = LinkTable::new();
+        for rate in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = lt
+                .link_up(NodeId(0), NodeId(1), t(0.0), rate)
+                .expect_err("rate must be rejected");
+            assert!(matches!(err, LinkError::InvalidRate { .. }));
+            let rendered = err.to_string();
+            assert!(rendered.contains("rate"), "unhelpful error: {rendered}");
+        }
+        // Rejected link_up leaves no connection behind.
+        assert!(!lt.is_connected(NodeId(0), NodeId(1)));
+        assert_eq!(lt.connection_count(), 0);
     }
 
     #[test]
     fn busy_nodes_not_listed_idle() {
         let mut lt = LinkTable::new();
-        lt.link_up(NodeId(0), NodeId(1), t(0.0), 750_000.0);
-        lt.link_up(NodeId(0), NodeId(2), t(0.0), 750_000.0);
-        lt.link_up(NodeId(2), NodeId(3), t(0.0), 750_000.0);
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 750_000.0).unwrap();
+        lt.link_up(NodeId(0), NodeId(2), t(0.0), 750_000.0).unwrap();
+        lt.link_up(NodeId(2), NodeId(3), t(0.0), 750_000.0).unwrap();
         lt.start_transfer(NodeId(0), NodeId(1), msg(1, 10_000_000), t(0.0));
         // 0 and 1 are busy ⇒ only 2-3 is usable.
         assert_eq!(lt.idle_pairs(), vec![(NodeId(2), NodeId(3))]);
@@ -272,8 +504,8 @@ mod tests {
     #[should_panic(expected = "already transferring")]
     fn cannot_double_book_a_node() {
         let mut lt = LinkTable::new();
-        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1000.0);
-        lt.link_up(NodeId(0), NodeId(2), t(0.0), 1000.0);
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1000.0).unwrap();
+        lt.link_up(NodeId(0), NodeId(2), t(0.0), 1000.0).unwrap();
         lt.start_transfer(NodeId(0), NodeId(1), msg(1, 5_000), t(0.0));
         lt.start_transfer(NodeId(0), NodeId(2), msg(2, 5_000), t(0.0));
     }
@@ -282,14 +514,14 @@ mod tests {
     #[should_panic(expected = "duplicate link_up")]
     fn duplicate_link_up_panics() {
         let mut lt = LinkTable::new();
-        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1000.0);
-        lt.link_up(NodeId(1), NodeId(0), t(0.0), 1000.0);
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1000.0).unwrap();
+        lt.link_up(NodeId(1), NodeId(0), t(0.0), 1000.0).unwrap();
     }
 
     #[test]
     fn pair_key_is_order_independent() {
         let mut lt = LinkTable::new();
-        lt.link_up(NodeId(3), NodeId(1), t(0.0), 1000.0);
+        lt.link_up(NodeId(3), NodeId(1), t(0.0), 1000.0).unwrap();
         assert!(lt.is_connected(NodeId(1), NodeId(3)));
         assert!(lt.is_connected(NodeId(3), NodeId(1)));
         assert_eq!(
@@ -299,30 +531,46 @@ mod tests {
     }
 
     #[test]
-    fn multiple_transfers_progress_independently() {
+    fn multiple_transfers_complete_independently() {
         let mut lt = LinkTable::new();
-        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1_000.0);
-        lt.link_up(NodeId(2), NodeId(3), t(0.0), 2_000.0);
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1_000.0).unwrap();
+        lt.link_up(NodeId(2), NodeId(3), t(0.0), 2_000.0).unwrap();
         lt.start_transfer(NodeId(0), NodeId(1), msg(1, 2_000), t(0.0));
         lt.start_transfer(NodeId(2), NodeId(3), msg(2, 2_000), t(0.0));
-        let done = lt.tick(SimDuration::from_secs(1));
         // Faster link finishes first.
+        let done = lt.complete_due(t(1.0));
         assert_eq!(done.len(), 1);
         assert!(matches!(&done[0], TransferOutcome::Completed(tr) if tr.msg.id == MessageId(2)));
-        let done = lt.tick(SimDuration::from_secs(1));
+        let done = lt.complete_due(t(2.0));
         assert_eq!(done.len(), 1);
         assert!(matches!(&done[0], TransferOutcome::Completed(tr) if tr.msg.id == MessageId(1)));
     }
 
     #[test]
-    fn clear_aborts_everything() {
+    fn clear_aborts_everything_with_partial_bytes() {
         let mut lt = LinkTable::new();
-        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1_000.0);
-        lt.link_up(NodeId(2), NodeId(3), t(0.0), 1_000.0);
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1_000.0).unwrap();
+        lt.link_up(NodeId(2), NodeId(3), t(0.0), 1_000.0).unwrap();
         lt.start_transfer(NodeId(0), NodeId(1), msg(1, 1_000_000), t(0.0));
-        let aborted = lt.clear();
+        let aborted = lt.clear(t(10.0));
         assert_eq!(aborted.len(), 1);
+        assert!(matches!(
+            &aborted[0],
+            TransferOutcome::Aborted {
+                bytes_transferred: 10_000,
+                ..
+            }
+        ));
         assert_eq!(lt.connection_count(), 0);
         assert!(!lt.is_busy(NodeId(0)));
+    }
+
+    #[test]
+    fn zero_byte_transfer_completes_immediately() {
+        let mut lt = LinkTable::new();
+        lt.link_up(NodeId(0), NodeId(1), t(0.0), 1_000.0).unwrap();
+        let completes = lt.start_transfer(NodeId(0), NodeId(1), msg(1, 0), t(3.0));
+        assert_eq!(completes, t(3.0));
+        assert_eq!(lt.complete_due(t(3.0)).len(), 1);
     }
 }

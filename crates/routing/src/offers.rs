@@ -45,8 +45,11 @@ struct Cursor {
 /// changes (offered sets and delivered sets only grow, TTL expiry only
 /// removes candidates, capacity fits are constant per message, and the
 /// protocols' metric comparisons are invariant under pure time shift — see
-/// `Router::routing_generation`). The engine uses this to skip provably
-/// silent rounds outright.
+/// `Router::routing_generation`). The engine uses this two ways: to skip a
+/// provably silent round outright within an executed tick, and — since
+/// every key input only changes inside executed ticks — to skip scheduling
+/// the next tick's `LinkRound` wake entirely when every idle direction is
+/// silent under its current key.
 pub type SilenceKey = [u64; 5];
 
 /// Offer state for one live connection (both directions).

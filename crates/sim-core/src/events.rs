@@ -34,10 +34,18 @@ use std::collections::BinaryHeap;
 ///   moving, so positions (and therefore the in-range pair set) must be
 ///   re-evaluated next tick. Doubles as the waypoint-arrival clock: a
 ///   driving node's arrival is detected by stepping it each tick.
-/// * [`LinkRound`](EngineEvent::LinkRound) — at least one contact is open,
-///   so transfer progress/completions and the routing round must run next
-///   tick. Transfer completions are a strict subset of these wake-ups
-///   (transfers only exist on open links).
+/// * [`LinkRound`](EngineEvent::LinkRound) — a routing round may do work
+///   next tick: some idle connection has a direction that is not provably
+///   silent (see the engine's silent-round memo).
+/// * [`TransferComplete`](EngineEvent::TransferComplete) — an in-flight
+///   transfer's exact byte-drain instant (`started + size/rate`), scheduled
+///   once when the transfer starts. Like every other event it is a wake-up
+///   marker: the tick that executes drains *all* due completions from the
+///   link table in ordered-pair-key order, which is the deterministic
+///   tie-break for completions due at the same instant (the event queue's
+///   own insertion-order tie-break reflects start order, not pair order).
+///   A stale instance (the transfer was aborted first) wakes a tick that
+///   finds nothing due.
 /// * [`TtlExpiry`](EngineEvent::TtlExpiry) — the earliest TTL expiry in one
 ///   node's buffer (conservative: may fire early after evictions, never
 ///   late).
@@ -55,9 +63,12 @@ pub enum EngineEvent {
     MovementWake(NodeId),
     /// Node positions changed recently: re-evaluate contacts next tick.
     ContactRecheck,
-    /// Open contacts exist: run transfer progress and a routing round next
-    /// tick.
+    /// Some idle connection may produce a transfer: run a routing round
+    /// next tick.
     LinkRound,
+    /// The transfer between this (unordered) node pair drains its last byte
+    /// at this instant.
+    TransferComplete(NodeId, NodeId),
     /// A node's earliest buffered-message TTL may elapse at this time.
     TtlExpiry(NodeId),
     /// A time-series sample boundary.

@@ -10,7 +10,13 @@
 //!   infrastructure (stationary nodes), both detector backends, sampling
 //!   on/off, and a TTL short enough to exercise the expiry path;
 //! * a property test over randomly drawn small scenarios (seed, node
-//!   count, TTL, policy, duration), the satellite requested in the issue.
+//!   count, TTL, policy, duration), the satellite requested in the issue;
+//! * transfer-heavy scenarios for the event-time transfer pipeline: slow
+//!   radios make every transfer span many ticks, so completions land on
+//!   scheduled `TransferComplete` instants, contacts break mid-transfer
+//!   (abort + partial-byte settlement), and uniform message sizes on a
+//!   stationary mesh force simultaneous completions that must resolve in
+//!   pair-key order — deterministic runs plus a dedicated property test.
 
 use proptest::prelude::*;
 use vdtn_repro::geo::GridMapGen;
@@ -155,6 +161,102 @@ fn long_quiet_tail_is_skipped_identically() {
     assert_eq!(ticked, event);
 }
 
+/// Transfer-heavy variant: a radio so slow that every bundle drains for
+/// tens to hundreds of ticks. Moving vehicles then break contacts
+/// mid-transfer (exercising abort settlement), and the engine spends most
+/// of its life with busy links — the regime where the event engine rides
+/// `TransferComplete` instants instead of per-tick byte draining.
+#[allow(clippy::too_many_arguments)] // flat knobs read better in test call sites
+fn transfer_heavy_scenario(
+    router: RouterKind,
+    policy: PolicyCombo,
+    seed: u64,
+    vehicles: usize,
+    rate_bytes_per_sec: f64,
+    size_lo: u64,
+    size_hi: u64,
+    duration_secs: f64,
+) -> Scenario {
+    let mut sc = scenario(
+        router,
+        policy,
+        seed,
+        vehicles,
+        30,
+        duration_secs,
+        DetectorBackend::Grid,
+        60.0,
+    );
+    sc.name = "transfer-heavy".into();
+    sc.radio = RadioInterface {
+        range: 30.0,
+        rate: rate_bytes_per_sec,
+    };
+    sc.traffic.size_lo = size_lo;
+    sc.traffic.size_hi = size_hi;
+    sc
+}
+
+#[test]
+fn slow_radio_transfers_and_aborts_are_bit_identical() {
+    // 20 kB/s against 0.5–2 MB bundles: 25–100 s per transfer, far longer
+    // than most contacts, so link-downs abort mid-transfer constantly and
+    // the aborted-byte settlement must agree between modes too.
+    for (i, kind) in [
+        RouterKind::Epidemic,
+        RouterKind::paper_snw(),
+        RouterKind::MaxProp(MaxPropConfig::default()),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let sc = transfer_heavy_scenario(
+            kind.clone(),
+            PolicyCombo::LIFETIME,
+            70 + i as u64,
+            8,
+            20_000.0,
+            500_000,
+            2_000_000,
+            1_500.0,
+        );
+        let (ticked, event) = both_modes(&sc);
+        assert_eq!(ticked, event, "{kind:?} diverged on slow-radio transfers");
+    }
+}
+
+#[test]
+fn simultaneous_completions_resolve_identically() {
+    // Stationary relays in permanent mutual contact plus uniform message
+    // sizes: transfers started in the same routing round complete at the
+    // same instant, so this run lives on the pair-key tie-break rule.
+    let mut sc = scenario(
+        RouterKind::Epidemic,
+        PolicyCombo::FIFO_FIFO,
+        171,
+        6,
+        20,
+        1_200.0,
+        DetectorBackend::Grid,
+        0.0,
+    );
+    sc.name = "simultaneous-completions".into();
+    sc.radio = RadioInterface {
+        range: 30.0,
+        rate: 50_000.0,
+    };
+    sc.traffic.size_lo = 600_000; // uniform size ⇒ equal drain durations
+    sc.traffic.size_hi = 600_000;
+    if let MobilitySpec::ShortestPathMapBased(cfg) = &mut sc.groups[0].mobility {
+        // Long pauses: vehicles mostly sit in range, keeping many
+        // same-rate transfers in flight concurrently.
+        cfg.wait_lo = 200.0;
+        cfg.wait_hi = 600.0;
+    }
+    let (ticked, event) = both_modes(&sc);
+    assert_eq!(ticked, event);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -186,6 +288,45 @@ proptest! {
             duration_ticks as f64,
             DetectorBackend::Grid,
             if sampled { 90.0 } else { 0.0 },
+        );
+        let (ticked, event) = both_modes(&sc);
+        prop_assert_eq!(ticked, event);
+    }
+
+    /// Random transfer-heavy scenarios: slow radios (25–1000 s per bundle),
+    /// both varied and uniform bundle sizes (the latter forces simultaneous
+    /// completions), and moving vehicles whose contact breaks abort
+    /// transfers mid-drain. Both engine paths must stay bit-identical
+    /// through completions, aborts and partial-byte settlement.
+    #[test]
+    fn transfer_heavy_scenarios_are_bit_identical(
+        seed in any::<u64>(),
+        vehicles in 4usize..9,
+        rate_pick in 0usize..3,
+        uniform_sizes in any::<bool>(),
+        duration_ticks in 600u64..1_400,
+        router_pick in 0usize..3,
+    ) {
+        let router = match router_pick {
+            0 => RouterKind::Epidemic,
+            1 => RouterKind::paper_snw(),
+            _ => RouterKind::Prophet(ProphetConfig::default()),
+        };
+        let rate = [2_000.0, 20_000.0, 80_000.0][rate_pick];
+        let (size_lo, size_hi) = if uniform_sizes {
+            (800_000, 800_000)
+        } else {
+            (500_000, 2_000_000)
+        };
+        let sc = transfer_heavy_scenario(
+            router,
+            PolicyCombo::LIFETIME,
+            seed,
+            vehicles,
+            rate,
+            size_lo,
+            size_hi,
+            duration_ticks as f64,
         );
         let (ticked, event) = both_modes(&sc);
         prop_assert_eq!(ticked, event);
