@@ -11,8 +11,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vdtn::engine::EngineMode;
-use vdtn::{DropPolicy, PolicyCombo, RouterKind, SchedulingPolicy};
-use vdtn_bench::engine_perf::{dense_routing_scenario, run_mode};
+use vdtn::{DropPolicy, PolicyCombo, RouterKind, RoutingBackend, SchedulingPolicy};
+use vdtn_bench::engine_perf::{dense_routing_scenario, run_mode, run_with_backend};
 
 fn routing_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("routing_round");
@@ -74,6 +74,31 @@ fn routing_round(c: &mut Criterion) {
     );
 
     group.finish();
+
+    // Backend ablation: the delta-maintained candidate index vs the PR 3
+    // cursor-only rescan on the saturated Epidemic mesh — the combo where
+    // every peer-buffer change used to trigger an O(buffer) rescan.
+    let mut backends = c.benchmark_group("routing_backend");
+    backends.sample_size(10);
+    for (backend, label) in [
+        (RoutingBackend::Index, "index"),
+        (RoutingBackend::Rescan, "rescan"),
+    ] {
+        let scenario =
+            dense_routing_scenario(400, 240.0, RouterKind::Epidemic, PolicyCombo::LIFETIME, 42);
+        backends.bench_with_input(
+            BenchmarkId::new("epidemic_lifetime", label),
+            &scenario,
+            |b, sc| {
+                b.iter(|| {
+                    run_with_backend(sc, EngineMode::EventDriven, backend)
+                        .messages
+                        .transfers_started
+                })
+            },
+        );
+    }
+    backends.finish();
 }
 
 criterion_group!(benches, routing_round);

@@ -15,20 +15,44 @@
 //! see [`vdtn_bench::engine_perf::dense_routing_scenario`]) after the
 //! engine-modes table and records it as JSON (default
 //! `BENCH_routing.json`) — the trajectory for the incremental-routing
-//! work. The routing section's fleet sizes and durations are fixed (the
-//! regime, not the scale, is the point); `--nodes`/`--duration-secs` apply
-//! to the engine-modes section only.
+//! work. Each routing row runs three configurations — ticked reference,
+//! event-driven with the delta-maintained candidate **index**, and
+//! event-driven with the PR 3 cursor-only **rescan** — verifies all three
+//! reports are bit-identical, and records the index-vs-cursor speedup. The
+//! fleet sizes and durations default to the fixed perf-trajectory set
+//! (the regime, not the scale, is the point); `--routing-nodes` overrides
+//! them for CI smoke runs, with `--duration-secs` then bounding the
+//! routing durations too.
+//!
+//! Both JSON files carry `"schema_version"` (currently 2); an unwritable
+//! output path is a clean, explained non-zero exit, not a panic.
 //!
 //! ```text
-//! engine_bench [--json [PATH]] [--routing [PATH]] [--nodes 50,200,1000,5000,10000]
-//!              [--duration-secs N] [--seed N]
+//! engine_bench [--json [PATH]] [--routing [PATH]] [--routing-nodes N,N]
+//!              [--nodes 50,200,1000,5000,10000] [--duration-secs N] [--seed N]
 //! ```
 
 use vdtn::engine::EngineMode;
-use vdtn::{PolicyCombo, RouterKind};
+use vdtn::{PolicyCombo, RouterKind, RoutingBackend};
 use vdtn_bench::engine_perf::{
-    canon, dense_routing_scenario, engine_scenario, run_mode, transfer_bound_scenario,
+    canon, dense_routing_scenario, engine_scenario, run_mode, run_with_backend,
+    transfer_bound_scenario,
 };
+
+/// Version of the JSON layout this binary writes (bumped when fields
+/// change; PR 5 added the routing section's index/rescan split).
+const SCHEMA_VERSION: u32 = 2;
+
+/// Write a benchmark JSON document, exiting non-zero with a clear message
+/// when the path cannot be written (read-only dir, missing parent, …).
+fn write_json(path: &str, doc: &str) {
+    if let Err(e) = std::fs::write(path, doc) {
+        eprintln!("error: cannot write benchmark JSON to '{path}': {e}");
+        eprintln!("hint: check the directory exists and is writable, or pass a different path");
+        std::process::exit(1);
+    }
+    println!("wrote {path} (schema v{SCHEMA_VERSION})");
+}
 
 struct Entry {
     nodes: usize,
@@ -43,6 +67,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut routing_path: Option<String> = None;
     let mut nodes: Vec<usize> = vec![50, 200, 1000, 5000, 10000];
+    let mut routing_nodes: Option<Vec<usize>> = None;
     let mut duration_override: Option<f64> = None;
     let mut seed = 42u64;
 
@@ -71,6 +96,16 @@ fn main() {
                     .map(|s| s.trim().parse().expect("node count"))
                     .collect();
             }
+            "--routing-nodes" => {
+                let list = args
+                    .next()
+                    .expect("--routing-nodes needs a comma-separated list");
+                routing_nodes = Some(
+                    list.split(',')
+                        .map(|s| s.trim().parse().expect("node count"))
+                        .collect(),
+                );
+            }
             "--duration-secs" => {
                 duration_override = Some(
                     args.next()
@@ -88,7 +123,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: engine_bench [--json [PATH]] [--routing [PATH]] [--nodes 50,200,1000,5000,10000] [--duration-secs N] [--seed N]");
+                eprintln!("usage: engine_bench [--json [PATH]] [--routing [PATH]] [--routing-nodes N,N] [--nodes 50,200,1000,5000,10000] [--duration-secs N] [--seed N]");
                 std::process::exit(2);
             }
         }
@@ -183,35 +218,50 @@ fn main() {
         let rows: Vec<String> = entries.iter().map(row).collect();
         let transfer_rows: Vec<String> = transfer_entries.iter().map(row).collect();
         let doc = format!(
-            "{{\n  \"benchmark\": \"engine_modes\",\n  \"description\": \"World::run wall time, ticked vs event-driven scheduler, identical scenarios (paper mobility, Epidemic + Lifetime policies)\",\n  \"seed\": {},\n  \"entries\": [\n{}\n  ],\n  \"transfer_bound\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"benchmark\": \"engine_modes\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"description\": \"World::run wall time, ticked vs event-driven scheduler, identical scenarios (paper mobility, Epidemic + Lifetime policies)\",\n  \"seed\": {},\n  \"entries\": [\n{}\n  ],\n  \"transfer_bound\": [\n{}\n  ]\n}}\n",
             seed,
             rows.join(",\n"),
             transfer_rows.join(",\n")
         );
-        std::fs::write(&path, doc).expect("write benchmark JSON");
-        println!("wrote {path}");
+        write_json(&path, &doc);
     }
     if any_mismatch {
         eprintln!("ERROR: event-driven report diverged from ticked reference");
         std::process::exit(1);
     }
     if let Some(path) = routing_path {
-        run_routing_section(&path, seed);
+        run_routing_section(&path, seed, routing_nodes, duration_override);
     }
 }
 
-/// Measure the dense-contact, routing-round-dominated scenario (event-driven
-/// wall time, with a ticked identity check) across fleet sizes and the
-/// paper's sorted-vs-FIFO policy extremes, writing `path` as JSON.
-fn run_routing_section(path: &str, seed: u64) {
+/// Measure the dense-contact, routing-round-dominated scenario across fleet
+/// sizes and the paper's sorted-vs-FIFO policy extremes, writing `path` as
+/// JSON. Each row runs the ticked reference, the event engine with the
+/// delta-maintained candidate index, and the event engine with the PR 3
+/// cursor-only rescan; all three reports must be bit-identical, and the
+/// recorded `speedup` is index vs rescan — the number the incremental-
+/// candidate-index work is accountable for.
+fn run_routing_section(
+    path: &str,
+    seed: u64,
+    routing_nodes: Option<Vec<usize>>,
+    duration_override: Option<f64>,
+) {
     println!("routing round: dense stationary mesh, permanent contacts");
     println!(
-        "{:>6} {:>10} {:>24} {:>12} {:>12} {:>10}",
-        "nodes", "sim secs", "policy", "ticked s", "event s", "identical"
+        "{:>6} {:>10} {:>24} {:>12} {:>12} {:>12} {:>9} {:>10}",
+        "nodes", "sim secs", "policy", "ticked s", "rescan s", "index s", "speedup", "identical"
     );
+    let sizes: Vec<(usize, f64)> = match routing_nodes {
+        Some(list) => list
+            .into_iter()
+            .map(|n| (n, duration_override.unwrap_or(300.0)))
+            .collect(),
+        None => vec![(1000usize, 600.0f64), (5000, 300.0), (10000, 300.0)],
+    };
     let mut rows = Vec::new();
     let mut any_mismatch = false;
-    for &(n, duration) in &[(1000usize, 600.0f64), (5000, 300.0), (10000, 300.0)] {
+    for &(n, duration) in &sizes {
         for (router, policy, label) in [
             (
                 RouterKind::Epidemic,
@@ -230,29 +280,39 @@ fn run_routing_section(path: &str, seed: u64) {
             ),
         ] {
             let scenario = dense_routing_scenario(n, duration, router, policy, seed);
-            let ticked = run_mode(&scenario, EngineMode::Ticked);
-            let event = run_mode(&scenario, EngineMode::EventDriven);
-            let identical = canon(ticked.clone()) == canon(event.clone());
+            let ticked = run_with_backend(&scenario, EngineMode::Ticked, RoutingBackend::Index);
+            let rescan =
+                run_with_backend(&scenario, EngineMode::EventDriven, RoutingBackend::Rescan);
+            let index = run_with_backend(&scenario, EngineMode::EventDriven, RoutingBackend::Index);
+            let identical = canon(ticked.clone()) == canon(index.clone())
+                && canon(rescan.clone()) == canon(index.clone());
             any_mismatch |= !identical;
+            let speedup = rescan.wall_secs / index.wall_secs.max(1e-9);
             println!(
-                "{:>6} {:>10.0} {:>24} {:>12.3} {:>12.3} {:>10}",
-                n, duration, label, ticked.wall_secs, event.wall_secs, identical
+                "{:>6} {:>10.0} {:>24} {:>12.3} {:>12.3} {:>12.3} {:>8.2}x {:>10}",
+                n,
+                duration,
+                label,
+                ticked.wall_secs,
+                rescan.wall_secs,
+                index.wall_secs,
+                speedup,
+                identical
             );
             rows.push(format!(
-                "    {{\"nodes\": {}, \"sim_duration_secs\": {}, \"policy\": \"{}\", \"ticked_wall_secs\": {:.6}, \"event_wall_secs\": {:.6}, \"reports_identical\": {}}}",
-                n, duration, label, ticked.wall_secs, event.wall_secs, identical
+                "    {{\"nodes\": {}, \"sim_duration_secs\": {}, \"policy\": \"{}\", \"ticked_wall_secs\": {:.6}, \"rescan_wall_secs\": {:.6}, \"index_wall_secs\": {:.6}, \"speedup_index_vs_rescan\": {:.3}, \"reports_identical\": {}}}",
+                n, duration, label, ticked.wall_secs, rescan.wall_secs, index.wall_secs, speedup, identical
             ));
         }
     }
     let doc = format!(
-        "{{\n  \"benchmark\": \"routing_round\",\n  \"description\": \"World::run wall time on the dense-contact stationary mesh (routing round dominates; Epidemic, permanent contacts)\",\n  \"seed\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"routing_round\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"description\": \"World::run wall time on the dense-contact stationary mesh (routing round dominates; permanent contacts): ticked reference vs event-driven with the PR 3 cursor-only rescan vs event-driven with the delta-maintained candidate index\",\n  \"seed\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
         seed,
         rows.join(",\n")
     );
-    std::fs::write(path, doc).expect("write routing benchmark JSON");
-    println!("wrote {path}");
+    write_json(path, &doc);
     if any_mismatch {
-        eprintln!("ERROR: event-driven report diverged from ticked reference");
+        eprintln!("ERROR: reports diverged across engine modes / routing backends");
         std::process::exit(1);
     }
 }

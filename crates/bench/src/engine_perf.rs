@@ -7,7 +7,7 @@
 
 use vdtn::engine::{EngineMode, World};
 use vdtn::scenario::{MapSpec, MobilitySpec, NodeGroup, RelayPlacement, Scenario, TrafficSpec};
-use vdtn::{DetectorBackend, PolicyCombo, RouterKind, SimDuration, SimReport};
+use vdtn::{DetectorBackend, PolicyCombo, RouterKind, RoutingBackend, SimDuration, SimReport};
 use vdtn_geo::{GridMapGen, Point};
 use vdtn_mobility::SpmbConfig;
 use vdtn_net::RadioInterface;
@@ -168,6 +168,16 @@ pub fn transfer_bound_scenario(pairs: usize, duration_secs: f64, seed: u64) -> S
 /// `wall_secs` is the engine-loop wall time).
 pub fn run_mode(scenario: &Scenario, mode: EngineMode) -> SimReport {
     World::build_with_mode(scenario, mode).run()
+}
+
+/// Run with an explicit routing scan backend too — the index-vs-cursor
+/// comparison the routing bench section records.
+pub fn run_with_backend(
+    scenario: &Scenario,
+    mode: EngineMode,
+    backend: RoutingBackend,
+) -> SimReport {
+    World::build_with_options(scenario, mode, backend).run()
 }
 
 /// Canonical report serialisation with the wall clock zeroed, for

@@ -16,7 +16,17 @@
 //! * `expiry` — a min-heap of `(expiry time, id)` with lazy deletion, so
 //!   TTL housekeeping ([`Buffer::next_expiry`], [`Buffer::drain_expired`])
 //!   costs O(1) when nothing is due instead of a full-buffer scan. This is
-//!   the heap the engine's TTL-expiry events are scheduled from.
+//!   the heap the engine's TTL-expiry events are scheduled from;
+//! * `deltas` — an optional bounded membership-change log (see
+//!   [`Buffer::watch`]). Once a subscriber opts in, every insert, removal
+//!   and TTL expiry is recorded as a [`BufferDelta`] stamped with the
+//!   post-operation generation, and [`Buffer::deltas_since`] replays the
+//!   changes between two observed generations so downstream candidate
+//!   indexes can patch themselves in O(changes) instead of rescanning the
+//!   buffer. The log is a bounded ring (compacted in amortised O(1), like
+//!   the tombstoned `order` vector): consumers that fall too far behind get
+//!   `None` and must rebuild — staleness degrades to a rescan, never to a
+//!   wrong answer.
 
 use crate::message::{Message, MessageId};
 use serde::{Deserialize, Serialize};
@@ -77,6 +87,69 @@ struct ExpiryEntry {
     id: MessageId,
 }
 
+/// Per-message bookkeeping in the id index: position in `order` plus the
+/// buffer-lifetime insertion sequence number (the scheduling tie-break —
+/// reception order survives compaction through it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Slot {
+    pos: u32,
+    seq: u64,
+}
+
+/// The immutable fields every [`crate::SchedulingPolicy`] ranks by, snapshot
+/// at insertion time. Carried inside [`DeltaKind::Insert`] so a consumer can
+/// key a candidate entry even after the message has left the buffer again
+/// (insert-then-remove inside one replayed batch), plus the insertion
+/// sequence number `seq` that encodes reception order for tie-breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankMeta {
+    /// Absolute expiry instant (`created + ttl`).
+    pub expiry: SimTime,
+    /// Message size in bytes.
+    pub size: u64,
+    /// Creation timestamp at the source.
+    pub created: SimTime,
+    /// Hop count of the stored copy (immutable while stored).
+    pub hops: u32,
+    /// Buffer-lifetime insertion sequence number; strictly increasing with
+    /// reception order, never reused.
+    pub seq: u64,
+}
+
+/// What a [`BufferDelta`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeltaKind {
+    /// A message entered the buffer; the meta snapshot is everything a
+    /// scheduling rank needs.
+    Insert(RankMeta),
+    /// A message was removed (forwarding hand-off, delivery discard,
+    /// drop-policy eviction).
+    Remove,
+    /// A message was removed by the TTL sweep ([`Buffer::drain_expired`]).
+    /// Consumers treat it like [`DeltaKind::Remove`]; the distinction is
+    /// kept for diagnostics and the invalidation tables in ARCHITECTURE.md.
+    Expire,
+}
+
+/// One membership change, stamped with the generation the buffer reached
+/// *after* the operation. Generations move by exactly one per change, so a
+/// contiguous log slice replays a generation interval exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferDelta {
+    /// `Buffer::generation()` immediately after this change.
+    pub generation: u64,
+    /// The message the change concerns.
+    pub id: MessageId,
+    /// What happened.
+    pub kind: DeltaKind,
+}
+
+/// Ring bound for the delta log: once more than `2 * DELTA_LOG_CAP` entries
+/// accumulate the oldest `DELTA_LOG_CAP` are dropped in one amortised-O(1)
+/// batch. Consumers further behind than the retained window rebuild instead
+/// of patching.
+const DELTA_LOG_CAP: usize = 512;
+
 /// A node's message store.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Buffer {
@@ -87,8 +160,9 @@ pub struct Buffer {
     /// in place, so liveness checks during iteration are a plain compare —
     /// no hash lookups on the hot traversal paths.
     order: Vec<MessageId>,
-    /// Id → position in `order` for every *stored* message.
-    index: HashMap<MessageId, u32>,
+    /// Id → `order` position and insertion sequence for every *stored*
+    /// message.
+    index: HashMap<MessageId, Slot>,
     /// Tombstoned entries currently in `order`.
     stale: usize,
     /// Id → message copy.
@@ -103,6 +177,19 @@ pub struct Buffer {
     /// In-place mutation via [`Buffer::get_mut`] does *not* bump it — see
     /// `generation()` for the contract.
     generation: u64,
+    /// Count of successful inserts over the buffer's lifetime. Doubles as
+    /// the next insertion sequence number and as the "delta summary" the
+    /// engine's silent-round memo keys on (removals never make a silent
+    /// direction loud, so the memo can ignore them — see
+    /// [`Buffer::insert_count`]).
+    inserts: u64,
+    /// True once a consumer called [`Buffer::watch`]; membership changes
+    /// are recorded from that point on.
+    log_on: bool,
+    /// The delta log covers generations `(log_base, generation]`.
+    log_base: u64,
+    /// The recorded deltas, oldest first (bounded; see `DELTA_LOG_CAP`).
+    deltas: Vec<BufferDelta>,
 }
 
 impl Buffer {
@@ -117,6 +204,10 @@ impl Buffer {
             store: HashMap::new(),
             expiry: Vec::new(),
             generation: 0,
+            inserts: 0,
+            log_on: false,
+            log_base: 0,
+            deltas: Vec::new(),
         }
     }
 
@@ -133,6 +224,85 @@ impl Buffer {
     /// schedule caching sound.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Number of successful inserts over this buffer's lifetime, monotone
+    /// and unchanged by removals.
+    ///
+    /// This is the buffer's **delta summary** for silence reasoning: a
+    /// routing direction whose `None` verdict was recorded at some sender
+    /// insert-count stays `None` while that count is unchanged, because
+    /// removals only shrink the sender's candidate set and every surviving
+    /// candidate was already rejected (the engine's `SilenceKey` keys on
+    /// this instead of the full generation since PR 5).
+    pub fn insert_count(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Start recording membership deltas. Idempotent; recording stays on
+    /// for the buffer's life. The log starts empty at the current
+    /// generation, so `deltas_since(generation())` is `Some(&[])`
+    /// immediately after.
+    pub fn watch(&mut self) {
+        if !self.log_on {
+            self.log_on = true;
+            self.log_base = self.generation;
+            self.deltas.clear();
+        }
+    }
+
+    /// True once [`Buffer::watch`] has been called.
+    pub fn is_watched(&self) -> bool {
+        self.log_on
+    }
+
+    /// The membership changes between the observed generation `gen` and the
+    /// current one, oldest first, or `None` when the log cannot prove the
+    /// interval (never watched, consumer older than the retained window, or
+    /// `gen` from a different buffer) — the caller must then rebuild from
+    /// the buffer itself. `Some(&[])` whenever `gen` is current, watched or
+    /// not.
+    pub fn deltas_since(&self, gen: u64) -> Option<&[BufferDelta]> {
+        if gen == self.generation {
+            return Some(&[]);
+        }
+        if !self.log_on || gen > self.generation || gen < self.log_base {
+            return None;
+        }
+        debug_assert_eq!(
+            self.deltas.len() as u64,
+            self.generation - self.log_base,
+            "every generation bump since watch() is logged"
+        );
+        Some(&self.deltas[(gen - self.log_base) as usize..])
+    }
+
+    /// The scheduling-rank snapshot of a stored message (see [`RankMeta`]).
+    pub fn rank_meta(&self, id: MessageId) -> Option<RankMeta> {
+        let slot = self.index.get(&id)?;
+        let m = self.store.get(&id)?;
+        Some(RankMeta {
+            expiry: m.expiry(),
+            size: m.size,
+            created: m.created,
+            hops: m.hops,
+            seq: slot.seq,
+        })
+    }
+
+    fn push_delta(&mut self, id: MessageId, kind: DeltaKind) {
+        if !self.log_on {
+            return;
+        }
+        self.deltas.push(BufferDelta {
+            generation: self.generation,
+            id,
+            kind,
+        });
+        if self.deltas.len() > 2 * DELTA_LOG_CAP {
+            self.log_base = self.deltas[DELTA_LOG_CAP - 1].generation;
+            self.deltas.drain(..DELTA_LOG_CAP);
+        }
     }
 
     /// Total capacity in bytes.
@@ -206,12 +376,30 @@ impl Buffer {
         }
         self.used += msg.size;
         self.generation += 1;
-        self.index.insert(msg.id, self.order.len() as u32);
+        let seq = self.inserts;
+        self.inserts += 1;
+        self.index.insert(
+            msg.id,
+            Slot {
+                pos: self.order.len() as u32,
+                seq,
+            },
+        );
         self.order.push(msg.id);
         self.heap_push(ExpiryEntry {
             at: msg.expiry(),
             id: msg.id,
         });
+        self.push_delta(
+            msg.id,
+            DeltaKind::Insert(RankMeta {
+                expiry: msg.expiry(),
+                size: msg.size,
+                created: msg.created,
+                hops: msg.hops,
+                seq,
+            }),
+        );
         self.store.insert(msg.id, msg);
         Ok(())
     }
@@ -221,15 +409,20 @@ impl Buffer {
     /// compaction;
     /// the expiry-heap entry is discarded lazily.
     pub fn remove(&mut self, id: MessageId) -> Option<Message> {
+        self.remove_with(id, DeltaKind::Remove)
+    }
+
+    fn remove_with(&mut self, id: MessageId, kind: DeltaKind) -> Option<Message> {
         let msg = self.store.remove(&id)?;
         self.used -= msg.size;
         self.generation += 1;
-        let pos = self.index.remove(&id).expect("stored ids are indexed");
-        self.order[pos as usize] = TOMBSTONE;
+        let slot = self.index.remove(&id).expect("stored ids are indexed");
+        self.order[slot.pos as usize] = TOMBSTONE;
         self.stale += 1;
         if self.stale * 2 > self.order.len() {
             self.compact();
         }
+        self.push_delta(id, kind);
         Some(msg)
     }
 
@@ -240,7 +433,7 @@ impl Buffer {
             let id = self.order[r];
             if id != TOMBSTONE {
                 self.order[w] = id;
-                self.index.insert(id, w as u32);
+                self.index.get_mut(&id).expect("live ids are indexed").pos = w as u32;
                 w += 1;
             }
         }
@@ -298,14 +491,17 @@ impl Buffer {
             self.heap_pop();
             if let Some(m) = self.store.get(&top.id) {
                 if m.expiry() == top.at {
-                    due.push((self.index[&top.id], top.id));
+                    due.push((self.index[&top.id].pos, top.id));
                 }
             }
         }
         due.sort_unstable();
         due.dedup_by_key(|e| e.1);
         due.into_iter()
-            .map(|(_, id)| self.remove(id).expect("live id collected above"))
+            .map(|(_, id)| {
+                self.remove_with(id, DeltaKind::Expire)
+                    .expect("live id collected above")
+            })
             .collect()
     }
 
@@ -544,6 +740,96 @@ mod tests {
             b.insert(msg(1, 1, 0.0, 60)),
             Err(BufferError::TooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn delta_log_replays_membership_changes() {
+        let mut b = Buffer::new(10_000);
+        b.insert(msg(1, 10, 0.0, 60)).unwrap(); // before watch: unlogged
+        b.watch();
+        let base = b.generation();
+        assert_eq!(b.deltas_since(base), Some(&[][..]));
+
+        b.insert(msg(2, 10, 1.0, 60)).unwrap();
+        b.remove(MessageId(1)).unwrap();
+        let deltas = b.deltas_since(base).expect("within the window");
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas[0].id, MessageId(2));
+        assert!(matches!(deltas[0].kind, DeltaKind::Insert(m) if m.size == 10 && m.seq == 1));
+        assert_eq!(deltas[0].generation, base + 1);
+        assert_eq!(deltas[1].id, MessageId(1));
+        assert_eq!(deltas[1].kind, DeltaKind::Remove);
+        // Mid-window replay: only the tail.
+        let tail = b.deltas_since(base + 1).unwrap();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].kind, DeltaKind::Remove);
+        // A generation the log cannot prove (pre-watch, or foreign).
+        assert_eq!(b.deltas_since(base.wrapping_sub(1)), None);
+        assert_eq!(b.deltas_since(b.generation() + 7), None);
+    }
+
+    #[test]
+    fn delta_log_tags_ttl_expiry() {
+        let mut b = Buffer::new(10_000);
+        b.watch();
+        b.insert(msg(1, 10, 0.0, 1)).unwrap();
+        let gen = b.generation();
+        let dead = b.drain_expired(SimTime::from_secs_f64(61.0));
+        assert_eq!(dead.len(), 1);
+        let deltas = b.deltas_since(gen).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].kind, DeltaKind::Expire);
+    }
+
+    #[test]
+    fn delta_log_overflow_forces_rebuild() {
+        let mut b = Buffer::new(u64::MAX);
+        b.watch();
+        let base = b.generation();
+        // Far more churn than the retained window holds.
+        for i in 0..2_000u64 {
+            b.insert(msg(i, 1, 0.0, 60)).unwrap();
+            b.remove(MessageId(i)).unwrap();
+        }
+        assert_eq!(b.deltas_since(base), None, "fell out of the ring");
+        // Recent generations still replay exactly.
+        let recent = b.generation() - 10;
+        let deltas = b.deltas_since(recent).unwrap();
+        assert_eq!(deltas.len(), 10);
+        assert!(deltas
+            .windows(2)
+            .all(|w| w[1].generation == w[0].generation + 1));
+    }
+
+    #[test]
+    fn unwatched_buffer_only_proves_the_current_generation() {
+        let mut b = Buffer::new(10_000);
+        let g0 = b.generation();
+        assert_eq!(b.deltas_since(g0), Some(&[][..]));
+        b.insert(msg(1, 10, 0.0, 60)).unwrap();
+        assert_eq!(b.deltas_since(g0), None);
+        assert_eq!(b.deltas_since(b.generation()), Some(&[][..]));
+    }
+
+    #[test]
+    fn insert_count_and_seq_survive_removals_and_compaction() {
+        let mut b = Buffer::new(u64::MAX);
+        for i in 0..10u64 {
+            b.insert(msg(i, 1, i as f64, 60)).unwrap();
+        }
+        assert_eq!(b.insert_count(), 10);
+        for i in 0..8u64 {
+            b.remove(MessageId(i)).unwrap(); // crosses the compaction threshold
+        }
+        assert_eq!(b.insert_count(), 10, "removals leave the count alone");
+        assert_eq!(b.rank_meta(MessageId(8)).unwrap().seq, 8);
+        assert_eq!(b.rank_meta(MessageId(9)).unwrap().seq, 9);
+        // Re-insertion gets a fresh, larger seq (reception order restarts at
+        // the back).
+        b.insert(msg(3, 1, 99.0, 60)).unwrap();
+        assert_eq!(b.rank_meta(MessageId(3)).unwrap().seq, 10);
+        assert_eq!(b.insert_count(), 11);
+        assert_eq!(b.rank_meta(MessageId(42)), None);
     }
 
     #[test]

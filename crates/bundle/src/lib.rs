@@ -44,7 +44,7 @@ pub mod policy;
 pub mod schedule;
 pub mod traffic;
 
-pub use buffer::{Buffer, BufferError};
+pub use buffer::{Buffer, BufferDelta, BufferError, DeltaKind, RankMeta};
 pub use message::{Message, MessageId};
 pub use policy::{DropPolicy, PolicyCombo, SchedulingPolicy};
 pub use schedule::ScheduleCache;

@@ -48,6 +48,19 @@
 //! executed tick re-derives the actual work from simulation state, so a
 //! stale or duplicate event costs one wasted wake-up, not correctness.
 //!
+//! Orthogonally to the engine mode, the routing round's scan cost is set by
+//! the [`RoutingBackend`]: under the default `Index` backend the policy
+//! routers patch per-direction candidate sets from buffer delta logs
+//! ([`vdtn_routing::candidates`]) so a round after a buffer change touches
+//! O(changes) candidates, while `Rescan` keeps the cursor-only full-rescan
+//! path as the reference. The engine's wiring is confined to three spots:
+//! buffers are [`vdtn_bundle::Buffer::watch`]ed at build when any router
+//! wants deltas, offered messages are recorded through
+//! [`ContactOffers::record`] (which retires them from both directions'
+//! indexes), and the silent-round memo keys the sender buffer by its delta
+//! summary ([`vdtn_bundle::Buffer::insert_count`]) so sender-side removals
+//! keep a direction silent.
+//!
 //! All randomness flows through per-node derived RNG lanes, and every RNG
 //! draw happens inside phase work that both modes execute identically, so
 //! runs are bit-reproducible across modes and independent runs can execute
@@ -64,7 +77,7 @@ use vdtn_mobility::{MovementModel, ShortestPathMapBased, Stationary};
 use vdtn_net::{
     pair_key, ContactDetector, ContactTrace, LinkEvent, LinkTable, MovedNode, TransferOutcome,
 };
-use vdtn_routing::{ContactOffers, NodeState, ReceiveOutcome, Router};
+use vdtn_routing::{ContactOffers, NodeState, ReceiveOutcome, Router, RoutingBackend};
 use vdtn_sim_core::{EngineEvent, EventQueue, NodeId, SimDuration, SimRng, SimTime};
 
 /// Split two distinct mutable references out of a slice.
@@ -167,6 +180,19 @@ impl World {
     /// reference and for pathological scenarios where nothing is ever
     /// quiescent (see ARCHITECTURE.md).
     pub fn build_with_mode(scenario: &Scenario, mode: EngineMode) -> World {
+        Self::build_with_options(scenario, mode, RoutingBackend::default())
+    }
+
+    /// Materialise a scenario with an explicit engine mode *and* routing
+    /// scan backend. All four combinations produce bit-identical reports
+    /// (`tests/engine_equivalence.rs`); [`RoutingBackend::Rescan`] exists
+    /// as the cursor-only reference for the delta-maintained candidate
+    /// index and for the index-vs-cursor benches.
+    pub fn build_with_options(
+        scenario: &Scenario,
+        mode: EngineMode,
+        backend: RoutingBackend,
+    ) -> World {
         scenario.validate();
         let root = SimRng::seed_from_u64(scenario.seed);
         let map = Arc::new(scenario.map.build(&mut root.derive("map", 0)));
@@ -224,11 +250,27 @@ impl World {
                 };
                 movers.push(mover);
                 states.push(NodeState::new(id, group.buffer_bytes, group.is_relay));
-                routers.push(scenario.router.build(id, n, scenario.policy));
+                routers.push(
+                    scenario
+                        .router
+                        .build_with_backend(id, n, scenario.policy, backend),
+                );
                 node_rngs.push(root.derive("policy", id.0 as u64));
                 if !group.is_relay {
                     endpoints.push(id);
                 }
+            }
+        }
+
+        // Delta-log subscription: when the routers patch per-direction
+        // candidate indexes from buffer deltas, every buffer must record
+        // its membership changes — each direction consumes the *sender's*
+        // and the *receiver's* log. Purely an optimisation contract: an
+        // unwatched buffer degrades the index to rebuild-per-change, never
+        // to a wrong answer.
+        if routers.iter().any(|r| r.wants_buffer_deltas()) {
+            for state in &mut states {
+                state.buffer.watch();
             }
         }
 
@@ -618,10 +660,13 @@ impl World {
     }
 
     /// Snapshot of every input that can change a `from → to` routing-round
-    /// verdict (see [`vdtn_routing::offers::SilenceKey`]).
+    /// verdict (see [`vdtn_routing::offers::SilenceKey`]). The sender-side
+    /// buffer component is its **delta summary** — the insert count, not
+    /// the full generation — because sender removals only shrink the
+    /// candidate set and can never turn a `None` verdict into `Some`.
     fn silence_key(&self, from: NodeId, to: NodeId) -> [u64; 5] {
         [
-            self.states[from.index()].buffer.generation(),
+            self.states[from.index()].buffer.insert_count(),
             self.routers[from.index()].routing_generation(),
             self.states[to.index()].buffer.generation(),
             self.routers[to.index()].routing_generation(),
@@ -910,12 +955,13 @@ impl World {
 
         // Silence short-circuit: if this direction answered `None` from
         // exactly this state snapshot, re-asking is provably futile (see
-        // `SilenceKey`); skipping the scan is bit-identical as long as the
-        // router draws no RNG in `next_transfer`. Same inputs as
-        // `silence_key()` (inlined here because the routers are already
-        // split-borrowed).
+        // `SilenceKey` — the sender buffer contributes its insert count, so
+        // sender-side removals keep the memo); skipping the scan is
+        // bit-identical as long as the router draws no RNG in
+        // `next_transfer`. Same inputs as `silence_key()` (inlined here
+        // because the routers are already split-borrowed).
         let silence_key = [
-            self.states[from.index()].buffer.generation(),
+            self.states[from.index()].buffer.insert_count(),
             rf.routing_generation(),
             self.states[to.index()].buffer.generation(),
             rt.routing_generation(),

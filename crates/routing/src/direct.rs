@@ -7,26 +7,32 @@
 //! extension benches and as sanity anchors in the integration tests
 //! (Epidemic must dominate both on delivery ratio).
 
+use crate::candidates::{CandidateSource, RoutingBackend, Verdict};
 use crate::offers::OfferView;
 use crate::router::{CreateOutcome, ReceiveOutcome, Router};
 use crate::state::NodeState;
-use crate::util::{make_room_and_store, policy_victim, scan_schedule, standard_receive};
-use vdtn_bundle::{Message, MessageId, PolicyCombo, ScheduleCache, SchedulingPolicy};
+use crate::util::{make_room_and_store, policy_victim, scan_policy, standard_receive};
+use vdtn_bundle::{Message, MessageId, PolicyCombo, SchedulingPolicy};
 use vdtn_sim_core::{NodeId, SimRng, SimTime};
 
 /// Source holds every message until it meets the destination.
 pub struct DirectDeliveryRouter {
     policy: PolicyCombo,
-    cache: ScheduleCache,
+    source: CandidateSource,
 }
 
 impl DirectDeliveryRouter {
     /// Create with the given buffer policies (scheduling matters only for
     /// the order of multiple deliverable messages at one contact).
     pub fn new(policy: PolicyCombo) -> Self {
+        Self::with_backend(policy, RoutingBackend::default())
+    }
+
+    /// Create with an explicit scan backend (benches, equivalence tests).
+    pub fn with_backend(policy: PolicyCombo, backend: RoutingBackend) -> Self {
         DirectDeliveryRouter {
             policy,
-            cache: ScheduleCache::new(),
+            source: CandidateSource::new(backend),
         }
     }
 }
@@ -38,6 +44,10 @@ impl Router for DirectDeliveryRouter {
 
     fn next_transfer_draws_rng(&self) -> bool {
         self.policy.scheduling == SchedulingPolicy::Random
+    }
+
+    fn wants_buffer_deltas(&self) -> bool {
+        self.source.wants_deltas(self.policy.scheduling)
     }
 
     fn on_message_created(
@@ -68,19 +78,26 @@ impl Router for DirectDeliveryRouter {
         now: SimTime,
         rng: &mut SimRng,
     ) -> Option<MessageId> {
-        scan_schedule(
-            &mut self.cache,
+        // The destination test is constant per direction and expiry is
+        // final, so every rejection is permanent for this contact.
+        scan_policy(
+            &mut self.source,
             self.policy.scheduling,
             &own.buffer,
+            peer,
             offers,
             now,
             rng,
             |id| {
                 if peer.knows(id) {
-                    return false;
+                    return Verdict::Never;
                 }
                 let msg = own.buffer.get(id).expect("ordered id is stored");
-                msg.dst == peer.id && !msg.is_expired(now)
+                if msg.dst == peer.id && !msg.is_expired(now) {
+                    Verdict::Accept
+                } else {
+                    Verdict::Never
+                }
             },
         )
     }
@@ -116,15 +133,20 @@ impl Router for DirectDeliveryRouter {
 /// the sender), hopping until it meets the destination or expires.
 pub struct FirstContactRouter {
     policy: PolicyCombo,
-    cache: ScheduleCache,
+    source: CandidateSource,
 }
 
 impl FirstContactRouter {
     /// Create with the given buffer policies.
     pub fn new(policy: PolicyCombo) -> Self {
+        Self::with_backend(policy, RoutingBackend::default())
+    }
+
+    /// Create with an explicit scan backend (benches, equivalence tests).
+    pub fn with_backend(policy: PolicyCombo, backend: RoutingBackend) -> Self {
         FirstContactRouter {
             policy,
-            cache: ScheduleCache::new(),
+            source: CandidateSource::new(backend),
         }
     }
 }
@@ -136,6 +158,10 @@ impl Router for FirstContactRouter {
 
     fn next_transfer_draws_rng(&self) -> bool {
         self.policy.scheduling == SchedulingPolicy::Random
+    }
+
+    fn wants_buffer_deltas(&self) -> bool {
+        self.source.wants_deltas(self.policy.scheduling)
     }
 
     fn on_message_created(
@@ -166,19 +192,23 @@ impl Router for FirstContactRouter {
         now: SimTime,
         rng: &mut SimRng,
     ) -> Option<MessageId> {
-        scan_schedule(
-            &mut self.cache,
+        scan_policy(
+            &mut self.source,
             self.policy.scheduling,
             &own.buffer,
+            peer,
             offers,
             now,
             rng,
             |id| {
                 if peer.knows(id) {
-                    return false;
+                    return Verdict::Never;
                 }
                 let msg = own.buffer.get(id).expect("ordered id is stored");
-                !msg.is_expired(now) && peer.buffer.could_fit(msg.size)
+                if msg.is_expired(now) || !peer.buffer.could_fit(msg.size) {
+                    return Verdict::Never;
+                }
+                Verdict::Accept
             },
         )
     }

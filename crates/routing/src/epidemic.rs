@@ -6,25 +6,32 @@
 //! scheduling and dropping policies — which is precisely the knob the paper
 //! turns.
 
+use crate::candidates::{CandidateSource, RoutingBackend, Verdict};
 use crate::offers::OfferView;
 use crate::router::{CreateOutcome, ReceiveOutcome, Router};
 use crate::state::NodeState;
-use crate::util::{make_room_and_store, policy_victim, scan_schedule, standard_receive};
-use vdtn_bundle::{Message, MessageId, PolicyCombo, ScheduleCache, SchedulingPolicy};
+use crate::util::{make_room_and_store, policy_victim, scan_policy, standard_receive};
+use vdtn_bundle::{Message, MessageId, PolicyCombo, SchedulingPolicy};
 use vdtn_sim_core::{NodeId, SimRng, SimTime};
 
 /// Flooding router with pluggable buffer policies.
 pub struct EpidemicRouter {
     policy: PolicyCombo,
-    cache: ScheduleCache,
+    source: CandidateSource,
 }
 
 impl EpidemicRouter {
-    /// Create with the given scheduling/dropping combination.
+    /// Create with the given scheduling/dropping combination (default
+    /// candidate-index backend).
     pub fn new(policy: PolicyCombo) -> Self {
+        Self::with_backend(policy, RoutingBackend::default())
+    }
+
+    /// Create with an explicit scan backend (benches, equivalence tests).
+    pub fn with_backend(policy: PolicyCombo, backend: RoutingBackend) -> Self {
         EpidemicRouter {
             policy,
-            cache: ScheduleCache::new(),
+            source: CandidateSource::new(backend),
         }
     }
 
@@ -41,6 +48,10 @@ impl Router for EpidemicRouter {
 
     fn next_transfer_draws_rng(&self) -> bool {
         self.policy.scheduling == SchedulingPolicy::Random
+    }
+
+    fn wants_buffer_deltas(&self) -> bool {
+        self.source.wants_deltas(self.policy.scheduling)
     }
 
     fn on_message_created(
@@ -73,19 +84,27 @@ impl Router for EpidemicRouter {
     ) -> Option<MessageId> {
         // Scheduling policy orders the buffer; offer the first message the
         // peer does not already know and that could physically fit there.
-        scan_schedule(
-            &mut self.cache,
+        // Every rejection is permanent for this contact direction: a
+        // peer-knows hit seen by the index scan can only mean destination
+        // consumption (buffer membership is synced from deltas), expiry is
+        // final, and capacity fits are constant per message.
+        scan_policy(
+            &mut self.source,
             self.policy.scheduling,
             &own.buffer,
+            peer,
             offers,
             now,
             rng,
             |id| {
                 if peer.knows(id) {
-                    return false;
+                    return Verdict::Never;
                 }
                 let msg = own.buffer.get(id).expect("ordered id is stored");
-                !msg.is_expired(now) && peer.buffer.could_fit(msg.size)
+                if msg.is_expired(now) || !peer.buffer.could_fit(msg.size) {
+                    return Verdict::Never;
+                }
+                Verdict::Accept
             },
         )
     }

@@ -45,6 +45,7 @@
 //! assert_eq!(state.buffer.len(), 1);
 //! ```
 
+pub mod candidates;
 pub mod direct;
 pub mod epidemic;
 pub mod maxprop;
@@ -56,6 +57,7 @@ pub mod sprayfocus;
 pub mod state;
 pub(crate) mod util;
 
+pub use candidates::{CandidateIndex, CandidateSource, RoutingBackend, Verdict};
 pub use direct::{DirectDeliveryRouter, FirstContactRouter};
 pub use epidemic::EpidemicRouter;
 pub use maxprop::{MaxPropConfig, MaxPropRouter};

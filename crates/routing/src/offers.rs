@@ -24,8 +24,10 @@
 //!   position below the cursor stays offered-or-expired for as long as the
 //!   token matches.
 
+use crate::candidates::{CandidateIndex, Verdict};
+use crate::state::NodeState;
 use std::collections::HashMap;
-use vdtn_bundle::MessageId;
+use vdtn_bundle::{Buffer, MessageId, SchedulingPolicy};
 use vdtn_sim_core::SimTime;
 
 /// One direction's resume point into a cached schedule order.
@@ -37,7 +39,7 @@ struct Cursor {
 }
 
 /// Snapshot of every input that can turn a silent routing round loud again:
-/// `[sender buffer generation, sender routing generation, receiver buffer
+/// `[sender buffer insert-count, sender routing generation, receiver buffer
 /// generation, receiver routing generation, receiver delivered-count]`.
 ///
 /// If a round returned `None` under some key and the key is unchanged, the
@@ -45,11 +47,16 @@ struct Cursor {
 /// changes (offered sets and delivered sets only grow, TTL expiry only
 /// removes candidates, capacity fits are constant per message, and the
 /// protocols' metric comparisons are invariant under pure time shift — see
-/// `Router::routing_generation`). The engine uses this two ways: to skip a
-/// provably silent round outright within an executed tick, and — since
-/// every key input only changes inside executed ticks — to skip scheduling
-/// the next tick's `LinkRound` wake entirely when every idle direction is
-/// silent under its current key.
+/// `Router::routing_generation`). The sender-side component is the buffer's
+/// **delta summary** ([`Buffer::insert_count`]) rather than its full
+/// generation: a removal from the sender's buffer only shrinks its
+/// candidate set, and every survivor was already rejected under identical
+/// receiver state at an earlier (or equal) time — so sender removals keep a
+/// silent direction silent, and only *inserts* need to break the memo. The
+/// engine uses the key two ways: to skip a provably silent round outright
+/// within an executed tick, and — since every key input only changes inside
+/// executed ticks — to skip scheduling the next tick's `LinkRound` wake
+/// entirely when every idle direction is silent under its current key.
 pub type SilenceKey = [u64; 5];
 
 /// Offer state for one live connection (both directions).
@@ -61,6 +68,10 @@ pub struct ContactOffers {
     offered: HashMap<MessageId, SimTime>,
     /// Scan cursors per direction: `[lower-id sender, higher-id sender]`.
     cursors: [Cursor; 2],
+    /// Delta-maintained candidate sets per direction (same indexing), used
+    /// by routers on the [`crate::candidates::RoutingBackend::Index`]
+    /// backend; empty and untouched under `Rescan` or `Random` scheduling.
+    indexes: [CandidateIndex; 2],
     /// Payload bytes completed per direction (same indexing), feeding
     /// MaxProp's per-contact volume estimator at contact teardown.
     sent_bytes: [u64; 2],
@@ -77,8 +88,11 @@ impl ContactOffers {
     }
 
     /// Record that `id` (expiring at `expiry`) was offered on this contact.
+    /// The id leaves both directions' candidate indexes for good.
     pub fn record(&mut self, id: MessageId, expiry: SimTime) {
         self.offered.insert(id, expiry);
+        self.indexes[0].on_offered(id);
+        self.indexes[1].on_offered(id);
     }
 
     /// True if `id` was already offered on this contact.
@@ -129,6 +143,7 @@ impl ContactOffers {
         OfferView {
             offered: &self.offered,
             cursor: &mut self.cursors[side],
+            index: &mut self.indexes[side],
         }
     }
 }
@@ -139,12 +154,30 @@ impl ContactOffers {
 pub struct OfferView<'a> {
     offered: &'a HashMap<MessageId, SimTime>,
     cursor: &'a mut Cursor,
+    index: &'a mut CandidateIndex,
 }
 
 impl OfferView<'_> {
     /// True if `id` was already offered during this contact.
     pub fn is_offered(&self, id: MessageId) -> bool {
         self.offered.contains_key(&id)
+    }
+
+    /// Sync this direction's candidate index against both endpoints and
+    /// return the first candidate `eligible` accepts, in scheduling-rank
+    /// order (the `Index` backend's scan; see [`crate::candidates`]).
+    /// Must not be called for [`SchedulingPolicy::Random`], which keeps the
+    /// full-rescan fallback for RNG parity.
+    pub fn scan_index(
+        &mut self,
+        policy: SchedulingPolicy,
+        buffer: &Buffer,
+        peer: &NodeState,
+        eligible: impl FnMut(MessageId) -> Verdict,
+    ) -> Option<MessageId> {
+        debug_assert_ne!(policy, SchedulingPolicy::Random);
+        self.index.sync(policy, buffer, peer, self.offered);
+        self.index.scan(eligible)
     }
 
     /// Scan-start position for the schedule order identified by `token`;

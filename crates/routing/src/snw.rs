@@ -11,11 +11,12 @@
 //! the total number of logical copies in the network never exceeds `L`
 //! (property-tested in the integration suite).
 
+use crate::candidates::{CandidateSource, RoutingBackend, Verdict};
 use crate::offers::OfferView;
 use crate::router::{CreateOutcome, ReceiveOutcome, Router};
 use crate::state::NodeState;
-use crate::util::{make_room_and_store, policy_victim, scan_schedule, standard_receive};
-use vdtn_bundle::{Message, MessageId, PolicyCombo, ScheduleCache, SchedulingPolicy};
+use crate::util::{make_room_and_store, policy_victim, scan_policy, standard_receive};
+use vdtn_bundle::{Message, MessageId, PolicyCombo, SchedulingPolicy};
 use vdtn_sim_core::{NodeId, SimRng, SimTime};
 
 /// Quota-replication router with pluggable buffer policies.
@@ -23,19 +24,29 @@ pub struct SprayAndWaitRouter {
     initial_copies: u32,
     binary: bool,
     policy: PolicyCombo,
-    cache: ScheduleCache,
+    source: CandidateSource,
 }
 
 impl SprayAndWaitRouter {
     /// Create with quota `L = initial_copies`; `binary` selects the paper's
-    /// binary halving variant.
+    /// binary halving variant (default candidate-index backend).
     pub fn new(initial_copies: u32, binary: bool, policy: PolicyCombo) -> Self {
+        Self::with_backend(initial_copies, binary, policy, RoutingBackend::default())
+    }
+
+    /// Create with an explicit scan backend (benches, equivalence tests).
+    pub fn with_backend(
+        initial_copies: u32,
+        binary: bool,
+        policy: PolicyCombo,
+        backend: RoutingBackend,
+    ) -> Self {
         assert!(initial_copies >= 1, "spray quota must be at least 1");
         SprayAndWaitRouter {
             initial_copies,
             binary,
             policy,
-            cache: ScheduleCache::new(),
+            source: CandidateSource::new(backend),
         }
     }
 
@@ -61,6 +72,10 @@ impl Router for SprayAndWaitRouter {
 
     fn next_transfer_draws_rng(&self) -> bool {
         self.policy.scheduling == SchedulingPolicy::Random
+    }
+
+    fn wants_buffer_deltas(&self) -> bool {
+        self.source.wants_deltas(self.policy.scheduling)
     }
 
     fn on_message_created(
@@ -92,23 +107,33 @@ impl Router for SprayAndWaitRouter {
         now: SimTime,
         rng: &mut SimRng,
     ) -> Option<MessageId> {
-        scan_schedule(
-            &mut self.cache,
+        // All rejections are permanent for this direction: peer-knows hits
+        // at the index scan mean destination consumption, expiry and
+        // capacity fits are final, and a stored copy's quota only ever
+        // shrinks (halving via `get_mut`, a fresh copy is a fresh insert
+        // delta) — so a wait-phase copy headed elsewhere never comes back.
+        scan_policy(
+            &mut self.source,
             self.policy.scheduling,
             &own.buffer,
+            peer,
             offers,
             now,
             rng,
             |id| {
                 if peer.knows(id) {
-                    return false;
+                    return Verdict::Never;
                 }
                 let msg = own.buffer.get(id).expect("ordered id is stored");
                 if msg.is_expired(now) || !peer.buffer.could_fit(msg.size) {
-                    return false;
+                    return Verdict::Never;
                 }
                 // Spray phase needs quota; wait phase only direct delivery.
-                msg.dst == peer.id || msg.copies > 1
+                if msg.dst == peer.id || msg.copies > 1 {
+                    Verdict::Accept
+                } else {
+                    Verdict::Never
+                }
             },
         )
     }

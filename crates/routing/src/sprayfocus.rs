@@ -8,11 +8,12 @@
 //! where the source's spray never reaches the destination's neighbourhood,
 //! and is the natural "future work" extension of the paper's SnW results.
 
+use crate::candidates::{CandidateSource, RoutingBackend, Verdict};
 use crate::offers::OfferView;
 use crate::router::{CreateOutcome, ReceiveOutcome, Router};
 use crate::state::NodeState;
-use crate::util::{make_room_and_store, policy_victim, scan_schedule, standard_receive};
-use vdtn_bundle::{Message, MessageId, PolicyCombo, ScheduleCache, SchedulingPolicy};
+use crate::util::{make_room_and_store, policy_victim, scan_policy, standard_receive};
+use vdtn_bundle::{Message, MessageId, PolicyCombo, SchedulingPolicy};
 use vdtn_sim_core::{NodeId, SimRng, SimTime};
 
 /// Quota-replication router with utility-based focus phase.
@@ -24,20 +25,37 @@ pub struct SprayAndFocusRouter {
     /// Bumped on every `last_met` write; the focus-phase eligibility
     /// compares recencies, so this is the router's routing generation.
     met_gen: u64,
-    cache: ScheduleCache,
+    source: CandidateSource,
 }
 
 impl SprayAndFocusRouter {
     /// Create with spray quota `L = initial_copies` (binary halving).
     /// `_own` is accepted for factory-signature uniformity.
-    pub fn new(_own: NodeId, n_nodes: usize, initial_copies: u32, policy: PolicyCombo) -> Self {
+    pub fn new(own: NodeId, n_nodes: usize, initial_copies: u32, policy: PolicyCombo) -> Self {
+        Self::with_backend(
+            own,
+            n_nodes,
+            initial_copies,
+            policy,
+            RoutingBackend::default(),
+        )
+    }
+
+    /// Create with an explicit scan backend (benches, equivalence tests).
+    pub fn with_backend(
+        _own: NodeId,
+        n_nodes: usize,
+        initial_copies: u32,
+        policy: PolicyCombo,
+        backend: RoutingBackend,
+    ) -> Self {
         assert!(initial_copies >= 1, "spray quota must be at least 1");
         SprayAndFocusRouter {
             initial_copies,
             policy,
             last_met: vec![None; n_nodes],
             met_gen: 0,
-            cache: ScheduleCache::new(),
+            source: CandidateSource::new(backend),
         }
     }
 
@@ -59,6 +77,10 @@ impl Router for SprayAndFocusRouter {
 
     fn next_transfer_draws_rng(&self) -> bool {
         self.policy.scheduling == SchedulingPolicy::Random
+    }
+
+    fn wants_buffer_deltas(&self) -> bool {
+        self.source.wants_deltas(self.policy.scheduling)
     }
 
     fn on_message_created(
@@ -102,26 +124,30 @@ impl Router for SprayAndFocusRouter {
         now: SimTime,
         rng: &mut SimRng,
     ) -> Option<MessageId> {
-        // Split borrows: the scan holds the cache mutably while the
-        // eligibility check reads the encounter table.
+        // Split borrows: the scan holds the source mutably while the
+        // eligibility check reads the encounter table. A failed *utility*
+        // comparison is the one non-permanent rejection in the policy
+        // routers — recency tables move without a buffer delta — so it
+        // keeps the candidate (`NotNow`); everything else is final.
         let last_met = &self.last_met;
-        scan_schedule(
-            &mut self.cache,
+        scan_policy(
+            &mut self.source,
             self.policy.scheduling,
             &own.buffer,
+            peer,
             offers,
             now,
             rng,
             |id| {
                 if peer.knows(id) {
-                    return false;
+                    return Verdict::Never;
                 }
                 let msg = own.buffer.get(id).expect("ordered id is stored");
                 if msg.is_expired(now) || !peer.buffer.could_fit(msg.size) {
-                    return false;
+                    return Verdict::Never;
                 }
                 if msg.dst == peer.id || msg.copies > 1 {
-                    return true; // direct delivery or spray phase
+                    return Verdict::Accept; // direct delivery or spray phase
                 }
                 // Focus phase: hand off the single copy only if the peer has
                 // strictly better (more recent) last-encounter utility.
@@ -129,7 +155,11 @@ impl Router for SprayAndFocusRouter {
                 let own_recency = last_met[msg.dst.index()]
                     .map(|t| -now.since(t).as_secs_f64())
                     .unwrap_or(f64::NEG_INFINITY);
-                matches!(peer_recency, Some(p) if p > own_recency)
+                if matches!(peer_recency, Some(p) if p > own_recency) {
+                    Verdict::Accept
+                } else {
+                    Verdict::NotNow
+                }
             },
         )
     }

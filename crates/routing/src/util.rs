@@ -1,5 +1,6 @@
 //! Shared storage and scheduling-scan logic used by every protocol.
 
+use crate::candidates::{CandidateSource, Verdict};
 use crate::offers::OfferView;
 use crate::router::{ReceiveOutcome, RejectReason};
 use crate::state::NodeState;
@@ -45,11 +46,44 @@ pub fn make_room_and_store(
     Ok(evicted)
 }
 
-/// The shared scheduling scan of every policy-driven router: walk the
-/// cached schedule order and return the first not-yet-offered message that
-/// `eligible` accepts (peer- and protocol-specific checks). `eligible`
-/// receives the bare id so routers can order their rejection tests
-/// cheapest-first (a `peer.knows` hit should not pay for a message fetch).
+/// The shared scheduling scan of every policy-driven router, dispatched on
+/// the router's [`CandidateSource`] backend. `eligible` receives the bare
+/// id and returns a [`Verdict`] — routers order their rejection tests
+/// cheapest-first (a `peer.knows` hit should not pay for a message fetch)
+/// and classify each rejection as [`Verdict::Never`] (permanent for this
+/// direction and contact: the index drops the entry) or [`Verdict::NotNow`]
+/// (re-evaluated next round). Both backends return bit-identical results;
+/// they differ only in how much work a round after a buffer change costs.
+///
+/// * `Index`: sync the per-direction candidate index from buffer deltas and
+///   scan only live candidates — O(changes) per round on a quiescent
+///   contact. `Random` scheduling transparently falls back to the rescan
+///   path below, so its per-call RNG draws stay bit-identical.
+/// * `Rescan`: the PR 3 path — refresh the generation-validated schedule
+///   cache and rescan from the offer cursor.
+#[allow(clippy::too_many_arguments)] // mirrors `Router::next_transfer`'s surface
+pub fn scan_policy(
+    source: &mut CandidateSource,
+    policy: SchedulingPolicy,
+    buffer: &Buffer,
+    peer: &NodeState,
+    offers: &mut OfferView<'_>,
+    now: SimTime,
+    rng: &mut SimRng,
+    mut eligible: impl FnMut(MessageId) -> Verdict,
+) -> Option<MessageId> {
+    if source.wants_deltas(policy) {
+        offers.scan_index(policy, buffer, peer, eligible)
+    } else {
+        scan_schedule(source.cache_mut(), policy, buffer, offers, now, rng, |id| {
+            eligible(id) == Verdict::Accept
+        })
+    }
+}
+
+/// The full-rescan scan: walk the cached schedule order and return the
+/// first not-yet-offered message that `eligible` accepts (peer- and
+/// protocol-specific checks).
 ///
 /// Implements the consumer side of the offer-cursor protocol (see
 /// [`crate::offers`]): scanning resumes at the saved cursor when the cached

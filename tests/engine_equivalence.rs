@@ -27,7 +27,8 @@ use vdtn_repro::vdtn::scenario::{
     MapSpec, MobilitySpec, NodeGroup, RelayPlacement, Scenario, TrafficSpec,
 };
 use vdtn_repro::vdtn::{
-    DetectorBackend, MaxPropConfig, PolicyCombo, ProphetConfig, RouterKind, SimDuration, SimReport,
+    DetectorBackend, DropPolicy, MaxPropConfig, PolicyCombo, ProphetConfig, RouterKind,
+    RoutingBackend, SchedulingPolicy, SimDuration, SimReport,
 };
 
 /// Canonical serialisation with the wall clock zeroed: equal strings ⟺
@@ -119,6 +120,82 @@ fn every_protocol_is_bit_identical_across_modes() {
         );
         let (ticked, event) = both_modes(&sc);
         assert_eq!(ticked, event, "{kind:?} diverged across engine modes");
+    }
+}
+
+/// The PR 5 acceptance matrix: for **every router × every scheduling
+/// policy**, the delta-maintained candidate index must be bit-identical to
+/// the cursor-only rescan revision *and* across engine modes. Three runs
+/// per combination: Ticked+Index, EventDriven+Index, EventDriven+Rescan —
+/// any divergence in the per-direction index maintenance (delta
+/// application, rank keying, `Never` pruning, `Random`/discontinuity
+/// fallbacks, the insert-count silence key) shows up as a report diff here.
+#[test]
+fn candidate_index_is_bit_identical_for_every_router_and_policy() {
+    let kinds = [
+        RouterKind::Epidemic,
+        RouterKind::paper_snw(),
+        RouterKind::Prophet(ProphetConfig::default()),
+        RouterKind::MaxProp(MaxPropConfig::default()),
+        RouterKind::DirectDelivery,
+        RouterKind::FirstContact,
+        RouterKind::SprayAndFocus { copies: 8 },
+    ];
+    let schedulings = [
+        SchedulingPolicy::Fifo,
+        SchedulingPolicy::Random,
+        SchedulingPolicy::LifetimeDesc,
+        SchedulingPolicy::LifetimeAsc,
+        SchedulingPolicy::SmallestFirst,
+        SchedulingPolicy::YoungestFirst,
+        SchedulingPolicy::FewestHops,
+    ];
+    // Cycle the drop policies too, so eviction churn (a frequent source of
+    // receiver-side deltas) varies across the matrix for free.
+    let droppings = [
+        DropPolicy::Fifo,
+        DropPolicy::LifetimeAsc,
+        DropPolicy::Random,
+        DropPolicy::LargestFirst,
+        DropPolicy::Tail,
+        DropPolicy::MostHops,
+    ];
+    for (ki, kind) in kinds.into_iter().enumerate() {
+        for (si, sched) in schedulings.into_iter().enumerate() {
+            let policy = PolicyCombo {
+                scheduling: sched,
+                dropping: droppings[(ki + si) % droppings.len()],
+            };
+            let sc = scenario(
+                kind.clone(),
+                policy,
+                200 + (ki * 7 + si) as u64,
+                6,
+                8, // short TTL: expiry deltas flow mid-run
+                700.0,
+                DetectorBackend::Grid,
+                0.0,
+            );
+            let ticked_index = canon(
+                World::build_with_options(&sc, EngineMode::Ticked, RoutingBackend::Index).run(),
+            );
+            let event_index = canon(
+                World::build_with_options(&sc, EngineMode::EventDriven, RoutingBackend::Index)
+                    .run(),
+            );
+            let event_rescan = canon(
+                World::build_with_options(&sc, EngineMode::EventDriven, RoutingBackend::Rescan)
+                    .run(),
+            );
+            assert_eq!(
+                event_index, event_rescan,
+                "{kind:?} × {sched:?}: index diverged from the cursor-only rescan"
+            );
+            assert_eq!(
+                ticked_index, event_index,
+                "{kind:?} × {sched:?}: engine modes diverged under the index"
+            );
+        }
     }
 }
 
