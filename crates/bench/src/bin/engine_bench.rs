@@ -15,33 +15,42 @@
 //! see [`vdtn_bench::engine_perf::dense_routing_scenario`]) after the
 //! engine-modes table and records it as JSON (default
 //! `BENCH_routing.json`) — the trajectory for the incremental-routing
-//! work. Each routing row runs three configurations — ticked reference,
-//! event-driven with the delta-maintained candidate **index**, and
-//! event-driven with the PR 3 cursor-only **rescan** — verifies all three
-//! reports are bit-identical, and records the index-vs-cursor speedup. The
+//! work. Each routing row runs four configurations — ticked reference,
+//! event-driven with the delta-maintained candidate **index**,
+//! event-driven with the PR 3 cursor-only **rescan**, and the sharded
+//! **parallel** engine — verifies all four reports are bit-identical, and
+//! records the index-vs-cursor and parallel-vs-ticked speedups. The
 //! fleet sizes and durations default to the fixed perf-trajectory set
 //! (the regime, not the scale, is the point); `--routing-nodes` overrides
 //! them for CI smoke runs, with `--duration-secs` then bounding the
 //! routing durations too.
 //!
-//! Both JSON files carry `"schema_version"` (currently 2); an unwritable
-//! output path is a clean, explained non-zero exit, not a panic.
+//! `--threads N` pins the parallel engine's pool size (recorded as
+//! `"threads"` in both JSON documents); the default follows
+//! `VDTN_THREADS` / the machine's core count, exactly like the engine.
+//! Every row in both files carries `parallel_wall_secs`.
+//!
+//! Both JSON files carry `"schema_version"` (currently 3; v3 added the
+//! parallel engine columns); an unwritable output path is a clean,
+//! explained non-zero exit, not a panic.
 //!
 //! ```text
 //! engine_bench [--json [PATH]] [--routing [PATH]] [--routing-nodes N,N]
-//!              [--nodes 50,200,1000,5000,10000] [--duration-secs N] [--seed N]
+//!              [--nodes 50,200,1000,5000,10000] [--duration-secs N]
+//!              [--seed N] [--threads N]
 //! ```
 
 use vdtn::engine::EngineMode;
 use vdtn::{PolicyCombo, RouterKind, RoutingBackend};
 use vdtn_bench::engine_perf::{
-    canon, dense_routing_scenario, engine_scenario, run_mode, run_with_backend,
+    canon, dense_routing_scenario, engine_scenario, run_mode, run_parallel, run_with_backend,
     transfer_bound_scenario,
 };
 
 /// Version of the JSON layout this binary writes (bumped when fields
-/// change; PR 5 added the routing section's index/rescan split).
-const SCHEMA_VERSION: u32 = 2;
+/// change; PR 5 added the routing section's index/rescan split, PR 6 the
+/// sharded parallel engine's `parallel_wall_secs`/`threads` columns).
+const SCHEMA_VERSION: u32 = 3;
 
 /// Write a benchmark JSON document, exiting non-zero with a clear message
 /// when the path cannot be written (read-only dir, missing parent, …).
@@ -59,6 +68,7 @@ struct Entry {
     duration_secs: f64,
     ticked_wall_secs: f64,
     event_wall_secs: f64,
+    parallel_wall_secs: f64,
     speedup: f64,
     identical: bool,
 }
@@ -70,6 +80,7 @@ fn main() {
     let mut routing_nodes: Option<Vec<usize>> = None;
     let mut duration_override: Option<f64> = None;
     let mut seed = 42u64;
+    let mut threads: usize = rayon::current_num_threads();
 
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
@@ -121,18 +132,28 @@ fn main() {
                     .parse()
                     .expect("seed");
             }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("thread count");
+                assert!(threads >= 1, "--threads needs a positive count");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: engine_bench [--json [PATH]] [--routing [PATH]] [--routing-nodes N,N] [--nodes 50,200,1000,5000,10000] [--duration-secs N] [--seed N]");
+                eprintln!("usage: engine_bench [--json [PATH]] [--routing [PATH]] [--routing-nodes N,N] [--nodes 50,200,1000,5000,10000] [--duration-secs N] [--seed N] [--threads N]");
                 std::process::exit(2);
             }
         }
     }
 
-    println!("engine scheduler: ticked vs event-driven (bit-identical reports)");
     println!(
-        "{:>6} {:>10} {:>12} {:>12} {:>9} {:>10}",
-        "nodes", "sim secs", "ticked s", "event s", "speedup", "identical"
+        "engine scheduler: ticked vs event-driven vs parallel[{threads}t] (bit-identical reports)"
+    );
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>9} {:>10}",
+        "nodes", "sim secs", "ticked s", "event s", "parallel s", "speedup", "identical"
     );
     let mut entries = Vec::new();
     for &n in &nodes {
@@ -145,21 +166,25 @@ fn main() {
         let scenario = engine_scenario(n, duration, seed);
         let ticked = run_mode(&scenario, EngineMode::Ticked);
         let event = run_mode(&scenario, EngineMode::EventDriven);
-        let identical = canon(ticked.clone()) == canon(event.clone());
+        let parallel = run_parallel(&scenario, RoutingBackend::default(), threads);
+        let identical = canon(ticked.clone()) == canon(event.clone())
+            && canon(event.clone()) == canon(parallel.clone());
         let entry = Entry {
             nodes: n,
             duration_secs: duration,
             ticked_wall_secs: ticked.wall_secs,
             event_wall_secs: event.wall_secs,
+            parallel_wall_secs: parallel.wall_secs,
             speedup: ticked.wall_secs / event.wall_secs.max(1e-9),
             identical,
         };
         println!(
-            "{:>6} {:>10.0} {:>12.3} {:>12.3} {:>8.2}x {:>10}",
+            "{:>6} {:>10.0} {:>12.3} {:>12.3} {:>12.3} {:>8.2}x {:>10}",
             entry.nodes,
             entry.duration_secs,
             entry.ticked_wall_secs,
             entry.event_wall_secs,
+            entry.parallel_wall_secs,
             entry.speedup,
             entry.identical,
         );
@@ -172,8 +197,8 @@ fn main() {
     // BENCH_engine.json) so the smoke step always checks its identity too.
     println!("transfer-bound: isolated stationary pairs, 1-2 MB bundles at 4 kB/s");
     println!(
-        "{:>6} {:>10} {:>12} {:>12} {:>9} {:>10}",
-        "nodes", "sim secs", "ticked s", "event s", "speedup", "identical"
+        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>9} {:>10}",
+        "nodes", "sim secs", "ticked s", "event s", "parallel s", "speedup", "identical"
     );
     let mut transfer_entries = Vec::new();
     for &pairs in &[4usize, 16] {
@@ -181,21 +206,25 @@ fn main() {
         let scenario = transfer_bound_scenario(pairs, duration, seed);
         let ticked = run_mode(&scenario, EngineMode::Ticked);
         let event = run_mode(&scenario, EngineMode::EventDriven);
-        let identical = canon(ticked.clone()) == canon(event.clone());
+        let parallel = run_parallel(&scenario, RoutingBackend::default(), threads);
+        let identical = canon(ticked.clone()) == canon(event.clone())
+            && canon(event.clone()) == canon(parallel.clone());
         let entry = Entry {
             nodes: pairs * 2,
             duration_secs: duration,
             ticked_wall_secs: ticked.wall_secs,
             event_wall_secs: event.wall_secs,
+            parallel_wall_secs: parallel.wall_secs,
             speedup: ticked.wall_secs / event.wall_secs.max(1e-9),
             identical,
         };
         println!(
-            "{:>6} {:>10.0} {:>12.3} {:>12.3} {:>8.2}x {:>10}",
+            "{:>6} {:>10.0} {:>12.3} {:>12.3} {:>12.3} {:>8.2}x {:>10}",
             entry.nodes,
             entry.duration_secs,
             entry.ticked_wall_secs,
             entry.event_wall_secs,
+            entry.parallel_wall_secs,
             entry.speedup,
             entry.identical,
         );
@@ -211,46 +240,58 @@ fn main() {
         // serde_json shim out of the float-formatting hot seat.
         let row = |e: &Entry| {
             format!(
-                "    {{\"nodes\": {}, \"sim_duration_secs\": {}, \"ticked_wall_secs\": {:.6}, \"event_wall_secs\": {:.6}, \"speedup\": {:.3}, \"reports_identical\": {}}}",
-                e.nodes, e.duration_secs, e.ticked_wall_secs, e.event_wall_secs, e.speedup, e.identical
+                "    {{\"nodes\": {}, \"sim_duration_secs\": {}, \"ticked_wall_secs\": {:.6}, \"event_wall_secs\": {:.6}, \"parallel_wall_secs\": {:.6}, \"speedup\": {:.3}, \"reports_identical\": {}}}",
+                e.nodes, e.duration_secs, e.ticked_wall_secs, e.event_wall_secs, e.parallel_wall_secs, e.speedup, e.identical
             )
         };
         let rows: Vec<String> = entries.iter().map(row).collect();
         let transfer_rows: Vec<String> = transfer_entries.iter().map(row).collect();
         let doc = format!(
-            "{{\n  \"benchmark\": \"engine_modes\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"description\": \"World::run wall time, ticked vs event-driven scheduler, identical scenarios (paper mobility, Epidemic + Lifetime policies)\",\n  \"seed\": {},\n  \"entries\": [\n{}\n  ],\n  \"transfer_bound\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"benchmark\": \"engine_modes\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"description\": \"World::run wall time, ticked vs event-driven vs sharded-parallel scheduler, identical scenarios (paper mobility, Epidemic + Lifetime policies)\",\n  \"seed\": {},\n  \"threads\": {},\n  \"entries\": [\n{}\n  ],\n  \"transfer_bound\": [\n{}\n  ]\n}}\n",
             seed,
+            threads,
             rows.join(",\n"),
             transfer_rows.join(",\n")
         );
         write_json(&path, &doc);
     }
     if any_mismatch {
-        eprintln!("ERROR: event-driven report diverged from ticked reference");
+        eprintln!("ERROR: event-driven/parallel report diverged from ticked reference");
         std::process::exit(1);
     }
     if let Some(path) = routing_path {
-        run_routing_section(&path, seed, routing_nodes, duration_override);
+        run_routing_section(&path, seed, routing_nodes, duration_override, threads);
     }
 }
 
 /// Measure the dense-contact, routing-round-dominated scenario across fleet
 /// sizes and the paper's sorted-vs-FIFO policy extremes, writing `path` as
 /// JSON. Each row runs the ticked reference, the event engine with the
-/// delta-maintained candidate index, and the event engine with the PR 3
-/// cursor-only rescan; all three reports must be bit-identical, and the
-/// recorded `speedup` is index vs rescan — the number the incremental-
-/// candidate-index work is accountable for.
+/// delta-maintained candidate index, the event engine with the PR 3
+/// cursor-only rescan, and the sharded parallel engine; all four reports
+/// must be bit-identical. The recorded `speedup_index_vs_rescan` is the
+/// number the incremental-candidate-index work is accountable for, and
+/// `speedup_parallel_vs_ticked` is the sharded round's — the row the
+/// ticked engine used to win at 10k nodes.
 fn run_routing_section(
     path: &str,
     seed: u64,
     routing_nodes: Option<Vec<usize>>,
     duration_override: Option<f64>,
+    threads: usize,
 ) {
-    println!("routing round: dense stationary mesh, permanent contacts");
+    println!("routing round: dense stationary mesh, permanent contacts (parallel at {threads}t)");
     println!(
-        "{:>6} {:>10} {:>24} {:>12} {:>12} {:>12} {:>9} {:>10}",
-        "nodes", "sim secs", "policy", "ticked s", "rescan s", "index s", "speedup", "identical"
+        "{:>6} {:>10} {:>24} {:>12} {:>12} {:>12} {:>12} {:>9} {:>10}",
+        "nodes",
+        "sim secs",
+        "policy",
+        "ticked s",
+        "rescan s",
+        "index s",
+        "parallel s",
+        "speedup",
+        "identical"
     );
     let sizes: Vec<(usize, f64)> = match routing_nodes {
         Some(list) => list
@@ -284,30 +325,35 @@ fn run_routing_section(
             let rescan =
                 run_with_backend(&scenario, EngineMode::EventDriven, RoutingBackend::Rescan);
             let index = run_with_backend(&scenario, EngineMode::EventDriven, RoutingBackend::Index);
+            let parallel = run_parallel(&scenario, RoutingBackend::Index, threads);
             let identical = canon(ticked.clone()) == canon(index.clone())
-                && canon(rescan.clone()) == canon(index.clone());
+                && canon(rescan.clone()) == canon(index.clone())
+                && canon(parallel.clone()) == canon(index.clone());
             any_mismatch |= !identical;
             let speedup = rescan.wall_secs / index.wall_secs.max(1e-9);
+            let par_speedup = ticked.wall_secs / parallel.wall_secs.max(1e-9);
             println!(
-                "{:>6} {:>10.0} {:>24} {:>12.3} {:>12.3} {:>12.3} {:>8.2}x {:>10}",
+                "{:>6} {:>10.0} {:>24} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>8.2}x {:>10}",
                 n,
                 duration,
                 label,
                 ticked.wall_secs,
                 rescan.wall_secs,
                 index.wall_secs,
-                speedup,
+                parallel.wall_secs,
+                par_speedup,
                 identical
             );
             rows.push(format!(
-                "    {{\"nodes\": {}, \"sim_duration_secs\": {}, \"policy\": \"{}\", \"ticked_wall_secs\": {:.6}, \"rescan_wall_secs\": {:.6}, \"index_wall_secs\": {:.6}, \"speedup_index_vs_rescan\": {:.3}, \"reports_identical\": {}}}",
-                n, duration, label, ticked.wall_secs, rescan.wall_secs, index.wall_secs, speedup, identical
+                "    {{\"nodes\": {}, \"sim_duration_secs\": {}, \"policy\": \"{}\", \"ticked_wall_secs\": {:.6}, \"rescan_wall_secs\": {:.6}, \"index_wall_secs\": {:.6}, \"parallel_wall_secs\": {:.6}, \"speedup_index_vs_rescan\": {:.3}, \"speedup_parallel_vs_ticked\": {:.3}, \"reports_identical\": {}}}",
+                n, duration, label, ticked.wall_secs, rescan.wall_secs, index.wall_secs, parallel.wall_secs, speedup, par_speedup, identical
             ));
         }
     }
     let doc = format!(
-        "{{\n  \"benchmark\": \"routing_round\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"description\": \"World::run wall time on the dense-contact stationary mesh (routing round dominates; permanent contacts): ticked reference vs event-driven with the PR 3 cursor-only rescan vs event-driven with the delta-maintained candidate index\",\n  \"seed\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"routing_round\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"description\": \"World::run wall time on the dense-contact stationary mesh (routing round dominates; permanent contacts): ticked reference vs event-driven with the PR 3 cursor-only rescan vs event-driven with the delta-maintained candidate index vs the sharded parallel engine\",\n  \"seed\": {},\n  \"threads\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
         seed,
+        threads,
         rows.join(",\n")
     );
     write_json(path, &doc);

@@ -180,6 +180,13 @@ pub fn run_with_backend(
     World::build_with_options(scenario, mode, backend).run()
 }
 
+/// Run on the sharded parallel engine with a pinned pool size — the
+/// thread-count column the bench harness records. Bit-identical to the
+/// serial runs at every `threads` value.
+pub fn run_parallel(scenario: &Scenario, backend: RoutingBackend, threads: usize) -> SimReport {
+    World::build_parallel_with_threads(scenario, backend, threads).run()
+}
+
 /// Canonical report serialisation with the wall clock zeroed, for
 /// bit-identity checks between modes.
 pub fn canon(mut report: SimReport) -> String {

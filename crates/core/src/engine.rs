@@ -23,7 +23,7 @@
 //!
 //! # Hybrid event-driven scheduling
 //!
-//! The engine runs in one of two [`EngineMode`]s producing **bit-identical
+//! The engine runs in one of three [`EngineMode`]s producing **bit-identical
 //! reports** (property-tested in `tests/engine_equivalence.rs`):
 //!
 //! * [`EngineMode::Ticked`] executes every tick and scans every node in
@@ -43,6 +43,20 @@
 //!   stepped, only moved nodes re-examine their radio neighbourhood
 //!   (incremental spatial grid), and TTL housekeeping touches only buffers
 //!   whose earliest expiry is due (per-buffer expiry min-heaps).
+//! * [`EngineMode::Parallel`] runs the event-driven driver but shards the
+//!   two per-tick hot phases across a pinned thread pool: incremental
+//!   contact re-queries are partitioned by [`ShardMap`] spatial region
+//!   (merged back in sorted pair-key order before any state changes — see
+//!   [`ContactDetector::update_incremental_sharded`]), and the routing
+//!   round is split into a read-only parallel *scan* that plans one
+//!   verdict per idle direction from round-start state, followed by a
+//!   serial *commit* that walks the canonical pair order applying plans
+//!   (and evaluating RNG-drawing or cache-mutating directions inline).
+//!   Because every cross-thread output is slot-indexed and merged in the
+//!   same canonical order the serial engines use, reports are byte-equal
+//!   to both other modes at *every* thread count (the invariance matrix in
+//!   `tests/engine_equivalence.rs` pins pool sizes 1/2/4/8). The sharded
+//!   parallel round is documented in depth in ARCHITECTURE.md.
 //!
 //! Events are conservative wake-up markers, never obligations: each
 //! executed tick re-derives the actual work from simulation state, so a
@@ -69,14 +83,15 @@
 use crate::logging::{SimLog, SimLogBuilder};
 use crate::report::{DropCause, Sample, SimReport};
 use crate::scenario::{place_relays_high_degree, MobilitySpec, RelayPlacement, Scenario};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use vdtn_bundle::{MessageId, TrafficConfig, TrafficGenerator};
-use vdtn_geo::Point;
+use vdtn_geo::{Point, ShardMap};
 use vdtn_mobility::{MovementModel, ShortestPathMapBased, Stationary};
 use vdtn_net::{
     pair_key, ContactDetector, ContactTrace, LinkEvent, LinkTable, MovedNode, TransferOutcome,
 };
+use vdtn_routing::offers::SilenceKey;
 use vdtn_routing::{ContactOffers, NodeState, ReceiveOutcome, Router, RoutingBackend};
 use vdtn_sim_core::{EngineEvent, EventQueue, NodeId, SimDuration, SimRng, SimTime};
 
@@ -105,6 +120,74 @@ pub enum EngineMode {
     /// parts of the scenario are quiescent, so it is the default.
     #[default]
     EventDriven,
+    /// The event-driven driver with the two per-tick hot phases — contact
+    /// re-query and the routing round's scan — sharded across a pinned
+    /// thread pool by spatial region, with shard outputs merged in
+    /// canonical order before any state mutates. Bit-identical to both
+    /// other modes at every thread count (`VDTN_THREADS` pins the pool;
+    /// see [`World::build_parallel_with_threads`] for an explicit count).
+    Parallel,
+}
+
+/// Parallel-mode machinery: a pinned worker pool plus the fixed spatial
+/// shard tiling work is partitioned by. The tiling is built once from the
+/// initial layout and never depends on the thread count, so shard
+/// assignment — and therefore every merge order — is reproducible across
+/// pool sizes.
+struct ParState {
+    pool: rayon::ThreadPool,
+    shards: ShardMap,
+}
+
+impl ParState {
+    fn new(positions: &[Point], range: f64, threads: usize) -> ParState {
+        // Near-square lattice scaled with the node count: sqrt(n) shards
+        // keeps shard populations around sqrt(n) nodes, plenty of slack to
+        // balance work across any realistic pool while staying cheap to
+        // group. Thread count deliberately plays no part.
+        let target = (positions.len() as f64).sqrt().ceil().max(1.0) as usize;
+        ParState {
+            pool: rayon::ThreadPool::new(threads),
+            shards: ShardMap::build(positions, range.max(f64::MIN_POSITIVE), target),
+        }
+    }
+}
+
+/// One idle connection's routing-round work item in the parallel round:
+/// the pair, its owning spatial shard, exclusive access to its per-contact
+/// offer state (pulled out of the contact map once per round), and the
+/// direction plans the scan fills in.
+struct PairWork<'a> {
+    a: NodeId,
+    b: NodeId,
+    shard: u32,
+    offers: &'a mut ContactOffers,
+    plan: PlanState,
+}
+
+#[derive(Clone, Copy)]
+enum PlanState {
+    /// Some direction's router mutates shared state or draws RNG in
+    /// `next_transfer` (Random scheduling, or the cursor-rescan backend's
+    /// schedule cache): the commit evaluates both directions inline,
+    /// exactly like the serial round, preserving RNG lanes and caches.
+    Deferred,
+    /// Shared pair awaiting its scan verdicts.
+    Pending,
+    /// Scan output: one verdict per direction, in initiative order.
+    Planned { first: DirPlan, second: DirPlan },
+}
+
+#[derive(Clone, Copy)]
+enum DirPlan {
+    /// The initiative direction sent, so this direction was never
+    /// consulted — matching the serial round's short-circuit.
+    NotScanned,
+    /// The router named this message; the commit starts the transfer.
+    Send(MessageId),
+    /// The round is `None` under this state snapshot; the commit records
+    /// the silence memo (idempotent when the memo already held this key).
+    Silent(SilenceKey),
 }
 
 /// A running simulation.
@@ -163,6 +246,13 @@ pub struct World {
     needs_detection_prime: bool,
     /// Scratch: nodes whose position changed this tick.
     moved_scratch: Vec<MovedNode>,
+    /// Scratch ([`EngineMode::Parallel`] only): completion wakes from this
+    /// tick's routing round, held back until the re-arm decision so wakes
+    /// provably covered by an already-scheduled next-tick event are never
+    /// pushed onto the heap at all.
+    pending_transfer_wakes: Vec<(SimTime, NodeId, NodeId)>,
+    /// Worker pool + shard tiling, present only in [`EngineMode::Parallel`].
+    par: Option<ParState>,
 }
 
 impl World {
@@ -192,6 +282,28 @@ impl World {
         scenario: &Scenario,
         mode: EngineMode,
         backend: RoutingBackend,
+    ) -> World {
+        Self::build_full(scenario, mode, backend, None)
+    }
+
+    /// Materialise a scenario on the [`EngineMode::Parallel`] engine with an
+    /// explicit worker-pool size, bypassing the `VDTN_THREADS` environment
+    /// override. The report is bit-identical at every `threads` value —
+    /// this constructor exists so the thread-count-invariance tests and the
+    /// bench harness can pin pool sizes without touching process state.
+    pub fn build_parallel_with_threads(
+        scenario: &Scenario,
+        backend: RoutingBackend,
+        threads: usize,
+    ) -> World {
+        Self::build_full(scenario, EngineMode::Parallel, backend, Some(threads))
+    }
+
+    fn build_full(
+        scenario: &Scenario,
+        mode: EngineMode,
+        backend: RoutingBackend,
+        threads: Option<usize>,
     ) -> World {
         scenario.validate();
         let root = SimRng::seed_from_u64(scenario.seed);
@@ -319,6 +431,14 @@ impl World {
             events.schedule(SimTime::ZERO, EngineEvent::Sample);
         }
 
+        let par = (mode == EngineMode::Parallel).then(|| {
+            ParState::new(
+                &positions,
+                scenario.radio.range,
+                threads.unwrap_or_else(rayon::current_num_threads),
+            )
+        });
+
         World {
             mode,
             tick,
@@ -357,7 +477,16 @@ impl World {
             link_round_scheduled: false,
             needs_detection_prime: true,
             moved_scratch: Vec::new(),
+            pending_transfer_wakes: Vec::new(),
+            par,
         }
+    }
+
+    /// True when the world runs on the event-driven driver (both
+    /// [`EngineMode::EventDriven`] and [`EngineMode::Parallel`] do; only
+    /// the ticked reference polls instead of scheduling wake-ups).
+    fn event_driven(&self) -> bool {
+        self.mode != EngineMode::Ticked
     }
 
     /// Current simulation time.
@@ -414,16 +543,16 @@ impl World {
                     self.step_ticked();
                 }
             }
-            EngineMode::EventDriven => self.run_event(),
+            EngineMode::EventDriven | EngineMode::Parallel => self.run_event(),
         }
     }
 
-    /// Advance one tick (in either mode; the event-driven variant executes
+    /// Advance one tick (in any mode; the event-driven variants execute
     /// the same tick, frontier-limited).
     pub fn step(&mut self) {
         match self.mode {
             EngineMode::Ticked => self.step_ticked(),
-            EngineMode::EventDriven => self.step_event(),
+            EngineMode::EventDriven | EngineMode::Parallel => self.step_event(),
         }
     }
 
@@ -574,21 +703,45 @@ impl World {
         if self.needs_detection_prime || !self.moved_scratch.is_empty() {
             self.needs_detection_prime = false;
             let moved = std::mem::take(&mut self.moved_scratch);
-            let events = self.detector.update_incremental(&self.positions, &moved);
+            let events = match &self.par {
+                Some(par) => self.detector.update_incremental_sharded(
+                    &self.positions,
+                    &moved,
+                    &par.pool,
+                    &par.shards,
+                ),
+                None => self.detector.update_incremental(&self.positions, &moved),
+            };
             self.moved_scratch = moved;
             self.apply_link_events(events);
         }
 
         // Phases 4 + 5: transfers and routing exist only on open contacts.
+        // The parallel round reports whether it ended **provably quiet** —
+        // every pair still idle after the commit had both directions
+        // answered `None` and memoised under its current silence key, with
+        // no RNG-drawing direction left — which pre-answers the `LinkRound`
+        // re-arm below without a second pass over the idle pairs. With no
+        // open contacts the round is vacuously quiet.
+        let mut round_quiet = self.par.is_some();
         if self.links.connection_count() > 0 {
             self.phase_transfers();
-            self.phase_routing();
+            if self.par.is_some() {
+                round_quiet = self.phase_routing_parallel();
+            } else {
+                self.phase_routing();
+            }
         }
 
         // Phase 6: TTL — only buffers whose scheduled expiry wake is due;
         // `ttl_wake[i]` never exceeds the buffer's true earliest expiry.
+        // TTL housekeeping is the only thing between the routing round and
+        // the re-arm decision that can change a silence-key input, so the
+        // round's quiet verdict stays valid exactly when no node ran it.
+        let mut ttl_ran = false;
         for i in 0..self.states.len() {
             if self.ttl_wake[i] <= now {
+                ttl_ran = true;
                 self.expire_node(i, now);
                 self.ttl_wake[i] = match self.states[i].buffer.next_expiry() {
                     Some(e) => {
@@ -617,11 +770,45 @@ impl World {
         // connections drain via their scheduled TransferComplete instants,
         // and every state change that could flip a silent verdict (traffic,
         // contact churn, completions, TTL expiry, deliveries) happens
-        // inside an executed tick, where this re-arm is re-evaluated.
-        if !self.link_round_scheduled && self.routing_work_possible() {
+        // inside an executed tick, where this re-arm is re-evaluated. The
+        // parallel round answers this for free in *both* directions (unless
+        // TTL work ran after it and may have moved a silence-key input):
+        // quiet means every idle direction is memoised silent (the sweep
+        // would conclude false), loud means some idle RNG-drawing direction
+        // remains (the sweep would conclude true on reaching it) — so the
+        // verdict *is* `routing_work_possible()` and the sweep is skipped
+        // on every non-TTL executed tick.
+        let work_possible = if self.par.is_some() && !ttl_ran {
+            debug_assert_eq!(!round_quiet, self.routing_work_possible());
+            !round_quiet
+        } else {
+            self.routing_work_possible()
+        };
+        if !self.link_round_scheduled && work_possible {
             self.link_round_scheduled = true;
             self.events
                 .schedule(now + self.tick, EngineEvent::LinkRound);
+        }
+
+        // Flush the round's completion wakes (parallel mode). A wake's only
+        // job is to force execution of the first grid tick at or after its
+        // byte-drain instant; when some already-scheduled event lands in
+        // `(now, now + tick]`, that same grid tick executes regardless, so
+        // wakes completing within it are dropped — in the saturated regime
+        // this strips the per-transfer heap churn entirely. Longer drains
+        // (or an empty horizon) schedule exactly the serial wake.
+        if !self.pending_transfer_wakes.is_empty() {
+            let next_tick = now + self.tick;
+            let covered = self.events.peek_time().is_some_and(|t| t <= next_tick);
+            let mut wakes = std::mem::take(&mut self.pending_transfer_wakes);
+            for &(completes, from, to) in &wakes {
+                if !(covered && completes <= next_tick) {
+                    self.events
+                        .schedule(completes, EngineEvent::TransferComplete(from, to));
+                }
+            }
+            wakes.clear();
+            self.pending_transfer_wakes = wakes;
         }
 
         self.tick_index += 1;
@@ -717,7 +904,7 @@ impl World {
     fn phase_transfers(&mut self) {
         let done = match self.mode {
             EngineMode::Ticked => self.links.tick(self.now),
-            EngineMode::EventDriven => self.links.complete_due(self.now),
+            EngineMode::EventDriven | EngineMode::Parallel => self.links.complete_due(self.now),
         };
         for outcome in done {
             if let TransferOutcome::Completed(t) = outcome {
@@ -743,6 +930,286 @@ impl World {
                 self.try_start_transfer(second, first);
             }
         }
+    }
+
+    /// Phase 5, sharded ([`EngineMode::Parallel`]): a read-mostly parallel
+    /// **scan** plans one verdict per idle direction, then a serial
+    /// **commit** walks the canonical pair order applying them.
+    ///
+    /// Bit-identity argument (expanded in ARCHITECTURE.md): nothing in
+    /// phase 5 mutates buffers, routers' verdict-relevant state, or
+    /// delivered sets — the only cross-pair coupling inside a round is the
+    /// busy-skip, which the commit re-checks in the exact serial order. A
+    /// direction's verdict is therefore a pure function of round-start
+    /// state, so scanning all pairs up front (each task owning its pairs'
+    /// offer state exclusively, grouped by spatial shard) computes exactly
+    /// what the serial round would, regardless of thread count. Directions
+    /// whose routers draw RNG or mutate schedule caches in `next_transfer`
+    /// ([`Router::scan_is_shared`] is false) are not scanned at all: the
+    /// commit evaluates them inline at their canonical position, so RNG
+    /// lanes advance in the serial order. Scan-side cache writes (candidate
+    /// index syncs) are verdict-transparent, and silence memos are written
+    /// only at commit — a pair skipped by the busy re-check leaves no
+    /// observable trace, exactly like serial.
+    ///
+    /// Returns **true iff the round ended provably quiet**: every pair the
+    /// commit left idle had both directions answer `None` and memoise the
+    /// verdict under its current silence key, and none of those directions
+    /// draws RNG — exactly the conditions under which
+    /// [`World::routing_work_possible`] would walk every idle pair only to
+    /// conclude `false`. Busy pairs need no accounting: the idle set can
+    /// only shrink during a round, and a pair freed by a later completion
+    /// is re-examined on that completion's executed tick.
+    fn phase_routing_parallel(&mut self) -> bool {
+        let threads = self
+            .par
+            .as_ref()
+            .expect("parallel routing round requires a pool")
+            .pool
+            .num_threads();
+        if threads <= 1 {
+            // A lone worker gains nothing from the scan/commit split but
+            // still pays for scanning pairs the commit busy-skips (the
+            // serial round never evaluates those). Plans are pure functions
+            // of round-start state, so evaluating lazily at the commit slot
+            // yields the same verdicts — run the serial round and track
+            // the quiet verdict inline.
+            return self.phase_routing_tracked();
+        }
+        let pairs = self.links.idle_pairs();
+        if pairs.is_empty() {
+            return true;
+        }
+        let tick_index = self.tick_index;
+        let now = self.now;
+        let World {
+            par,
+            contacts,
+            links,
+            routers,
+            states,
+            node_rngs,
+            pending_transfer_wakes,
+            report,
+            positions,
+            ..
+        } = self;
+        let par = par
+            .as_ref()
+            .expect("parallel routing round requires a pool");
+        let states: &[NodeState] = states;
+
+        // Silence pre-filter: one immutable pass in canonical order drops
+        // every pair whose two directions are provably silent — exactly the
+        // directions the serial round would short-circuit without touching
+        // state, and exactly the sweep `routing_work_possible` would repeat
+        // at re-arm time. In the saturated steady state this is nearly all
+        // of them, so the scan/commit machinery below only ever pays for
+        // pairs with potential work.
+        let mut live: Vec<(NodeId, NodeId)> = Vec::with_capacity(16);
+        for &(a, b) in &pairs {
+            let offers = contacts
+                .get(&pair_key(a, b))
+                .expect("routing round only visits live connections");
+            let silent = [(a, b, 0usize), (b, a, 1usize)].iter().all(|&(f, t, s)| {
+                !routers[f.index()].next_transfer_draws_rng()
+                    && offers.is_silent(
+                        s,
+                        &direction_key(f, t, states, &*routers[f.index()], &*routers[t.index()]),
+                    )
+            });
+            if !silent {
+                live.push((a, b));
+            }
+        }
+        if live.is_empty() {
+            return true;
+        }
+
+        // Pull the live pairs' offer state out of the contact map in one
+        // membership-filtered pass, so neither the scan nor the commit pays
+        // per-pair lookups (and the silent majority costs one probe each).
+        let live_keys: HashSet<(u32, u32)> = live.iter().map(|&(a, b)| pair_key(a, b)).collect();
+        let mut offer_refs: HashMap<(u32, u32), &mut ContactOffers> = contacts
+            .iter_mut()
+            .filter(|(k, _)| live_keys.contains(*k))
+            .map(|(k, v)| (*k, v))
+            .collect();
+        let mut works: Vec<PairWork<'_>> = live
+            .iter()
+            .map(|&(a, b)| {
+                let offers = offer_refs
+                    .remove(&pair_key(a, b))
+                    .expect("routing round only visits live connections");
+                let shared =
+                    routers[a.index()].scan_is_shared() && routers[b.index()].scan_is_shared();
+                PairWork {
+                    a,
+                    b,
+                    shard: par.shards.pair_owner(a.0, b.0, positions),
+                    offers,
+                    plan: if shared {
+                        PlanState::Pending
+                    } else {
+                        PlanState::Deferred
+                    },
+                }
+            })
+            .collect();
+
+        // Parallel scan: shard-grouped, slot-indexed. Tasks read only
+        // round-start shared state and write only their own pairs' plans
+        // and offer caches, so any chunking yields the same plans.
+        let mut shared_refs: Vec<&mut PairWork<'_>> = works
+            .iter_mut()
+            .filter(|w| matches!(w.plan, PlanState::Pending))
+            .collect();
+        if !shared_refs.is_empty() {
+            shared_refs.sort_by_key(|w| w.shard);
+            let chunk = vdtn_sim_core::par::chunk_len(shared_refs.len(), par.pool.num_threads());
+            let routers: &[Box<dyn Router>] = routers;
+            par.pool.scope(|scope| {
+                for chunk_refs in shared_refs.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for work in chunk_refs.iter_mut() {
+                            scan_pair(work, states, routers, now, tick_index);
+                        }
+                    });
+                }
+            });
+        }
+        drop(shared_refs);
+
+        // Serial commit in canonical pair order: the serial round, minus
+        // every scan the plans already answered.
+        //
+        // `rng_declined` collects pairs that kept an RNG-drawing direction
+        // idle (never memoised — the round stays loud for them); whether
+        // such a pair is *still* idle can only be judged after the whole
+        // commit, because a later pair's transfer can seize one of its
+        // endpoints. Every other non-started pair ends with both directions
+        // memoised silent, so it needs no accounting.
+        let mut rng_declined: Vec<(NodeId, NodeId)> = Vec::new();
+        for work in &mut works {
+            if links.is_busy(work.a) || links.is_busy(work.b) {
+                continue; // became busy earlier in this round
+            }
+            let key = pair_key(work.a, work.b);
+            let (first, second) = if tick_index % 2 == 0 {
+                (work.a, work.b)
+            } else {
+                (work.b, work.a)
+            };
+            let side1 = usize::from(first.0 != key.0);
+            let offers = &mut *work.offers;
+            match work.plan {
+                PlanState::Deferred => {
+                    let started = commit_deferred(
+                        first,
+                        second,
+                        side1,
+                        offers,
+                        states,
+                        routers,
+                        node_rngs,
+                        links,
+                        pending_transfer_wakes,
+                        report,
+                        now,
+                    ) || commit_deferred(
+                        second,
+                        first,
+                        1 - side1,
+                        offers,
+                        states,
+                        routers,
+                        node_rngs,
+                        links,
+                        pending_transfer_wakes,
+                        report,
+                        now,
+                    );
+                    if !started
+                        && (routers[first.index()].next_transfer_draws_rng()
+                            || routers[second.index()].next_transfer_draws_rng())
+                    {
+                        // An RNG-drawing direction is never memoised silent:
+                        // routing_work_possible() re-arms for it if the pair
+                        // is still idle once the round finishes.
+                        rng_declined.push((work.a, work.b));
+                    }
+                }
+                PlanState::Planned {
+                    first: d1,
+                    second: d2,
+                } => {
+                    // Shared scans never draw RNG, so a non-started planned
+                    // pair always ends with both memos set: quiet-safe.
+                    if !commit_planned(
+                        first,
+                        second,
+                        side1,
+                        d1,
+                        offers,
+                        states,
+                        links,
+                        pending_transfer_wakes,
+                        report,
+                        now,
+                    ) {
+                        commit_planned(
+                            second,
+                            first,
+                            1 - side1,
+                            d2,
+                            offers,
+                            states,
+                            links,
+                            pending_transfer_wakes,
+                            report,
+                            now,
+                        );
+                    }
+                }
+                PlanState::Pending => unreachable!("scan fills every shared pair's plan"),
+            }
+        }
+        !rng_declined
+            .iter()
+            .any(|&(a, b)| !links.is_busy(a) && !links.is_busy(b))
+    }
+
+    /// Phase 5 on a one-thread pool: [`World::phase_routing`] verbatim,
+    /// plus the quiet-verdict bookkeeping the parallel commit produces.
+    /// `try_start_transfer` already short-circuits silent directions and
+    /// memoises fresh `None` verdicts, so a non-started pair ends either
+    /// memoised silent (quiet-compatible) or holding an RNG-drawing
+    /// direction (collected, then re-checked for idleness after the round
+    /// — a later pair's transfer can seize one of its endpoints).
+    fn phase_routing_tracked(&mut self) -> bool {
+        let pairs = self.links.idle_pairs();
+        let mut rng_declined: Vec<(NodeId, NodeId)> = Vec::new();
+        for (a, b) in pairs {
+            if self.links.is_busy(a) || self.links.is_busy(b) {
+                continue; // became busy earlier in this round
+            }
+            let (first, second) = if self.tick_index % 2 == 0 {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            let started =
+                self.try_start_transfer(first, second) || self.try_start_transfer(second, first);
+            if !started
+                && (self.routers[first.index()].next_transfer_draws_rng()
+                    || self.routers[second.index()].next_transfer_draws_rng())
+            {
+                rng_declined.push((a, b));
+            }
+        }
+        !rng_declined
+            .iter()
+            .any(|&(a, b)| !self.links.is_busy(a) && !self.links.is_busy(b))
     }
 
     /// Phase 6 for one node: expire due messages and run router
@@ -805,7 +1272,7 @@ impl World {
     /// later, which keeps the bound valid without action (the early wake
     /// fires, finds nothing due, and reschedules).
     fn refresh_ttl_wake(&mut self, i: usize) {
-        if self.mode != EngineMode::EventDriven {
+        if !self.event_driven() {
             return;
         }
         if let Some(e) = self.states[i].buffer.next_expiry() {
@@ -988,7 +1455,11 @@ impl World {
                     .expect("router offered a message it does not hold");
                 contact.record(id, msg.expiry());
                 let completes = self.links.start_transfer(from, to, msg, self.now);
-                if self.mode == EngineMode::EventDriven {
+                if self.par.is_some() {
+                    // Parallel mode holds wakes back until the re-arm
+                    // decision, where redundant ones are dropped.
+                    self.pending_transfer_wakes.push((completes, from, to));
+                } else if self.event_driven() {
                     // One wake-up at the exact byte-drain instant; the
                     // drain itself happens in phase 4 of that tick, in
                     // pair-key order with any other due completion.
@@ -1029,6 +1500,226 @@ impl World {
         let log = self.log.take().map(|l| l.finish(node_count, self.now));
         (self.report, log)
     }
+}
+
+// --- Parallel routing round helpers (free functions over split borrows,
+//     because the round holds `&mut ContactOffers` references across the
+//     whole scan + commit) ---
+
+/// The engine's `silence_key` recomputed from split borrows (see
+/// [`SilenceKey`] for why the sender side contributes its insert count).
+fn direction_key(
+    from: NodeId,
+    to: NodeId,
+    states: &[NodeState],
+    rf: &dyn Router,
+    rt: &dyn Router,
+) -> SilenceKey {
+    [
+        states[from.index()].buffer.insert_count(),
+        rf.routing_generation(),
+        states[to.index()].buffer.generation(),
+        rt.routing_generation(),
+        states[to.index()].delivered.len() as u64,
+    ]
+}
+
+/// Scan one shared pair: plan the initiative direction, then the reply
+/// direction only if the first plans nothing — the serial round's exact
+/// short-circuit structure, evaluated from round-start state.
+fn scan_pair(
+    work: &mut PairWork<'_>,
+    states: &[NodeState],
+    routers: &[Box<dyn Router>],
+    now: SimTime,
+    tick_index: u64,
+) {
+    let key = pair_key(work.a, work.b);
+    let (first, second) = if tick_index % 2 == 0 {
+        (work.a, work.b)
+    } else {
+        (work.b, work.a)
+    };
+    let side1 = usize::from(first.0 != key.0);
+    let d1 = scan_direction(
+        first,
+        second,
+        side1,
+        &mut *work.offers,
+        states,
+        routers,
+        now,
+    );
+    let d2 = if matches!(d1, DirPlan::Send(_)) {
+        DirPlan::NotScanned
+    } else {
+        scan_direction(
+            second,
+            first,
+            1 - side1,
+            &mut *work.offers,
+            states,
+            routers,
+            now,
+        )
+    };
+    work.plan = PlanState::Planned {
+        first: d1,
+        second: d2,
+    };
+}
+
+/// One direction's scan: silence short-circuit, then the RNG-free
+/// [`Router::plan_transfer`]. Returns the verdict plus the state snapshot
+/// the commit needs to write the silence memo.
+fn scan_direction(
+    from: NodeId,
+    to: NodeId,
+    side: usize,
+    offers: &mut ContactOffers,
+    states: &[NodeState],
+    routers: &[Box<dyn Router>],
+    now: SimTime,
+) -> DirPlan {
+    let rf = &routers[from.index()];
+    let rt = &routers[to.index()];
+    debug_assert!(
+        !rf.next_transfer_draws_rng(),
+        "shared scans never draw RNG (scan_is_shared contract)"
+    );
+    let key = direction_key(from, to, states, &**rf, &**rt);
+    if offers.is_silent(side, &key) {
+        return DirPlan::Silent(key);
+    }
+    match rf.plan_transfer(
+        &states[from.index()],
+        &states[to.index()],
+        &**rt,
+        &mut offers.view(side),
+        now,
+    ) {
+        Some(id) => DirPlan::Send(id),
+        None => DirPlan::Silent(key),
+    }
+}
+
+/// Commit one planned direction; true if a transfer started.
+#[allow(clippy::too_many_arguments)]
+fn commit_planned(
+    from: NodeId,
+    to: NodeId,
+    side: usize,
+    plan: DirPlan,
+    offers: &mut ContactOffers,
+    states: &[NodeState],
+    links: &mut LinkTable,
+    pending_wakes: &mut Vec<(SimTime, NodeId, NodeId)>,
+    report: &mut SimReport,
+    now: SimTime,
+) -> bool {
+    match plan {
+        DirPlan::Send(id) => {
+            start_planned_transfer(
+                from,
+                to,
+                id,
+                offers,
+                states,
+                links,
+                pending_wakes,
+                report,
+                now,
+            );
+            true
+        }
+        DirPlan::Silent(key) => {
+            offers.set_silent(side, key);
+            false
+        }
+        DirPlan::NotScanned => {
+            unreachable!("second direction is scanned whenever the first does not send")
+        }
+    }
+}
+
+/// Commit one deferred direction by running the full serial
+/// `try_start_transfer` logic (silence memo, `next_transfer` with this
+/// node's RNG lane) at its canonical position in the round.
+#[allow(clippy::too_many_arguments)]
+fn commit_deferred(
+    from: NodeId,
+    to: NodeId,
+    side: usize,
+    offers: &mut ContactOffers,
+    states: &[NodeState],
+    routers: &mut [Box<dyn Router>],
+    node_rngs: &mut [SimRng],
+    links: &mut LinkTable,
+    pending_wakes: &mut Vec<(SimTime, NodeId, NodeId)>,
+    report: &mut SimReport,
+    now: SimTime,
+) -> bool {
+    let (rf, rt) = pair_mut(routers, from.index(), to.index());
+    let silence_key = direction_key(from, to, states, &**rf, &**rt);
+    let cacheable = !rf.next_transfer_draws_rng();
+    if cacheable && offers.is_silent(side, &silence_key) {
+        return false;
+    }
+    let intent = rf.next_transfer(
+        &states[from.index()],
+        &states[to.index()],
+        &**rt,
+        &mut offers.view(side),
+        now,
+        &mut node_rngs[from.index()],
+    );
+    match intent {
+        Some(id) => {
+            start_planned_transfer(
+                from,
+                to,
+                id,
+                offers,
+                states,
+                links,
+                pending_wakes,
+                report,
+                now,
+            );
+            true
+        }
+        None => {
+            if cacheable {
+                offers.set_silent(side, silence_key);
+            }
+            false
+        }
+    }
+}
+
+/// Start a transfer chosen by the round: record the offer, put the bytes
+/// on the wire, and queue the exact byte-drain wake-up (held back until
+/// the re-arm decision, which drops wakes another event already covers).
+#[allow(clippy::too_many_arguments)]
+fn start_planned_transfer(
+    from: NodeId,
+    to: NodeId,
+    id: MessageId,
+    offers: &mut ContactOffers,
+    states: &[NodeState],
+    links: &mut LinkTable,
+    pending_wakes: &mut Vec<(SimTime, NodeId, NodeId)>,
+    report: &mut SimReport,
+    now: SimTime,
+) {
+    let msg = *states[from.index()]
+        .buffer
+        .get(id)
+        .expect("router offered a message it does not hold");
+    offers.record(id, msg.expiry());
+    let completes = links.start_transfer(from, to, msg, now);
+    pending_wakes.push((completes, from, to));
+    report.messages.transfers_started += 1;
 }
 
 #[cfg(test)]
@@ -1194,6 +1885,33 @@ mod tests {
             let event = World::build_with_mode(&scenario, EngineMode::EventDriven).run();
             assert_eq!(canon(ticked), canon(event), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn parallel_mode_is_bit_identical_at_every_pool_size() {
+        for seed in [1, 23] {
+            let scenario = small(RouterKind::Epidemic, PolicyCombo::LIFETIME, seed);
+            let reference = canon(World::build_with_mode(&scenario, EngineMode::Ticked).run());
+            for threads in [1, 2, 4] {
+                let par = World::build_parallel_with_threads(
+                    &scenario,
+                    RoutingBackend::default(),
+                    threads,
+                )
+                .run();
+                assert_eq!(reference, canon(par), "seed {seed}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mode_handles_random_scheduling_deferred_pairs() {
+        // Random scheduling draws RNG per round, so every pair defers to
+        // the serial commit — the parallel engine must still match.
+        let scenario = small(RouterKind::Epidemic, PolicyCombo::RANDOM_FIFO, 9);
+        let reference = canon(World::build_with_mode(&scenario, EngineMode::EventDriven).run());
+        let par = World::build_parallel_with_threads(&scenario, RoutingBackend::default(), 2).run();
+        assert_eq!(reference, canon(par));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use crate::interface::RadioInterface;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
-use vdtn_geo::{Point, SpatialGrid};
+use vdtn_geo::{Point, ShardMap, SpatialGrid};
 use vdtn_sim_core::NodeId;
 
 /// Which pair-finding algorithm the detector uses.
@@ -272,6 +272,146 @@ impl ContactDetector {
         assemble_events(downs, ups)
     }
 
+    /// Sharded variant of [`ContactDetector::update_incremental`]: same
+    /// event stream, re-queries run concurrently on `pool`, grouped by
+    /// spatial shard.
+    ///
+    /// Bit-identity argument, phase by phase:
+    ///
+    /// 1. Drift accounting and grid patching are serial and identical.
+    /// 2. The slack filter selecting which nodes re-query runs serially
+    ///    *before* any per-node state is written; since a node appears at
+    ///    most once in `moved`, the serial path's interleaved writes cannot
+    ///    influence another node's filter decision, so the due set is
+    ///    exactly the serial one.
+    /// 3. Each due node's re-query reads only round-start shared state
+    ///    (grid, positions, neighbour sets) and produces a private result
+    ///    record; shard grouping and chunk geometry affect scheduling only.
+    /// 4. The merge applies per-node slack/drift writes (node-indexed,
+    ///    order-free) and funnels the pair diffs through the same
+    ///    sort + dedup + `assemble_events` the serial path uses, which
+    ///    already collapses the duplicate discovery of both-endpoints-moved
+    ///    pairs regardless of discovery order.
+    pub fn update_incremental_sharded(
+        &mut self,
+        positions: &[Point],
+        moved: &[MovedNode],
+        pool: &rayon::ThreadPool,
+        shards: &ShardMap,
+    ) -> Vec<LinkEvent> {
+        if !self.primed {
+            return self.prime(positions);
+        }
+        if moved.is_empty() {
+            return Vec::new();
+        }
+
+        let max_disp = moved.iter().fold(0.0f64, |m, n| m.max(n.displacement));
+        self.cum_drift += max_disp;
+        for m in moved {
+            self.grid.move_point(m.index, positions[m.index as usize]);
+        }
+
+        // Serial slack filter (see bit-identity argument, step 2).
+        let due: Vec<u32> = moved
+            .iter()
+            .map(|m| m.index)
+            .filter(|&i| {
+                let drift = self.cum_drift - self.drift_at_check[i as usize];
+                2.0 * drift >= self.slack[i as usize]
+            })
+            .collect();
+        if due.is_empty() {
+            return Vec::new();
+        }
+
+        // Group due nodes by owning shard (stable, so deterministic — though
+        // by step 4 even the grouping is merely a locality hint).
+        let shard_of: Vec<u32> = due
+            .iter()
+            .map(|&i| shards.of_point(positions[i as usize]))
+            .collect();
+        let order = vdtn_sim_core::par::order_of(&shard_of);
+        let grouped: Vec<u32> = order.iter().map(|&k| due[k]).collect();
+
+        /// Private per-node re-query result, merged serially afterwards.
+        struct Requery {
+            node: u32,
+            new_slack: f64,
+            downs: Vec<(u32, u32)>,
+            ups: Vec<(u32, u32)>,
+        }
+
+        let mut results: Vec<Option<Requery>> = Vec::new();
+        results.resize_with(grouped.len(), || None);
+        let chunk = vdtn_sim_core::par::chunk_len(grouped.len(), pool.num_threads());
+        let grid = &self.grid;
+        let neighbors = &self.neighbors;
+        let range = self.range;
+        let r2 = range * range;
+        pool.scope(|s| {
+            for (nodes, out) in grouped.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    let mut query: Vec<u32> = Vec::new();
+                    let mut still: HashSet<u32> = HashSet::new();
+                    for (slot, &i) in out.iter_mut().zip(nodes) {
+                        let center = positions[i as usize];
+                        query.clear();
+                        grid.query_within(center, 2.0 * range, Some(i), &mut query);
+                        let mut rq = Requery {
+                            node: i,
+                            new_slack: range,
+                            downs: Vec::new(),
+                            ups: Vec::new(),
+                        };
+                        still.clear();
+                        for &j in &query {
+                            let d2 = positions[j as usize].distance_sq(center);
+                            rq.new_slack = rq.new_slack.min((d2.sqrt() - range).abs());
+                            if d2 <= r2 {
+                                still.insert(j);
+                                if !neighbors[i as usize].contains(&j) {
+                                    rq.ups.push(pair_key(NodeId(i), NodeId(j)));
+                                }
+                            }
+                        }
+                        for &j in &neighbors[i as usize] {
+                            if !still.contains(&j) {
+                                rq.downs.push(pair_key(NodeId(i), NodeId(j)));
+                            }
+                        }
+                        *slot = Some(rq);
+                    }
+                });
+            }
+        });
+
+        // Serial merge (step 4).
+        let mut downs: Vec<(u32, u32)> = Vec::new();
+        let mut ups: Vec<(u32, u32)> = Vec::new();
+        for rq in results.into_iter().map(|r| r.expect("all chunks ran")) {
+            self.slack[rq.node as usize] = rq.new_slack;
+            self.drift_at_check[rq.node as usize] = self.cum_drift;
+            downs.extend(rq.downs);
+            ups.extend(rq.ups);
+        }
+        downs.sort_unstable();
+        downs.dedup();
+        ups.sort_unstable();
+        ups.dedup();
+        for &(a, b) in &downs {
+            self.current.remove(&(a, b));
+            self.neighbors[a as usize].remove(&b);
+            self.neighbors[b as usize].remove(&a);
+        }
+        for &(a, b) in &ups {
+            self.current.insert((a, b));
+            self.neighbors[a as usize].insert(b);
+            self.neighbors[b as usize].insert(a);
+        }
+        assemble_events(downs, ups)
+    }
+
     /// Full scan that initialises the incremental per-node state. Emits the
     /// same events a ticked `update` would from an empty previous set.
     fn prime(&mut self, positions: &[Point]) -> Vec<LinkEvent> {
@@ -438,6 +578,49 @@ mod tests {
     #[test]
     fn incremental_matches_reference_all_moving() {
         random_walk_equivalence(1, 40, 60, 1.0);
+    }
+
+    /// Sharded re-query must emit exactly the serial incremental stream —
+    /// and the full-rescan reference stream — at every pool size, on the
+    /// same random walks as the serial harness.
+    #[test]
+    fn sharded_matches_serial_incremental_at_every_pool_size() {
+        for &threads in &[1usize, 2, 4] {
+            let pool = rayon::ThreadPool::new(threads);
+            let mut reference = detector(DetectorBackend::Grid);
+            let mut serial = detector(DetectorBackend::Grid);
+            let mut sharded = detector(DetectorBackend::Grid);
+            let mut state = 7u64;
+            let mut pos: Vec<Point> = (0..40)
+                .map(|_| Point::new(lcg(&mut state) * 400.0, lcg(&mut state) * 400.0))
+                .collect();
+            let shards = ShardMap::build(&pos, reference.range(), 8);
+            let er = reference.update(&pos);
+            let es = serial.update_incremental(&pos, &[]);
+            let eh = sharded.update_incremental_sharded(&pos, &[], &pool, &shards);
+            assert_eq!(er, es);
+            assert_eq!(er, eh);
+            for tick in 0..60 {
+                let mut moved = Vec::new();
+                for (i, p) in pos.iter_mut().enumerate() {
+                    if lcg(&mut state) < 0.6 {
+                        let old = *p;
+                        p.x += (lcg(&mut state) - 0.5) * 25.0;
+                        p.y += (lcg(&mut state) - 0.5) * 25.0;
+                        moved.push(MovedNode {
+                            index: i as u32,
+                            displacement: old.distance(*p),
+                        });
+                    }
+                }
+                let er = reference.update(&pos);
+                let es = serial.update_incremental(&pos, &moved);
+                let eh = sharded.update_incremental_sharded(&pos, &moved, &pool, &shards);
+                assert_eq!(er, es, "threads {threads} tick {tick}: serial diverged");
+                assert_eq!(er, eh, "threads {threads} tick {tick}: sharded diverged");
+                assert_eq!(serial.active_count(), sharded.active_count());
+            }
+        }
     }
 
     #[test]

@@ -88,17 +88,28 @@ impl Router for DirectDeliveryRouter {
             offers,
             now,
             rng,
-            |id| {
-                if peer.knows(id) {
-                    return Verdict::Never;
-                }
-                let msg = own.buffer.get(id).expect("ordered id is stored");
-                if msg.dst == peer.id && !msg.is_expired(now) {
-                    Verdict::Accept
-                } else {
-                    Verdict::Never
-                }
-            },
+            direct_verdict(own, peer, now),
+        )
+    }
+
+    fn scan_is_shared(&self) -> bool {
+        self.source.wants_deltas(self.policy.scheduling)
+    }
+
+    fn plan_transfer(
+        &self,
+        own: &NodeState,
+        peer: &NodeState,
+        _peer_router: &dyn Router,
+        offers: &mut OfferView<'_>,
+        now: SimTime,
+    ) -> Option<MessageId> {
+        debug_assert!(self.scan_is_shared());
+        offers.scan_index(
+            self.policy.scheduling,
+            &own.buffer,
+            peer,
+            direct_verdict(own, peer, now),
         )
     }
 
@@ -126,6 +137,45 @@ impl Router for DirectDeliveryRouter {
         if delivered {
             own.buffer.remove(msg_id);
         }
+    }
+}
+
+/// Direct Delivery's eligibility verdict, shared by the serial and
+/// parallel scan paths so both decide identically.
+fn direct_verdict<'a>(
+    own: &'a NodeState,
+    peer: &'a NodeState,
+    now: SimTime,
+) -> impl FnMut(MessageId) -> Verdict + 'a {
+    move |id| {
+        if peer.knows(id) {
+            return Verdict::Never;
+        }
+        let msg = own.buffer.get(id).expect("ordered id is stored");
+        if msg.dst == peer.id && !msg.is_expired(now) {
+            Verdict::Accept
+        } else {
+            Verdict::Never
+        }
+    }
+}
+
+/// First Contact's eligibility verdict (identical tests to flooding: the
+/// single copy goes to the first peer that can hold it).
+fn first_contact_verdict<'a>(
+    own: &'a NodeState,
+    peer: &'a NodeState,
+    now: SimTime,
+) -> impl FnMut(MessageId) -> Verdict + 'a {
+    move |id| {
+        if peer.knows(id) {
+            return Verdict::Never;
+        }
+        let msg = own.buffer.get(id).expect("ordered id is stored");
+        if msg.is_expired(now) || !peer.buffer.could_fit(msg.size) {
+            return Verdict::Never;
+        }
+        Verdict::Accept
     }
 }
 
@@ -200,16 +250,28 @@ impl Router for FirstContactRouter {
             offers,
             now,
             rng,
-            |id| {
-                if peer.knows(id) {
-                    return Verdict::Never;
-                }
-                let msg = own.buffer.get(id).expect("ordered id is stored");
-                if msg.is_expired(now) || !peer.buffer.could_fit(msg.size) {
-                    return Verdict::Never;
-                }
-                Verdict::Accept
-            },
+            first_contact_verdict(own, peer, now),
+        )
+    }
+
+    fn scan_is_shared(&self) -> bool {
+        self.source.wants_deltas(self.policy.scheduling)
+    }
+
+    fn plan_transfer(
+        &self,
+        own: &NodeState,
+        peer: &NodeState,
+        _peer_router: &dyn Router,
+        offers: &mut OfferView<'_>,
+        now: SimTime,
+    ) -> Option<MessageId> {
+        debug_assert!(self.scan_is_shared());
+        offers.scan_index(
+            self.policy.scheduling,
+            &own.buffer,
+            peer,
+            first_contact_verdict(own, peer, now),
         )
     }
 

@@ -41,6 +41,30 @@ impl EpidemicRouter {
     }
 }
 
+/// The flooding eligibility verdict, shared by the serial scan
+/// ([`Router::next_transfer`]) and the parallel shared scan
+/// ([`Router::plan_transfer`]) so both paths decide identically.
+/// Every rejection is permanent for this contact direction: a peer-knows
+/// hit seen by the index scan can only mean destination consumption (buffer
+/// membership is synced from deltas), expiry is final, and capacity fits
+/// are constant per message.
+fn flood_verdict<'a>(
+    own: &'a NodeState,
+    peer: &'a NodeState,
+    now: SimTime,
+) -> impl FnMut(MessageId) -> Verdict + 'a {
+    move |id| {
+        if peer.knows(id) {
+            return Verdict::Never;
+        }
+        let msg = own.buffer.get(id).expect("ordered id is stored");
+        if msg.is_expired(now) || !peer.buffer.could_fit(msg.size) {
+            return Verdict::Never;
+        }
+        Verdict::Accept
+    }
+}
+
 impl Router for EpidemicRouter {
     fn kind_label(&self) -> &'static str {
         "Epidemic"
@@ -84,10 +108,6 @@ impl Router for EpidemicRouter {
     ) -> Option<MessageId> {
         // Scheduling policy orders the buffer; offer the first message the
         // peer does not already know and that could physically fit there.
-        // Every rejection is permanent for this contact direction: a
-        // peer-knows hit seen by the index scan can only mean destination
-        // consumption (buffer membership is synced from deltas), expiry is
-        // final, and capacity fits are constant per message.
         scan_policy(
             &mut self.source,
             self.policy.scheduling,
@@ -96,16 +116,28 @@ impl Router for EpidemicRouter {
             offers,
             now,
             rng,
-            |id| {
-                if peer.knows(id) {
-                    return Verdict::Never;
-                }
-                let msg = own.buffer.get(id).expect("ordered id is stored");
-                if msg.is_expired(now) || !peer.buffer.could_fit(msg.size) {
-                    return Verdict::Never;
-                }
-                Verdict::Accept
-            },
+            flood_verdict(own, peer, now),
+        )
+    }
+
+    fn scan_is_shared(&self) -> bool {
+        self.source.wants_deltas(self.policy.scheduling)
+    }
+
+    fn plan_transfer(
+        &self,
+        own: &NodeState,
+        peer: &NodeState,
+        _peer_router: &dyn Router,
+        offers: &mut OfferView<'_>,
+        now: SimTime,
+    ) -> Option<MessageId> {
+        debug_assert!(self.scan_is_shared());
+        offers.scan_index(
+            self.policy.scheduling,
+            &own.buffer,
+            peer,
+            flood_verdict(own, peer, now),
         )
     }
 

@@ -65,6 +65,34 @@ impl SprayAndWaitRouter {
     }
 }
 
+/// Spray-and-Wait's eligibility verdict, shared by the serial and parallel
+/// scan paths so both decide identically. All rejections are permanent for
+/// this direction: peer-knows hits at the index scan mean destination
+/// consumption, expiry and capacity fits are final, and a stored copy's
+/// quota only ever shrinks (halving via `get_mut`, a fresh copy is a fresh
+/// insert delta) — so a wait-phase copy headed elsewhere never comes back.
+fn spray_verdict<'a>(
+    own: &'a NodeState,
+    peer: &'a NodeState,
+    now: SimTime,
+) -> impl FnMut(MessageId) -> Verdict + 'a {
+    move |id| {
+        if peer.knows(id) {
+            return Verdict::Never;
+        }
+        let msg = own.buffer.get(id).expect("ordered id is stored");
+        if msg.is_expired(now) || !peer.buffer.could_fit(msg.size) {
+            return Verdict::Never;
+        }
+        // Spray phase needs quota; wait phase only direct delivery.
+        if msg.dst == peer.id || msg.copies > 1 {
+            Verdict::Accept
+        } else {
+            Verdict::Never
+        }
+    }
+}
+
 impl Router for SprayAndWaitRouter {
     fn kind_label(&self) -> &'static str {
         "Spray and Wait"
@@ -107,11 +135,6 @@ impl Router for SprayAndWaitRouter {
         now: SimTime,
         rng: &mut SimRng,
     ) -> Option<MessageId> {
-        // All rejections are permanent for this direction: peer-knows hits
-        // at the index scan mean destination consumption, expiry and
-        // capacity fits are final, and a stored copy's quota only ever
-        // shrinks (halving via `get_mut`, a fresh copy is a fresh insert
-        // delta) — so a wait-phase copy headed elsewhere never comes back.
         scan_policy(
             &mut self.source,
             self.policy.scheduling,
@@ -120,21 +143,28 @@ impl Router for SprayAndWaitRouter {
             offers,
             now,
             rng,
-            |id| {
-                if peer.knows(id) {
-                    return Verdict::Never;
-                }
-                let msg = own.buffer.get(id).expect("ordered id is stored");
-                if msg.is_expired(now) || !peer.buffer.could_fit(msg.size) {
-                    return Verdict::Never;
-                }
-                // Spray phase needs quota; wait phase only direct delivery.
-                if msg.dst == peer.id || msg.copies > 1 {
-                    Verdict::Accept
-                } else {
-                    Verdict::Never
-                }
-            },
+            spray_verdict(own, peer, now),
+        )
+    }
+
+    fn scan_is_shared(&self) -> bool {
+        self.source.wants_deltas(self.policy.scheduling)
+    }
+
+    fn plan_transfer(
+        &self,
+        own: &NodeState,
+        peer: &NodeState,
+        _peer_router: &dyn Router,
+        offers: &mut OfferView<'_>,
+        now: SimTime,
+    ) -> Option<MessageId> {
+        debug_assert!(self.scan_is_shared());
+        offers.scan_index(
+            self.policy.scheduling,
+            &own.buffer,
+            peer,
+            spray_verdict(own, peer, now),
         )
     }
 

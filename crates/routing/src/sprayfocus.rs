@@ -66,6 +66,43 @@ impl SprayAndFocusRouter {
     }
 }
 
+/// Spray-and-Focus eligibility verdict, shared by the serial and parallel
+/// scan paths so both decide identically. A failed *utility* comparison is
+/// the one non-permanent rejection in the policy routers — recency tables
+/// move without a buffer delta — so it keeps the candidate (`NotNow`);
+/// everything else is final.
+fn focus_verdict<'a>(
+    own: &'a NodeState,
+    peer: &'a NodeState,
+    peer_router: &'a dyn Router,
+    last_met: &'a [Option<SimTime>],
+    now: SimTime,
+) -> impl FnMut(MessageId) -> Verdict + 'a {
+    move |id| {
+        if peer.knows(id) {
+            return Verdict::Never;
+        }
+        let msg = own.buffer.get(id).expect("ordered id is stored");
+        if msg.is_expired(now) || !peer.buffer.could_fit(msg.size) {
+            return Verdict::Never;
+        }
+        if msg.dst == peer.id || msg.copies > 1 {
+            return Verdict::Accept; // direct delivery or spray phase
+        }
+        // Focus phase: hand off the single copy only if the peer has
+        // strictly better (more recent) last-encounter utility.
+        let peer_recency = peer_router.delivery_metric(msg.dst, now);
+        let own_recency = last_met[msg.dst.index()]
+            .map(|t| -now.since(t).as_secs_f64())
+            .unwrap_or(f64::NEG_INFINITY);
+        if matches!(peer_recency, Some(p) if p > own_recency) {
+            Verdict::Accept
+        } else {
+            Verdict::NotNow
+        }
+    }
+}
+
 impl Router for SprayAndFocusRouter {
     fn kind_label(&self) -> &'static str {
         "Spray and Focus"
@@ -125,11 +162,7 @@ impl Router for SprayAndFocusRouter {
         rng: &mut SimRng,
     ) -> Option<MessageId> {
         // Split borrows: the scan holds the source mutably while the
-        // eligibility check reads the encounter table. A failed *utility*
-        // comparison is the one non-permanent rejection in the policy
-        // routers — recency tables move without a buffer delta — so it
-        // keeps the candidate (`NotNow`); everything else is final.
-        let last_met = &self.last_met;
+        // eligibility check reads the encounter table.
         scan_policy(
             &mut self.source,
             self.policy.scheduling,
@@ -138,29 +171,28 @@ impl Router for SprayAndFocusRouter {
             offers,
             now,
             rng,
-            |id| {
-                if peer.knows(id) {
-                    return Verdict::Never;
-                }
-                let msg = own.buffer.get(id).expect("ordered id is stored");
-                if msg.is_expired(now) || !peer.buffer.could_fit(msg.size) {
-                    return Verdict::Never;
-                }
-                if msg.dst == peer.id || msg.copies > 1 {
-                    return Verdict::Accept; // direct delivery or spray phase
-                }
-                // Focus phase: hand off the single copy only if the peer has
-                // strictly better (more recent) last-encounter utility.
-                let peer_recency = peer_router.delivery_metric(msg.dst, now);
-                let own_recency = last_met[msg.dst.index()]
-                    .map(|t| -now.since(t).as_secs_f64())
-                    .unwrap_or(f64::NEG_INFINITY);
-                if matches!(peer_recency, Some(p) if p > own_recency) {
-                    Verdict::Accept
-                } else {
-                    Verdict::NotNow
-                }
-            },
+            focus_verdict(own, peer, peer_router, &self.last_met, now),
+        )
+    }
+
+    fn scan_is_shared(&self) -> bool {
+        self.source.wants_deltas(self.policy.scheduling)
+    }
+
+    fn plan_transfer(
+        &self,
+        own: &NodeState,
+        peer: &NodeState,
+        peer_router: &dyn Router,
+        offers: &mut OfferView<'_>,
+        now: SimTime,
+    ) -> Option<MessageId> {
+        debug_assert!(self.scan_is_shared());
+        offers.scan_index(
+            self.policy.scheduling,
+            &own.buffer,
+            peer,
+            focus_verdict(own, peer, peer_router, &self.last_met, now),
         )
     }
 

@@ -37,6 +37,7 @@
 
 pub mod events;
 pub mod ids;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;

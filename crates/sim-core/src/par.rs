@@ -1,0 +1,69 @@
+//! Deterministic work partitioning for the parallel engine phases.
+//!
+//! The sharded phases split an ordered work list into contiguous chunks,
+//! one per pool thread, process the chunks concurrently, and merge results
+//! back in the original order. These helpers keep the *partitioning* rules
+//! in one audited place: outputs of parallel phases must be a pure function
+//! of the work list, never of the thread count, so the chunk geometry here
+//! may affect only scheduling, and anything order-sensitive is indexed by
+//! original position (see [`order_of`]).
+
+/// Chunk length that splits `len` items into at most `workers` contiguous
+/// chunks of near-equal size (the classic ceiling division, minimum 1).
+/// With `workers == 1` the single chunk is the whole list.
+pub fn chunk_len(len: usize, workers: usize) -> usize {
+    let workers = workers.max(1);
+    len.div_ceil(workers).max(1)
+}
+
+/// Permutation that visits `keyed` in ascending key order: `order_of(k)[r]`
+/// is the position in `keyed` of the item with rank `r`. Used to walk
+/// shard-grouped work back in canonical (original-index) order at the merge
+/// barrier. The sort is stable, so equal keys keep their relative order.
+pub fn order_of<K: Ord + Copy>(keyed: &[K]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..keyed.len()).collect();
+    order.sort_by_key(|&i| keyed[i]);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_len_covers_all_items_with_at_most_workers_chunks() {
+        for len in 0..40usize {
+            for workers in 1..10usize {
+                let c = chunk_len(len, workers);
+                assert!(c >= 1);
+                if len > 0 {
+                    let chunks = len.div_ceil(c);
+                    assert!(chunks <= workers, "len={len} workers={workers}");
+                    assert!(chunks * c >= len);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_len_degenerate_workers() {
+        assert_eq!(chunk_len(10, 0), 10); // clamped to one worker
+        assert_eq!(chunk_len(0, 4), 1);
+        assert_eq!(chunk_len(7, 1), 7);
+    }
+
+    #[test]
+    fn order_of_visits_keys_in_ascending_stable_order() {
+        let keys = [3u32, 1, 2, 1, 3, 0];
+        let order = order_of(&keys);
+        let visited: Vec<u32> = order.iter().map(|&i| keys[i]).collect();
+        assert_eq!(visited, vec![0, 1, 1, 2, 3, 3]);
+        // Stability: the two `1`s keep original relative order, as do the 3s.
+        assert_eq!(order, vec![5, 1, 3, 2, 0, 4]);
+    }
+
+    #[test]
+    fn order_of_empty() {
+        assert!(order_of::<u32>(&[]).is_empty());
+    }
+}

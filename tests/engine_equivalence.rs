@@ -16,7 +16,12 @@
 //!   scheduled `TransferComplete` instants, contacts break mid-transfer
 //!   (abort + partial-byte settlement), and uniform message sizes on a
 //!   stationary mesh force simultaneous completions that must resolve in
-//!   pair-key order — deterministic runs plus a dedicated property test.
+//!   pair-key order — deterministic runs plus a dedicated property test;
+//! * the sharded parallel engine ([`EngineMode::Parallel`]): a fourth
+//!   column in the router × policy matrix, plus a thread-count-invariance
+//!   sweep pinning byte-equal reports at pool sizes 1, 2, 4 and 8 — the
+//!   proof that shard partitioning, scan/commit ordering and the merge
+//!   rules leak nothing about the worker count into the simulation.
 
 use proptest::prelude::*;
 use vdtn_repro::geo::GridMapGen;
@@ -123,13 +128,16 @@ fn every_protocol_is_bit_identical_across_modes() {
     }
 }
 
-/// The PR 5 acceptance matrix: for **every router × every scheduling
-/// policy**, the delta-maintained candidate index must be bit-identical to
-/// the cursor-only rescan revision *and* across engine modes. Three runs
-/// per combination: Ticked+Index, EventDriven+Index, EventDriven+Rescan —
-/// any divergence in the per-direction index maintenance (delta
-/// application, rank keying, `Never` pruning, `Random`/discontinuity
-/// fallbacks, the insert-count silence key) shows up as a report diff here.
+/// The acceptance matrix: for **every router × every scheduling policy**,
+/// the delta-maintained candidate index must be bit-identical to the
+/// cursor-only rescan revision *and* across engine modes. Four runs per
+/// combination: Ticked+Index, EventDriven+Index, EventDriven+Rescan, and
+/// the sharded Parallel engine (Index backend, 2-thread pool) — any
+/// divergence in the per-direction index maintenance (delta application,
+/// rank keying, `Never` pruning, `Random`/discontinuity fallbacks, the
+/// insert-count silence key) or in the parallel scan/commit split (plan
+/// ordering, deferred-direction RNG lanes, busy re-checks, silence memo
+/// writes) shows up as a report diff here.
 #[test]
 fn candidate_index_is_bit_identical_for_every_router_and_policy() {
     let kinds = [
@@ -187,6 +195,8 @@ fn candidate_index_is_bit_identical_for_every_router_and_policy() {
                 World::build_with_options(&sc, EngineMode::EventDriven, RoutingBackend::Rescan)
                     .run(),
             );
+            let parallel =
+                canon(World::build_parallel_with_threads(&sc, RoutingBackend::Index, 2).run());
             assert_eq!(
                 event_index, event_rescan,
                 "{kind:?} × {sched:?}: index diverged from the cursor-only rescan"
@@ -194,6 +204,58 @@ fn candidate_index_is_bit_identical_for_every_router_and_policy() {
             assert_eq!(
                 ticked_index, event_index,
                 "{kind:?} × {sched:?}: engine modes diverged under the index"
+            );
+            assert_eq!(
+                event_index, parallel,
+                "{kind:?} × {sched:?}: sharded parallel engine diverged"
+            );
+        }
+    }
+}
+
+/// Thread-count invariance: the sharded parallel engine must produce
+/// byte-equal reports at pool sizes 1, 2, 4 and 8 — and equal to the
+/// serial event engine — on scenarios exercising flooding, utility
+/// metrics (deferred-free), quota routing, and RNG-drawing Random
+/// scheduling (every pair deferred). The shard tiling is fixed from the
+/// initial layout, scan outputs are slot-indexed, and the commit walks
+/// canonical pair order, so nothing about the pool size may leak into a
+/// single simulation byte.
+#[test]
+fn parallel_engine_is_thread_count_invariant() {
+    let cases = [
+        (RouterKind::Epidemic, PolicyCombo::LIFETIME, 301u64),
+        (
+            RouterKind::Prophet(ProphetConfig::default()),
+            PolicyCombo::FIFO_FIFO,
+            302,
+        ),
+        (RouterKind::paper_snw(), PolicyCombo::RANDOM_FIFO, 303),
+        (
+            RouterKind::MaxProp(MaxPropConfig::default()),
+            PolicyCombo::LIFETIME,
+            304,
+        ),
+    ];
+    for (kind, policy, seed) in cases {
+        let sc = scenario(
+            kind.clone(),
+            policy,
+            seed,
+            8,
+            12,
+            1_200.0,
+            DetectorBackend::Grid,
+            60.0,
+        );
+        let reference = canon(World::build_with_mode(&sc, EngineMode::EventDriven).run());
+        for threads in [1usize, 2, 4, 8] {
+            let par = canon(
+                World::build_parallel_with_threads(&sc, RoutingBackend::default(), threads).run(),
+            );
+            assert_eq!(
+                reference, par,
+                "{kind:?} × {policy:?}: report depends on pool size {threads}"
             );
         }
     }

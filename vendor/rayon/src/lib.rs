@@ -1,10 +1,23 @@
 //! Offline stand-in for the `rayon` crate.
 //!
-//! Provides the slice `par_iter().map(..).collect()` pipeline the sweep layer
-//! uses, implemented with `std::thread::scope`. Items are split into one
-//! contiguous chunk per available core; each chunk is mapped on its own
-//! thread and the per-chunk outputs are concatenated in chunk order, so
-//! **results preserve input order** exactly like rayon's indexed collect.
+//! Two layers, both deterministic in their observable outputs:
+//!
+//! * The slice `par_iter().map(..).collect()` pipeline the sweep layer uses,
+//!   implemented with `std::thread::scope`. Items are split into one
+//!   contiguous chunk per pool thread; each chunk is mapped on its own
+//!   thread and the per-chunk outputs are concatenated in chunk order, so
+//!   **results preserve input order** exactly like rayon's indexed collect.
+//! * A persistent [`ThreadPool`] with [`ThreadPool::scope`] /
+//!   [`ThreadPool::join`] primitives for the engine's sharded phases. The
+//!   pool owns `threads - 1` workers; the caller thread participates by
+//!   draining the queue while it waits, so a 1-thread pool runs everything
+//!   inline on the caller with zero worker threads.
+//!
+//! Thread counts come from [`current_num_threads`]: the `VDTN_THREADS`
+//! environment variable when set to a positive integer, otherwise
+//! `std::thread::available_parallelism`. This pins both the chunking of
+//! `par_iter` and the size of the lazily created global pool behind the
+//! free [`scope`] / [`join`] functions.
 //!
 //! ```
 //! use rayon::prelude::*;
@@ -13,9 +26,302 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
 /// The traits needed for `slice.par_iter().map(f).collect()`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
+}
+
+/// Number of threads parallel work should assume: the `VDTN_THREADS`
+/// environment variable when it parses as a positive integer, otherwise
+/// `std::thread::available_parallelism` (1 if that is unavailable).
+pub fn current_num_threads() -> usize {
+    threads_from_env(std::env::var("VDTN_THREADS").ok().as_deref())
+}
+
+/// Pure parsing core of [`current_num_threads`]: `var` is the raw value of
+/// `VDTN_THREADS` (or `None` when unset). Zero, negative, or non-numeric
+/// values fall back to the hardware default.
+fn threads_from_env(var: Option<&str>) -> usize {
+    match var.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when a job is pushed or shutdown begins.
+    ready: Condvar,
+}
+
+impl PoolShared {
+    fn push(&self, job: Job) {
+        let mut st = self.state.lock().expect("pool lock poisoned");
+        st.queue.push_back(job);
+        drop(st);
+        self.ready.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.state.lock().expect("pool lock poisoned").queue.pop_front()
+    }
+}
+
+struct LatchState {
+    pending: usize,
+    panicked: bool,
+}
+
+/// Per-scope completion latch: counts outstanding spawned jobs and records
+/// whether any of them panicked.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch {
+            state: Mutex::new(LatchState {
+                pending: 0,
+                panicked: false,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.state.lock().expect("latch lock poisoned").pending
+    }
+}
+
+/// A persistent worker pool. `threads` is the total parallelism including
+/// the caller: the pool spawns `threads - 1` OS workers and the thread that
+/// calls [`ThreadPool::scope`] works alongside them until the scope drains,
+/// so `ThreadPool::new(1)` is a valid, fully inline pool.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool with the given total thread count (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let handles = (0..threads - 1)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Total parallelism of this pool (workers + the participating caller).
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` with a [`Scope`] that can spawn borrowing tasks. Returns only
+    /// after every spawned task has finished (the caller drains the queue
+    /// while waiting). Panics from spawned tasks are re-raised here after
+    /// the scope has fully drained.
+    pub fn scope<'scope, R>(&self, f: impl FnOnce(&Scope<'scope>) -> R) -> R {
+        let latch = Arc::new(Latch::new());
+        let scope = Scope {
+            shared: Arc::clone(&self.shared),
+            latch: Arc::clone(&latch),
+            _marker: PhantomData,
+        };
+        // The guard drains the scope even if `f` unwinds, so spawned jobs
+        // can never outlive the stack frames they borrow from.
+        let guard = DrainGuard {
+            shared: &self.shared,
+            latch: &latch,
+        };
+        let result = f(&scope);
+        drop(guard);
+        let panicked = latch.state.lock().expect("latch lock poisoned").panicked;
+        if panicked {
+            panic!("a task spawned into a rayon scope panicked");
+        }
+        result
+    }
+
+    /// Run `a` and `b`, potentially in parallel, and return both results.
+    /// `a` is offered to the pool; `b` runs on the caller.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB,
+        RA: Send,
+    {
+        let mut ra: Option<RA> = None;
+        let mut rb: Option<RB> = None;
+        self.scope(|s| {
+            s.spawn(|| ra = Some(a()));
+            rb = Some(b());
+        });
+        (
+            ra.expect("join: spawned task did not run"),
+            rb.expect("join: inline task did not run"),
+        )
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool lock poisoned");
+            st.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool lock poisoned");
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break Some(job);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.ready.wait(st).expect("pool lock poisoned");
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+/// Drains the scope's jobs on drop: the caller pops queued jobs and runs
+/// them inline, then sleeps on the latch until in-flight jobs finish.
+struct DrainGuard<'a> {
+    shared: &'a PoolShared,
+    latch: &'a Latch,
+}
+
+impl Drop for DrainGuard<'_> {
+    fn drop(&mut self) {
+        loop {
+            if self.latch.pending() == 0 {
+                return;
+            }
+            match self.shared.try_pop() {
+                // Jobs from an unrelated concurrent scope may be popped
+                // here too; running them is harmless and they settle their
+                // own latch.
+                Some(job) => job(),
+                None => {
+                    let st = self.latch.state.lock().expect("latch lock poisoned");
+                    if st.pending > 0 {
+                        // Re-checked under the lock, so the notify cannot be
+                        // missed; spurious wakeups just re-loop.
+                        drop(self.latch.done.wait(st));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Spawn handle passed to [`ThreadPool::scope`] closures. Tasks may borrow
+/// from the enclosing stack frame (`'scope`); the scope waits for all of
+/// them before returning.
+pub struct Scope<'scope> {
+    shared: Arc<PoolShared>,
+    latch: Arc<Latch>,
+    /// Invariant over `'scope`, as in `std::thread::Scope`.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queue `f` onto the pool. It may run on any worker or on the caller
+    /// thread while the scope drains.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.latch.state.lock().expect("latch lock poisoned").pending += 1;
+        let latch = Arc::clone(&self.latch);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let ok = catch_unwind(AssertUnwindSafe(f)).is_ok();
+            let mut st = latch.state.lock().expect("latch lock poisoned");
+            st.pending -= 1;
+            if !ok {
+                st.panicked = true;
+            }
+            if st.pending == 0 {
+                latch.done.notify_all();
+            }
+        });
+        // SAFETY: lifetime erasure in the style of rayon/crossbeam scopes.
+        // `ThreadPool::scope` does not return — even on unwind, via
+        // `DrainGuard` — until this job has completed, so the job cannot
+        // outlive any `'scope` borrow it captures.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job)
+        };
+        self.shared.push(job);
+    }
+}
+
+/// The process-wide pool used by the free [`scope`] / [`join`] functions.
+/// Sized by [`current_num_threads`] at first use (so `VDTN_THREADS` must be
+/// set before the first call to take effect there).
+pub fn global_pool() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| ThreadPool::new(current_num_threads()))
+}
+
+/// [`ThreadPool::scope`] on the global pool.
+pub fn scope<'scope, R>(f: impl FnOnce(&Scope<'scope>) -> R) -> R {
+    global_pool().scope(f)
+}
+
+/// [`ThreadPool::join`] on the global pool.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB,
+    RA: Send,
+{
+    global_pool().join(a, b)
 }
 
 /// Entry point: types that can produce a [`ParIter`] over `&Item`.
@@ -80,10 +386,7 @@ impl<'data, T: Sync, F> ParMap<'data, T, F> {
         if n == 0 {
             return std::iter::empty().collect();
         }
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n);
+        let threads = current_num_threads().min(n);
         let chunk_len = n.div_ceil(threads);
         let f = &self.f;
         let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
@@ -104,6 +407,8 @@ impl<'data, T: Sync, F> ParMap<'data, T, F> {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn preserves_order() {
@@ -134,5 +439,133 @@ mod tests {
             .collect();
         // At minimum the work ran; with >1 core it fans out.
         assert!(!seen.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn env_override_parsing() {
+        // Pure core: positive integers pin the count, junk falls back.
+        assert_eq!(threads_from_env(Some("3")), 3);
+        assert_eq!(threads_from_env(Some(" 8 ")), 8);
+        let hw = threads_from_env(None);
+        assert!(hw >= 1);
+        assert_eq!(threads_from_env(Some("0")), hw);
+        assert_eq!(threads_from_env(Some("-2")), hw);
+        assert_eq!(threads_from_env(Some("lots")), hw);
+    }
+
+    #[test]
+    fn env_override_pins_current_num_threads() {
+        // std synchronises env access internally (no C callers here), and
+        // the only concurrent readers tolerate any positive value.
+        std::env::set_var("VDTN_THREADS", "5");
+        assert_eq!(current_num_threads(), 5);
+        std::env::remove_var("VDTN_THREADS");
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn scope_runs_all_tasks_and_borrows_stack_data() {
+        for threads in [1usize, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(pool.num_threads(), threads);
+            let counter = AtomicUsize::new(0);
+            let data: Vec<usize> = (0..100).collect();
+            pool.scope(|s| {
+                for chunk in data.chunks(7) {
+                    let counter = &counter;
+                    s.spawn(move || {
+                        counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), (0..100).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn scope_writes_into_disjoint_mut_chunks() {
+        let pool = ThreadPool::new(4);
+        let mut out = vec![0usize; 64];
+        pool.scope(|s| {
+            for (i, chunk) in out.chunks_mut(5).enumerate() {
+                s.spawn(move || {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = i * 5 + j;
+                    }
+                });
+            }
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPool::new(2);
+        let (a, b) = pool.join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+        // Single-thread pool runs both on the caller.
+        let pool1 = ThreadPool::new(1);
+        let x = 10;
+        let (a, b) = pool1.join(|| x + 1, || x + 2);
+        assert_eq!((a, b), (11, 12));
+    }
+
+    #[test]
+    fn global_scope_and_join_work() {
+        let total = AtomicUsize::new(0);
+        super::scope(|s| {
+            for i in 0..16 {
+                let total = &total;
+                s.spawn(move || {
+                    total.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), (0..16).sum::<usize>());
+        let (a, b) = super::join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn scope_task_panic_propagates_after_drain() {
+        let pool = ThreadPool::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+                for _ in 0..8 {
+                    let finished = &finished;
+                    s.spawn(move || {
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The scope drained its healthy siblings before re-raising.
+        assert_eq!(finished.load(Ordering::Relaxed), 8);
+        // The pool is still usable after a panicked scope.
+        let (a, b) = pool.join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn sequential_scopes_reuse_the_pool() {
+        let pool = ThreadPool::new(3);
+        let mut acc = 0usize;
+        for round in 0..50 {
+            let local = AtomicUsize::new(0);
+            pool.scope(|s| {
+                for i in 0..4 {
+                    let local = &local;
+                    s.spawn(move || {
+                        local.fetch_add(round * 4 + i, Ordering::Relaxed);
+                    });
+                }
+            });
+            acc += local.load(Ordering::Relaxed);
+        }
+        assert_eq!(acc, (0..200).sum::<usize>());
     }
 }
