@@ -30,14 +30,23 @@
 //! `VDTN_THREADS` / the machine's core count, exactly like the engine.
 //! Every row in both files carries `parallel_wall_secs`.
 //!
-//! Both JSON files carry `"schema_version"` (currently 3; v3 added the
-//! parallel engine columns); an unwritable output path is a clean,
-//! explained non-zero exit, not a panic.
+//! The `--json` run also writes a `"memory"` section: peak RSS and
+//! bytes/node on the dense-mesh scenario at 1k/10k/100k nodes (override
+//! with `--memory-nodes`). Because `VmHWM` is a process-lifetime high
+//! water mark, each size is measured in a fresh child process — the
+//! binary re-execs itself with the hidden `--memory-probe N` flag, the
+//! child runs one world and prints its row. On platforms without
+//! `/proc/self/status` the RSS fields are recorded as JSON `null`.
+//!
+//! Both JSON files carry `"schema_version"` (currently 4; v3 added the
+//! parallel engine columns, v4 the `memory` section and the 100k-node
+//! sweep row); an unwritable output path is a clean, explained non-zero
+//! exit, not a panic.
 //!
 //! ```text
 //! engine_bench [--json [PATH]] [--routing [PATH]] [--routing-nodes N,N]
-//!              [--nodes 50,200,1000,5000,10000] [--duration-secs N]
-//!              [--seed N] [--threads N]
+//!              [--nodes 50,200,1000,5000,10000,100000] [--memory-nodes N,N]
+//!              [--duration-secs N] [--seed N] [--threads N]
 //! ```
 
 use vdtn::engine::EngineMode;
@@ -49,8 +58,9 @@ use vdtn_bench::engine_perf::{
 
 /// Version of the JSON layout this binary writes (bumped when fields
 /// change; PR 5 added the routing section's index/rescan split, PR 6 the
-/// sharded parallel engine's `parallel_wall_secs`/`threads` columns).
-const SCHEMA_VERSION: u32 = 3;
+/// sharded parallel engine's `parallel_wall_secs`/`threads` columns, PR 7
+/// the `memory` section and the 100k-node sweep row).
+const SCHEMA_VERSION: u32 = 4;
 
 /// Write a benchmark JSON document, exiting non-zero with a clear message
 /// when the path cannot be written (read-only dir, missing parent, …).
@@ -76,8 +86,10 @@ struct Entry {
 fn main() {
     let mut json_path: Option<String> = None;
     let mut routing_path: Option<String> = None;
-    let mut nodes: Vec<usize> = vec![50, 200, 1000, 5000, 10000];
+    let mut nodes: Vec<usize> = vec![50, 200, 1000, 5000, 10000, 100000];
     let mut routing_nodes: Option<Vec<usize>> = None;
+    let mut memory_nodes: Vec<usize> = vec![1000, 10000, 100000];
+    let mut memory_probe: Option<usize> = None;
     let mut duration_override: Option<f64> = None;
     let mut seed = 42u64;
     let mut threads: usize = rayon::current_num_threads();
@@ -117,6 +129,23 @@ fn main() {
                         .collect(),
                 );
             }
+            "--memory-nodes" => {
+                let list = args
+                    .next()
+                    .expect("--memory-nodes needs a comma-separated list");
+                memory_nodes = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("node count"))
+                    .collect();
+            }
+            "--memory-probe" => {
+                memory_probe = Some(
+                    args.next()
+                        .expect("--memory-probe needs a node count")
+                        .parse()
+                        .expect("node count"),
+                );
+            }
             "--duration-secs" => {
                 duration_override = Some(
                     args.next()
@@ -148,6 +177,10 @@ fn main() {
         }
     }
 
+    if let Some(n) = memory_probe {
+        run_memory_probe(n, duration_override.unwrap_or(60.0), seed, threads);
+    }
+
     println!(
         "engine scheduler: ticked vs event-driven vs parallel[{threads}t] (bit-identical reports)"
     );
@@ -161,7 +194,8 @@ fn main() {
             0..=99 => 1_200.0,
             100..=499 => 600.0,
             500..=2_499 => 240.0,
-            _ => 120.0,
+            2_500..=20_000 => 120.0,
+            _ => 60.0,
         });
         let scenario = engine_scenario(n, duration, seed);
         let ticked = run_mode(&scenario, EngineMode::Ticked);
@@ -231,10 +265,21 @@ fn main() {
         transfer_entries.push(entry);
     }
 
+    // Memory section: one child process per size, since VmHWM is a
+    // process-lifetime high water mark (see `run_memory_section`). Only
+    // measured when the run records JSON — the console-only mode stays a
+    // quick identity check.
+    let (memory_rows, memory_identical) = if json_path.is_some() {
+        run_memory_section(&memory_nodes, duration_override, seed, threads)
+    } else {
+        (Vec::new(), true)
+    };
+
     let any_mismatch = entries
         .iter()
         .chain(transfer_entries.iter())
-        .any(|e| !e.identical);
+        .any(|e| !e.identical)
+        || !memory_identical;
     if let Some(path) = json_path {
         // Hand-rolled JSON keeps the schema explicit and the vendored
         // serde_json shim out of the float-formatting hot seat.
@@ -247,11 +292,12 @@ fn main() {
         let rows: Vec<String> = entries.iter().map(row).collect();
         let transfer_rows: Vec<String> = transfer_entries.iter().map(row).collect();
         let doc = format!(
-            "{{\n  \"benchmark\": \"engine_modes\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"description\": \"World::run wall time, ticked vs event-driven vs sharded-parallel scheduler, identical scenarios (paper mobility, Epidemic + Lifetime policies)\",\n  \"seed\": {},\n  \"threads\": {},\n  \"entries\": [\n{}\n  ],\n  \"transfer_bound\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"benchmark\": \"engine_modes\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"description\": \"World::run wall time, ticked vs event-driven vs sharded-parallel scheduler, identical scenarios (paper mobility, Epidemic + Lifetime policies)\",\n  \"seed\": {},\n  \"threads\": {},\n  \"entries\": [\n{}\n  ],\n  \"transfer_bound\": [\n{}\n  ],\n  \"memory\": [\n{}\n  ]\n}}\n",
             seed,
             threads,
             rows.join(",\n"),
-            transfer_rows.join(",\n")
+            transfer_rows.join(",\n"),
+            memory_rows.join(",\n")
         );
         write_json(&path, &doc);
     }
@@ -262,6 +308,101 @@ fn main() {
     if let Some(path) = routing_path {
         run_routing_section(&path, seed, routing_nodes, duration_override, threads);
     }
+}
+
+/// Read a `kB` field (`VmRSS`, `VmHWM`, …) from `/proc/self/status`.
+/// `None` on platforms without procfs or with an unexpected layout —
+/// callers record JSON `null` instead of panicking.
+fn proc_status_kb(field: &str) -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            let rest = rest.trim_start_matches(':').trim();
+            return rest.split_whitespace().next()?.parse().ok();
+        }
+    }
+    None
+}
+
+/// Child mode behind the hidden `--memory-probe N` flag: build and run the
+/// dense-mesh scenario (Epidemic + Lifetime, event-driven, candidate
+/// index) once in a fresh process so `VmHWM` — a process-lifetime high
+/// water mark — measures exactly this world, then print one JSON row on
+/// stdout for the parent to embed verbatim. `bytes_per_node` is
+/// `(VmHWM after the run − VmRSS before the build) / nodes`; the peak is
+/// read *before* the parallel identity-check run so the second world
+/// cannot inflate it. Missing `/proc/self/status` degrades both RSS
+/// fields to JSON `null`, never a panic.
+fn run_memory_probe(nodes: usize, duration: f64, seed: u64, threads: usize) -> ! {
+    let pre_kb = proc_status_kb("VmRSS");
+    let scenario =
+        dense_routing_scenario(nodes, duration, RouterKind::Epidemic, PolicyCombo::LIFETIME, seed);
+    let event = run_with_backend(&scenario, EngineMode::EventDriven, RoutingBackend::Index);
+    let peak_kb = proc_status_kb("VmHWM");
+    let parallel = run_parallel(&scenario, RoutingBackend::Index, threads);
+    let identical = canon(event) == canon(parallel);
+    let (peak_bytes, bytes_per_node) = match (pre_kb, peak_kb) {
+        (Some(pre), Some(peak)) => (
+            (peak * 1024).to_string(),
+            (peak.saturating_sub(pre) * 1024 / nodes.max(1) as u64).to_string(),
+        ),
+        _ => ("null".to_string(), "null".to_string()),
+    };
+    println!(
+        "{{\"nodes\": {nodes}, \"sim_duration_secs\": {duration}, \"peak_rss_bytes\": {peak_bytes}, \"bytes_per_node\": {bytes_per_node}, \"reports_identical\": {identical}}}"
+    );
+    std::process::exit(if identical { 0 } else { 1 });
+}
+
+/// Measure peak RSS and bytes/node per fleet size by re-exec'ing this
+/// binary once per size with `--memory-probe` (per-size peaks need
+/// per-size processes; see [`run_memory_probe`]). Returns the JSON rows
+/// plus whether every probe's event-vs-parallel identity check passed. A
+/// probe that cannot be spawned is reported on stderr and skipped rather
+/// than failing the whole run.
+fn run_memory_section(
+    sizes: &[usize],
+    duration_override: Option<f64>,
+    seed: u64,
+    threads: usize,
+) -> (Vec<String>, bool) {
+    println!("memory: dense mesh (Epidemic + Lifetime, event-driven), one probe process per size");
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("warning: cannot locate own binary for memory probes: {e}; section empty");
+            return (Vec::new(), true);
+        }
+    };
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+    for &n in sizes {
+        let duration = duration_override.unwrap_or(60.0);
+        let out = std::process::Command::new(&exe)
+            .args(["--memory-probe", &n.to_string()])
+            .args(["--duration-secs", &duration.to_string()])
+            .args(["--seed", &seed.to_string()])
+            .args(["--threads", &threads.to_string()])
+            .output();
+        match out {
+            Ok(out) => {
+                let stdout = String::from_utf8_lossy(&out.stdout);
+                let Some(row) = stdout.lines().rev().find(|l| l.trim_start().starts_with('{'))
+                else {
+                    eprintln!("warning: memory probe for {n} nodes produced no row; skipped");
+                    all_identical &= out.status.success();
+                    continue;
+                };
+                all_identical &= row.contains("\"reports_identical\": true");
+                println!("  {}", row.trim());
+                rows.push(format!("    {}", row.trim()));
+            }
+            Err(e) => {
+                eprintln!("warning: memory probe for {n} nodes failed to spawn: {e}; skipped");
+            }
+        }
+    }
+    (rows, all_identical)
 }
 
 /// Measure the dense-contact, routing-round-dominated scenario across fleet

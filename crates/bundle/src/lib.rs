@@ -38,12 +38,14 @@
 //! assert_eq!(order, vec![MessageId(2), MessageId(3), MessageId(1)]);
 //! ```
 
+pub mod arena;
 pub mod buffer;
 pub mod message;
 pub mod policy;
 pub mod schedule;
 pub mod traffic;
 
+pub use arena::{MessageArena, MsgHandle, MsgMeta};
 pub use buffer::{Buffer, BufferDelta, BufferError, DeltaKind, RankMeta};
 pub use message::{Message, MessageId};
 pub use policy::{DropPolicy, PolicyCombo, SchedulingPolicy};

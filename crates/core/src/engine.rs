@@ -83,7 +83,6 @@
 use crate::logging::{SimLog, SimLogBuilder};
 use crate::report::{DropCause, Sample, SimReport};
 use crate::scenario::{place_relays_high_degree, MobilitySpec, RelayPlacement, Scenario};
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use vdtn_bundle::{MessageId, TrafficConfig, TrafficGenerator};
 use vdtn_geo::{Point, ShardMap};
@@ -212,11 +211,10 @@ pub struct World {
     /// (TTL-pruned so long contacts stay bounded), the per-direction resume
     /// cursors into the cached schedule orders, and the per-direction
     /// payload-byte counters (`[lower id, higher id]` of the pair key).
-    contacts: HashMap<(u32, u32), ContactOffers>,
-    /// Current radio neighbours per node, mirroring the live connection
-    /// set, so per-node housekeeping (TTL pruning of offer sets) touches
-    /// O(degree) contacts instead of scanning the whole table.
-    adjacency: Vec<Vec<u32>>,
+    /// Indexed by the connection's [`LinkTable`] slot handle, so lookups are
+    /// a vector index and the table's length is bounded by *peak
+    /// concurrent* connections (freed slots are reused).
+    contacts: Vec<Option<ContactOffers>>,
 
     trace: ContactTrace,
     report: SimReport,
@@ -314,6 +312,10 @@ impl World {
         );
 
         let n = scenario.node_count();
+        // One metadata arena for the whole world: every logical message's
+        // immutable header is interned once, and the per-node buffers store
+        // dense handles instead of repeating the metadata per replica.
+        let arena = Arc::new(vdtn_bundle::MessageArena::new());
         let mut movers: Vec<Box<dyn MovementModel>> = Vec::with_capacity(n);
         let mut states = Vec::with_capacity(n);
         let mut routers = Vec::with_capacity(n);
@@ -361,7 +363,12 @@ impl World {
                     )),
                 };
                 movers.push(mover);
-                states.push(NodeState::new(id, group.buffer_bytes, group.is_relay));
+                states.push(NodeState::with_arena(
+                    id,
+                    group.buffer_bytes,
+                    group.is_relay,
+                    arena.clone(),
+                ));
                 routers.push(
                     scenario
                         .router
@@ -452,10 +459,9 @@ impl World {
             routers,
             node_rngs,
             detector: ContactDetector::new(scenario.detector, scenario.radio),
-            links: LinkTable::new(),
+            links: LinkTable::with_nodes(n),
             traffic,
-            contacts: HashMap::new(),
-            adjacency: vec![Vec::new(); n],
+            contacts: Vec::new(),
             trace: ContactTrace::new(),
             report: SimReport {
                 scenario: scenario.name.clone(),
@@ -703,14 +709,20 @@ impl World {
         if self.needs_detection_prime || !self.moved_scratch.is_empty() {
             self.needs_detection_prime = false;
             let moved = std::mem::take(&mut self.moved_scratch);
+            // A one-thread pool pays the sharded path's grouping and merge
+            // for no concurrency at all — the serial incremental update is
+            // the same diff (property-tested equal), so only real pools
+            // take the sharded path.
             let events = match &self.par {
-                Some(par) => self.detector.update_incremental_sharded(
-                    &self.positions,
-                    &moved,
-                    &par.pool,
-                    &par.shards,
-                ),
-                None => self.detector.update_incremental(&self.positions, &moved),
+                Some(par) if par.pool.num_threads() >= 2 => {
+                    self.detector.update_incremental_sharded(
+                        &self.positions,
+                        &moved,
+                        &par.pool,
+                        &par.shards,
+                    )
+                }
+                _ => self.detector.update_incremental(&self.positions, &moved),
             };
             self.moved_scratch = moved;
             self.apply_link_events(events);
@@ -828,8 +840,8 @@ impl World {
         if self.links.connection_count() == 0 {
             return false;
         }
-        for (a, b) in self.links.idle_pairs() {
-            let Some(contact) = self.contacts.get(&pair_key(a, b)) else {
+        for (a, b, slot) in self.links.idle_contacts() {
+            let Some(contact) = self.contacts.get(slot as usize).and_then(Option::as_ref) else {
                 return true; // conservative: unknown state ⇒ wake
             };
             for (from, to, side) in [(a, b, 0usize), (b, a, 1usize)] {
@@ -916,8 +928,8 @@ impl World {
     /// Phase 5: routing round over idle connections. Initiative alternates
     /// per tick so neither endpoint of a long contact monopolises the link.
     fn phase_routing(&mut self) {
-        let pairs = self.links.idle_pairs();
-        for (a, b) in pairs {
+        let pairs = self.links.idle_contacts();
+        for (a, b, slot) in pairs {
             if self.links.is_busy(a) || self.links.is_busy(b) {
                 continue; // became busy earlier in this round
             }
@@ -926,8 +938,8 @@ impl World {
             } else {
                 (b, a)
             };
-            if !self.try_start_transfer(first, second) {
-                self.try_start_transfer(second, first);
+            if !self.try_start_transfer(first, second, slot) {
+                self.try_start_transfer(second, first, slot);
             }
         }
     }
@@ -976,7 +988,7 @@ impl World {
             // the quiet verdict inline.
             return self.phase_routing_tracked();
         }
-        let pairs = self.links.idle_pairs();
+        let pairs = self.links.idle_contacts();
         if pairs.is_empty() {
             return true;
         }
@@ -1006,10 +1018,10 @@ impl World {
         // at re-arm time. In the saturated steady state this is nearly all
         // of them, so the scan/commit machinery below only ever pays for
         // pairs with potential work.
-        let mut live: Vec<(NodeId, NodeId)> = Vec::with_capacity(16);
-        for &(a, b) in &pairs {
-            let offers = contacts
-                .get(&pair_key(a, b))
+        let mut live: Vec<(NodeId, NodeId, u32)> = Vec::with_capacity(16);
+        for &(a, b, slot) in &pairs {
+            let offers = contacts[slot as usize]
+                .as_ref()
                 .expect("routing round only visits live connections");
             let silent = [(a, b, 0usize), (b, a, 1usize)].iter().all(|&(f, t, s)| {
                 !routers[f.index()].next_transfer_draws_rng()
@@ -1019,27 +1031,23 @@ impl World {
                     )
             });
             if !silent {
-                live.push((a, b));
+                live.push((a, b, slot));
             }
         }
         if live.is_empty() {
             return true;
         }
 
-        // Pull the live pairs' offer state out of the contact map in one
-        // membership-filtered pass, so neither the scan nor the commit pays
-        // per-pair lookups (and the silent majority costs one probe each).
-        let live_keys: HashSet<(u32, u32)> = live.iter().map(|&(a, b)| pair_key(a, b)).collect();
-        let mut offer_refs: HashMap<(u32, u32), &mut ContactOffers> = contacts
-            .iter_mut()
-            .filter(|(k, _)| live_keys.contains(*k))
-            .map(|(k, v)| (*k, v))
-            .collect();
+        // Pull the live pairs' offer state out of the slot table in one
+        // pass: a slot-indexed vector of `&mut` lets each live pair claim
+        // its exclusive borrow by index, no keyed lookups anywhere.
+        let mut offer_slots: Vec<Option<&mut ContactOffers>> =
+            contacts.iter_mut().map(Option::as_mut).collect();
         let mut works: Vec<PairWork<'_>> = live
             .iter()
-            .map(|&(a, b)| {
-                let offers = offer_refs
-                    .remove(&pair_key(a, b))
+            .map(|&(a, b, slot)| {
+                let offers = offer_slots[slot as usize]
+                    .take()
                     .expect("routing round only visits live connections");
                 let shared =
                     routers[a.index()].scan_is_shared() && routers[b.index()].scan_is_shared();
@@ -1187,9 +1195,9 @@ impl World {
     /// direction (collected, then re-checked for idleness after the round
     /// — a later pair's transfer can seize one of its endpoints).
     fn phase_routing_tracked(&mut self) -> bool {
-        let pairs = self.links.idle_pairs();
+        let pairs = self.links.idle_contacts();
         let mut rng_declined: Vec<(NodeId, NodeId)> = Vec::new();
-        for (a, b) in pairs {
+        for (a, b, slot) in pairs {
             if self.links.is_busy(a) || self.links.is_busy(b) {
                 continue; // became busy earlier in this round
             }
@@ -1198,8 +1206,8 @@ impl World {
             } else {
                 (b, a)
             };
-            let started =
-                self.try_start_transfer(first, second) || self.try_start_transfer(second, first);
+            let started = self.try_start_transfer(first, second, slot)
+                || self.try_start_transfer(second, first, slot);
             if !started
                 && (self.routers[first.index()].next_transfer_draws_rng()
                     || self.routers[second.index()].next_transfer_draws_rng())
@@ -1232,9 +1240,11 @@ impl World {
             // buffer's generation, so any cursor into a stale order rewinds
             // at its next scan. O(degree) via the adjacency mirror.
             let node = NodeId(i as u32);
-            for &peer in &self.adjacency[i] {
-                if let Some(contact) = self.contacts.get_mut(&pair_key(node, NodeId(peer))) {
-                    contact.prune_expired(now);
+            let arena = self.states[i].buffer.arena().clone();
+            for &(_, slot) in self.links.neighbors(node) {
+                if let Some(contact) = self.contacts.get_mut(slot as usize).and_then(Option::as_mut)
+                {
+                    contact.prune_expired(now, &arena);
                 }
             }
         }
@@ -1285,17 +1295,18 @@ impl World {
     }
 
     fn handle_link_up(&mut self, a: NodeId, b: NodeId) {
-        self.links
+        let slot = self
+            .links
             .link_up(a, b, self.now, self.radio_rate)
             .expect("scenario validation guarantees a finite positive radio rate");
         self.trace.on_up(a, b, self.now);
         if let Some(log) = &mut self.log {
             log.on_up(a, b, self.now);
         }
-        let key = pair_key(a, b);
-        self.contacts.insert(key, ContactOffers::new());
-        self.adjacency[a.index()].push(b.0);
-        self.adjacency[b.index()].push(a.0);
+        if self.contacts.len() <= slot as usize {
+            self.contacts.resize_with(slot as usize + 1, || None);
+        }
+        self.contacts[slot as usize] = Some(ContactOffers::new());
 
         // Digest exchange: both digests reflect pre-contact state.
         let da = self.routers[a.index()].digest(&self.states[a.index()], self.now);
@@ -1311,6 +1322,7 @@ impl World {
     }
 
     fn handle_link_down(&mut self, a: NodeId, b: NodeId) {
+        let slot = self.links.slot_of(a, b);
         if let Some(TransferOutcome::Aborted {
             transfer: t,
             bytes_transferred,
@@ -1329,13 +1341,10 @@ impl World {
             log.on_down(a, b, self.now);
         }
         let key = pair_key(a, b);
-        let bytes = self
-            .contacts
-            .remove(&key)
+        let bytes = slot
+            .and_then(|s| self.contacts.get_mut(s as usize).and_then(Option::take))
             .map(|c| c.sent_bytes())
             .unwrap_or([0, 0]);
-        self.adjacency[a.index()].retain(|&x| x != b.0);
-        self.adjacency[b.index()].retain(|&x| x != a.0);
         let (lo, hi) = (NodeId(key.0), NodeId(key.1));
         self.routers[lo.index()].on_contact_down(
             &mut self.states[lo.index()],
@@ -1357,7 +1366,11 @@ impl World {
         self.report.messages.bytes_transferred += t.msg.size;
         // Account contact volume for MaxProp's threshold estimator.
         let key = pair_key(t.from, t.to);
-        if let Some(contact) = self.contacts.get_mut(&key) {
+        if let Some(contact) = self
+            .links
+            .slot_of(t.from, t.to)
+            .and_then(|s| self.contacts.get_mut(s as usize).and_then(Option::as_mut))
+        {
             contact.add_sent(usize::from(t.from.0 != key.0), t.msg.size);
         }
 
@@ -1406,17 +1419,17 @@ impl World {
         self.refresh_ttl_wake(to);
     }
 
-    /// Ask `from`'s router for a message to send to `to`; start the transfer
-    /// if it names one. Returns whether a transfer started.
-    fn try_start_transfer(&mut self, from: NodeId, to: NodeId) -> bool {
+    /// Ask `from`'s router for a message to send to `to` over the
+    /// connection at `slot`; start the transfer if it names one. Returns
+    /// whether a transfer started.
+    fn try_start_transfer(&mut self, from: NodeId, to: NodeId, slot: u32) -> bool {
         let key = pair_key(from, to);
         let side = usize::from(from.0 != key.0);
-        // Single lookup serves the whole call: the router scans through a
-        // directional view (offered set + this direction's resume cursor)
+        // Single slot index serves the whole call: the router scans through
+        // a directional view (offered set + this direction's resume cursor)
         // and a successful offer is recorded on the same borrow.
-        let contact = self
-            .contacts
-            .get_mut(&key)
+        let contact = self.contacts[slot as usize]
+            .as_mut()
             .expect("routing round only visits live connections");
         let (rf, rt) = pair_mut(&mut self.routers, from.index(), to.index());
 
@@ -1449,11 +1462,15 @@ impl World {
         );
         match intent {
             Some(id) => {
-                let msg = *self.states[from.index()]
+                let msg = self.states[from.index()]
                     .buffer
                     .get(id)
                     .expect("router offered a message it does not hold");
-                contact.record(id, msg.expiry());
+                let handle = self.states[from.index()]
+                    .buffer
+                    .handle_of(id)
+                    .expect("stored message has a handle");
+                contact.record(id, handle);
                 let completes = self.links.start_transfer(from, to, msg, self.now);
                 if self.par.is_some() {
                     // Parallel mode holds wakes back until the re-arm
@@ -1712,11 +1729,15 @@ fn start_planned_transfer(
     report: &mut SimReport,
     now: SimTime,
 ) {
-    let msg = *states[from.index()]
+    let msg = states[from.index()]
         .buffer
         .get(id)
         .expect("router offered a message it does not hold");
-    offers.record(id, msg.expiry());
+    let handle = states[from.index()]
+        .buffer
+        .handle_of(id)
+        .expect("stored message has a handle");
+    offers.record(id, handle);
     let completes = links.start_transfer(from, to, msg, now);
     pending_wakes.push((completes, from, to));
     report.messages.transfers_started += 1;

@@ -24,12 +24,22 @@
 //! function).
 //!
 //! Completions due at the same instant resolve in **ordered-pair-key
-//! order**: connections live in a `BTreeMap` keyed by the ordered node
-//! pair, and both drain entry points walk that map in key order — so
+//! order**: connections live in per-node sorted adjacency lists, and both
+//! drain entry points walk node ids ascending, then each node's
+//! higher-id peers ascending — exactly ordered-pair-key order — so
 //! simultaneous completions, and the whole routing round, are
 //! deterministic regardless of start order.
+//!
+//! # Slot handles
+//!
+//! Connection records live in a slab indexed by dense `u32` **slots**;
+//! [`LinkTable::link_up`] returns the slot, which stays stable until the
+//! matching [`LinkTable::link_down`] frees it for reuse. Callers keeping
+//! per-contact state (the engine's `ContactOffers`) index a flat
+//! slot-addressed vector with it instead of hashing the node pair on every
+//! touch, and the vector's length stays bounded by the *peak concurrent*
+//! connection count rather than the cumulative contact count.
 
-use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 use vdtn_bundle::Message;
 use vdtn_sim_core::{NodeId, SimDuration, SimTime};
@@ -123,10 +133,27 @@ struct Connection {
 }
 
 /// All active connections plus node busy-state.
+///
+/// Storage is node-indexed and slot-indexed throughout — per-node sorted
+/// adjacency lists of `(peer, slot)`, a dense [`Connection`] slab, and a
+/// node-indexed busy bitmap — so a world's link state costs a handful of
+/// bytes per node plus one slab entry per live connection, with no
+/// hash-table or tree-node overhead.
 #[derive(Debug, Default)]
 pub struct LinkTable {
-    conns: BTreeMap<(u32, u32), Connection>,
-    busy: HashSet<u32>,
+    /// Per-node adjacency: `(peer id, connection slot)`, sorted by peer id.
+    /// Every live connection appears in both endpoints' lists. Iterating
+    /// node ids ascending and visiting only higher-id peers walks the
+    /// connection set in ordered-pair-key order.
+    adj: Vec<Vec<(u32, u32)>>,
+    /// Slot-indexed connection slab; `None` entries are free.
+    slots: Vec<Option<Connection>>,
+    /// Freed slots awaiting reuse (LIFO — the engine's slot-addressed
+    /// per-contact state stays bounded by peak concurrency).
+    free: Vec<u32>,
+    /// `busy[node]` — node is engaged in a transfer (sending or receiving).
+    busy: Vec<bool>,
+    conn_count: usize,
 }
 
 fn key(a: NodeId, b: NodeId) -> (u32, u32) {
@@ -138,41 +165,106 @@ fn key(a: NodeId, b: NodeId) -> (u32, u32) {
 }
 
 impl LinkTable {
-    /// Empty table.
+    /// Empty table; node-indexed storage grows on demand.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Register a new link. Returns [`LinkError::InvalidRate`] for a
-    /// non-finite or non-positive rate (which would poison every completion
-    /// time computed from it). Panics if the pair is already connected (the
-    /// contact detector never double-reports).
+    /// Empty table with node-indexed storage sized once for `nodes` ids
+    /// (the engine sizes it from the scenario so the hot path never
+    /// reallocates the columns).
+    pub fn with_nodes(nodes: usize) -> Self {
+        LinkTable {
+            adj: vec![Vec::new(); nodes],
+            busy: vec![false; nodes],
+            ..Self::default()
+        }
+    }
+
+    /// Grow node-indexed columns to cover `node`.
+    fn ensure_node(&mut self, node: u32) {
+        let need = node as usize + 1;
+        if self.adj.len() < need {
+            self.adj.resize_with(need, Vec::new);
+            self.busy.resize(need, false);
+        }
+    }
+
+    /// This pair's connection slot, if connected.
+    pub fn slot_of(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        let (lo, hi) = key(a, b);
+        let peers = self.adj.get(lo as usize)?;
+        peers
+            .binary_search_by_key(&hi, |&(p, _)| p)
+            .ok()
+            .map(|k| peers[k].1)
+    }
+
+    /// Register a new link. Returns the connection's **slot handle**,
+    /// stable until the matching [`LinkTable::link_down`], or
+    /// [`LinkError::InvalidRate`] for a non-finite or non-positive rate
+    /// (which would poison every completion time computed from it). Panics
+    /// if the pair is already connected (the contact detector never
+    /// double-reports).
     pub fn link_up(
         &mut self,
         a: NodeId,
         b: NodeId,
         now: SimTime,
         rate: f64,
-    ) -> Result<(), LinkError> {
+    ) -> Result<u32, LinkError> {
         if !rate.is_finite() || rate <= 0.0 {
             return Err(LinkError::InvalidRate { rate });
         }
-        let prev = self.conns.insert(
-            key(a, b),
-            Connection {
-                up_since: now,
-                rate,
-                transfer: None,
-            },
-        );
-        assert!(prev.is_none(), "duplicate link_up for {a}-{b}");
-        Ok(())
+        let (lo, hi) = key(a, b);
+        self.ensure_node(hi); // hi ≥ lo covers both
+        let conn = Connection {
+            up_since: now,
+            rate,
+            transfer: None,
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                debug_assert!(self.slots[s as usize].is_none());
+                self.slots[s as usize] = Some(conn);
+                s
+            }
+            None => {
+                self.slots.push(Some(conn));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        for (node, peer) in [(lo, hi), (hi, lo)] {
+            let peers = &mut self.adj[node as usize];
+            match peers.binary_search_by_key(&peer, |&(p, _)| p) {
+                Ok(_) => panic!("duplicate link_up for {a}-{b}"),
+                Err(pos) => peers.insert(pos, (peer, slot)),
+            }
+        }
+        self.conn_count += 1;
+        Ok(slot)
     }
 
     /// Tear down a link, returning the aborted transfer — with its partial
-    /// bytes settled analytically at `now` — if one was active.
+    /// bytes settled analytically at `now` — if one was active. The pair's
+    /// slot handle is freed for reuse.
     pub fn link_down(&mut self, a: NodeId, b: NodeId, now: SimTime) -> Option<TransferOutcome> {
-        let conn = self.conns.remove(&key(a, b))?;
+        let (lo, hi) = key(a, b);
+        let slot = {
+            let peers = self.adj.get_mut(lo as usize)?;
+            let k = peers.binary_search_by_key(&hi, |&(p, _)| p).ok()?;
+            peers.remove(k).1
+        };
+        let peers = &mut self.adj[hi as usize];
+        let k = peers
+            .binary_search_by_key(&lo, |&(p, _)| p)
+            .expect("adjacency is symmetric");
+        peers.remove(k);
+        let conn = self.slots[slot as usize]
+            .take()
+            .expect("adjacency names a live slot");
+        self.free.push(slot);
+        self.conn_count -= 1;
         conn.transfer.map(|t| self.abort_outcome(t, now))
     }
 
@@ -185,15 +277,18 @@ impl LinkTable {
     /// preempt a transfer while keeping the contact (callers owning
     /// per-contact offer state must invalidate it themselves).
     pub fn abort(&mut self, a: NodeId, b: NodeId, now: SimTime) -> Option<TransferOutcome> {
-        let conn = self.conns.get_mut(&key(a, b))?;
+        let slot = self.slot_of(a, b)?;
+        let conn = self.slots[slot as usize]
+            .as_mut()
+            .expect("adjacency names a live slot");
         let t = conn.transfer.take()?;
         Some(self.abort_outcome(t, now))
     }
 
     /// Free the endpoints and settle partial bytes for an aborted transfer.
     fn abort_outcome(&mut self, t: Transfer, now: SimTime) -> TransferOutcome {
-        self.busy.remove(&t.from.0);
-        self.busy.remove(&t.to.0);
+        self.busy[t.from.index()] = false;
+        self.busy[t.to.index()] = false;
         let bytes_transferred = t.bytes_transferred(now);
         TransferOutcome::Aborted {
             transfer: t,
@@ -203,35 +298,71 @@ impl LinkTable {
 
     /// True if the pair is currently connected.
     pub fn is_connected(&self, a: NodeId, b: NodeId) -> bool {
-        self.conns.contains_key(&key(a, b))
+        self.slot_of(a, b).is_some()
     }
 
     /// True if `node` is engaged in any transfer.
     pub fn is_busy(&self, node: NodeId) -> bool {
-        self.busy.contains(&node.0)
+        self.busy.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// This node's current radio peers with their connection slots, sorted
+    /// by peer id. O(1); callers needing per-contact housekeeping walk this
+    /// instead of keying a map by the pair.
+    pub fn neighbors(&self, node: NodeId) -> &[(u32, u32)] {
+        self.adj.get(node.index()).map_or(&[], Vec::as_slice)
     }
 
     /// Duration the pair has been connected, if connected.
     pub fn contact_age(&self, a: NodeId, b: NodeId, now: SimTime) -> Option<SimDuration> {
-        self.conns.get(&key(a, b)).map(|c| now.since(c.up_since))
+        let slot = self.slot_of(a, b)?;
+        self.slots[slot as usize]
+            .as_ref()
+            .map(|c| now.since(c.up_since))
     }
 
     /// Number of active connections.
     pub fn connection_count(&self) -> usize {
-        self.conns.len()
+        self.conn_count
+    }
+
+    /// One past the highest slot handle ever issued — the length callers
+    /// size slot-addressed side tables to.
+    pub fn slot_bound(&self) -> usize {
+        self.slots.len()
     }
 
     /// Connections with no active transfer whose endpoints are both free,
     /// in deterministic (ordered-pair) order. These are the opportunities
     /// the routing round iterates.
     pub fn idle_pairs(&self) -> Vec<(NodeId, NodeId)> {
-        self.conns
-            .iter()
-            .filter(|(k, c)| {
-                c.transfer.is_none() && !self.busy.contains(&k.0) && !self.busy.contains(&k.1)
-            })
-            .map(|(&(a, b), _)| (NodeId(a), NodeId(b)))
+        self.idle_contacts()
+            .into_iter()
+            .map(|(a, b, _)| (a, b))
             .collect()
+    }
+
+    /// [`LinkTable::idle_pairs`] plus each pair's slot handle, for callers
+    /// holding slot-addressed per-contact state.
+    pub fn idle_contacts(&self) -> Vec<(NodeId, NodeId, u32)> {
+        let mut idle = Vec::new();
+        for (lo, peers) in self.adj.iter().enumerate() {
+            if self.busy[lo] {
+                continue;
+            }
+            for &(hi, slot) in peers {
+                if (hi as usize) <= lo || self.busy[hi as usize] {
+                    continue;
+                }
+                let conn = self.slots[slot as usize]
+                    .as_ref()
+                    .expect("adjacency names a live slot");
+                if conn.transfer.is_none() {
+                    idle.push((NodeId(lo as u32), NodeId(hi), slot));
+                }
+            }
+        }
+        idle
     }
 
     /// Begin transmitting `msg` from `from` to `to`; returns the exact
@@ -250,10 +381,12 @@ impl LinkTable {
     ) -> SimTime {
         assert!(!self.is_busy(from), "{from} already transferring");
         assert!(!self.is_busy(to), "{to} already transferring");
-        let conn = self
-            .conns
-            .get_mut(&key(from, to))
+        let slot = self
+            .slot_of(from, to)
             .unwrap_or_else(|| panic!("no connection {from}-{to}"));
+        let conn = self.slots[slot as usize]
+            .as_mut()
+            .expect("adjacency names a live slot");
         assert!(conn.transfer.is_none(), "connection {from}-{to} busy");
         let t = Transfer {
             msg,
@@ -264,8 +397,8 @@ impl LinkTable {
         };
         let completes = t.completion_time();
         conn.transfer = Some(t);
-        self.busy.insert(from.0);
-        self.busy.insert(to.0);
+        self.busy[from.index()] = true;
+        self.busy[to.index()] = true;
         completes
     }
 
@@ -275,16 +408,25 @@ impl LinkTable {
     /// at the first poll after they start.
     pub fn complete_due(&mut self, now: SimTime) -> Vec<TransferOutcome> {
         let mut done = Vec::new();
-        for (_, conn) in self.conns.iter_mut() {
-            let finished = match &conn.transfer {
-                Some(t) => t.completion_time() <= now,
-                None => false,
-            };
-            if finished {
-                let t = conn.transfer.take().expect("checked above");
-                self.busy.remove(&t.from.0);
-                self.busy.remove(&t.to.0);
-                done.push(TransferOutcome::Completed(t));
+        for lo in 0..self.adj.len() {
+            for k in 0..self.adj[lo].len() {
+                let (hi, slot) = self.adj[lo][k];
+                if (hi as usize) <= lo {
+                    continue;
+                }
+                let conn = self.slots[slot as usize]
+                    .as_mut()
+                    .expect("adjacency names a live slot");
+                let finished = match &conn.transfer {
+                    Some(t) => t.completion_time() <= now,
+                    None => false,
+                };
+                if finished {
+                    let t = conn.transfer.take().expect("checked above");
+                    self.busy[t.from.index()] = false;
+                    self.busy[t.to.index()] = false;
+                    done.push(TransferOutcome::Completed(t));
+                }
             }
         }
         done
@@ -299,19 +441,32 @@ impl LinkTable {
     }
 
     /// Drop every connection (end of run), returning aborted transfers with
-    /// their partial bytes settled at `now`.
+    /// their partial bytes settled at `now`, in ordered-pair-key order.
     pub fn clear(&mut self, now: SimTime) -> Vec<TransferOutcome> {
         let mut aborted = Vec::new();
-        for (_, conn) in std::mem::take(&mut self.conns) {
-            if let Some(t) = conn.transfer {
-                let bytes_transferred = t.bytes_transferred(now);
-                aborted.push(TransferOutcome::Aborted {
-                    transfer: t,
-                    bytes_transferred,
-                });
+        for lo in 0..self.adj.len() {
+            for k in 0..self.adj[lo].len() {
+                let (hi, slot) = self.adj[lo][k];
+                if (hi as usize) <= lo {
+                    continue;
+                }
+                let conn = self.slots[slot as usize]
+                    .take()
+                    .expect("adjacency names a live slot");
+                if let Some(t) = conn.transfer {
+                    let bytes_transferred = t.bytes_transferred(now);
+                    aborted.push(TransferOutcome::Aborted {
+                        transfer: t,
+                        bytes_transferred,
+                    });
+                }
             }
+            self.adj[lo].clear();
         }
-        self.busy.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.busy.iter_mut().for_each(|b| *b = false);
+        self.conn_count = 0;
         aborted
     }
 }
@@ -563,6 +718,29 @@ mod tests {
         ));
         assert_eq!(lt.connection_count(), 0);
         assert!(!lt.is_busy(NodeId(0)));
+    }
+
+    #[test]
+    fn slots_are_stable_and_reused_after_teardown() {
+        let mut lt = LinkTable::with_nodes(6);
+        let s01 = lt.link_up(NodeId(0), NodeId(1), t(0.0), 1000.0).unwrap();
+        let s23 = lt.link_up(NodeId(2), NodeId(3), t(0.0), 1000.0).unwrap();
+        assert_ne!(s01, s23);
+        assert_eq!(lt.slot_of(NodeId(1), NodeId(0)), Some(s01));
+        assert_eq!(lt.slot_of(NodeId(2), NodeId(3)), Some(s23));
+        assert_eq!(lt.slot_of(NodeId(0), NodeId(2)), None);
+        // Teardown frees the slot; the next link reuses it, so the slot
+        // bound tracks peak concurrency, not cumulative contacts.
+        let bound = lt.slot_bound();
+        lt.link_down(NodeId(0), NodeId(1), t(1.0));
+        let s45 = lt.link_up(NodeId(4), NodeId(5), t(1.0), 1000.0).unwrap();
+        assert_eq!(s45, s01, "freed slot is reused");
+        assert_eq!(lt.slot_bound(), bound);
+        assert_eq!(lt.connection_count(), 2);
+        // Neighbor lists stay sorted and symmetric.
+        assert_eq!(lt.neighbors(NodeId(2)), &[(3, s23)]);
+        assert_eq!(lt.neighbors(NodeId(3)), &[(2, s23)]);
+        assert_eq!(lt.neighbors(NodeId(0)), &[]);
     }
 
     #[test]

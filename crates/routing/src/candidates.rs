@@ -28,6 +28,17 @@
 //! [`SchedulingPolicy::order`] performs — bit-identical scan results, not
 //! just statistically equal ones.
 //!
+//! Since the arena refactor the index is **three parallel sorted columns
+//! and nothing else** — `rank: u64`, `seq: u32`, arena handle: `u32`, 16
+//! bytes per entry: removal deltas carry the removed copy's [`RankMeta`],
+//! so the exact `(rank, seq)` key of the entry to delete is recomputed from
+//! the delta (or from the sender's live meta) instead of being looked up in
+//! a per-direction id→key hash map. Candidates are stored as [`MsgHandle`]s
+//! into the world's shared [`MessageArena`] rather than 8-byte ids; the
+//! scan resolves them lock-free. At 100k nodes the former id→key map was
+//! the largest single consumer of contact memory, and index entries are the
+//! most numerous per-contact records after it.
+//!
 //! # The superset invariant, and why staleness is safe
 //!
 //! The index is maintained as a **superset** of the true candidate set:
@@ -52,10 +63,12 @@
 //!   sender's buffer in one O(B log B) pass, exactly what the first scan of
 //!   a contact always cost.
 
+use crate::offers::OfferedSet;
 use crate::state::NodeState;
-use std::collections::HashMap;
-use vdtn_bundle::{Buffer, DeltaKind, MessageId, RankMeta, ScheduleCache, SchedulingPolicy};
-use vdtn_sim_core::SimTime;
+use vdtn_bundle::{
+    Buffer, DeltaKind, MessageArena, MessageId, MsgHandle, RankMeta, ScheduleCache,
+    SchedulingPolicy,
+};
 
 /// How a policy-driven router materialises its per-peer transmission order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -110,12 +123,14 @@ fn rank_key(policy: SchedulingPolicy, m: &RankMeta) -> u64 {
 /// buffer deltas (see the [module docs](self)).
 #[derive(Debug, Clone, Default)]
 pub struct CandidateIndex {
-    /// Sorted `(rank, seq)` keys, parallel to `ids`.
-    keys: Vec<(u64, u64)>,
-    /// Candidate ids in rank order, parallel to `keys`.
-    ids: Vec<MessageId>,
-    /// Membership guard and reverse lookup: id → its `(rank, seq)` key.
-    members: HashMap<MessageId, (u64, u64)>,
+    /// Policy rank of each entry; sorted lexicographically together with
+    /// `seqs` (ranks alone may tie, `(rank, seq)` never does: `seq` is the
+    /// sender buffer's insertion sequence number, never reused).
+    ranks: Vec<u64>,
+    /// Sender-buffer insertion sequence numbers, parallel to `ranks`.
+    seqs: Vec<u32>,
+    /// Arena handle of each candidate, parallel to `ranks`.
+    handles: Vec<u32>,
     /// `(sender generation, receiver generation)` the index is synced to;
     /// `None` before the first build (or after a reset).
     synced: Option<(u64, u64)>,
@@ -127,52 +142,76 @@ impl CandidateIndex {
         Self::default()
     }
 
-    /// Candidate ids in scheduling-rank order (diagnostics and tests).
-    pub fn ids_in_rank_order(&self) -> &[MessageId] {
-        &self.ids
+    /// Candidate ids in scheduling-rank order, resolved from `arena`
+    /// (diagnostics and tests).
+    pub fn ids_in_rank_order(&self, arena: &MessageArena) -> Vec<MessageId> {
+        self.handles
+            .iter()
+            .map(|&h| arena.resolve(MsgHandle(h)).id)
+            .collect()
     }
 
     /// Drop any state and force the next sync to rebuild.
     pub fn reset(&mut self) {
-        self.keys.clear();
-        self.ids.clear();
-        self.members.clear();
+        self.ranks.clear();
+        self.seqs.clear();
+        self.handles.clear();
         self.synced = None;
     }
 
     /// A message was offered on this contact: it leaves both directions'
     /// candidate sets for good (TTL pruning of the offered set never makes
     /// an id re-offerable — ids are not reused and routers filter expired
-    /// messages anyway).
-    pub fn on_offered(&mut self, id: MessageId) {
-        self.remove_entry(id);
+    /// messages anyway). The rank key is not known here, so this is a
+    /// linear handle scan — paid at most once per message per contact.
+    pub fn on_offered(&mut self, handle: MsgHandle) {
+        if let Some(pos) = self.handles.iter().position(|&h| h == handle.0) {
+            self.remove_at(pos);
+        }
     }
 
-    fn insert_entry(&mut self, key: (u64, u64), id: MessageId) {
-        if self.members.contains_key(&id) {
-            return;
-        }
-        let pos = match self.keys.binary_search(&key) {
-            Ok(_) => {
-                debug_assert!(false, "seq numbers are unique per buffer");
-                return;
+    /// Binary search of the parallel `(rank, seq)` columns.
+    fn search(&self, key: (u64, u32)) -> Result<usize, usize> {
+        let (mut lo, mut hi) = (0usize, self.ranks.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match (self.ranks[mid], self.seqs[mid]).cmp(&key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
             }
-            Err(p) => p,
-        };
-        self.keys.insert(pos, key);
-        self.ids.insert(pos, id);
-        self.members.insert(id, key);
+        }
+        Err(lo)
     }
 
-    fn remove_entry(&mut self, id: MessageId) {
-        if let Some(key) = self.members.remove(&id) {
-            let pos = self
-                .keys
-                .binary_search(&key)
-                .expect("member keys are present in the sorted vector");
-            self.keys.remove(pos);
-            self.ids.remove(pos);
+    fn insert_entry(&mut self, key: (u64, u32), handle: MsgHandle) {
+        match self.search(key) {
+            Ok(pos) => {
+                // Already present: `(rank, seq)` keys identify one insert
+                // event, so an exact hit is the same entry re-admitted.
+                debug_assert_eq!(self.handles[pos], handle.0, "seq numbers are unique");
+            }
+            Err(pos) => {
+                self.ranks.insert(pos, key.0);
+                self.seqs.insert(pos, key.1);
+                self.handles.insert(pos, handle.0);
+            }
         }
+    }
+
+    /// Remove the entry with exactly this `(rank, seq)` key, if present.
+    /// Keys are unique per sender-buffer insert event, so an exact hit is
+    /// necessarily the entry the delta concerns.
+    fn remove_exact(&mut self, key: (u64, u32)) {
+        if let Ok(pos) = self.search(key) {
+            self.remove_at(pos);
+        }
+    }
+
+    fn remove_at(&mut self, pos: usize) {
+        self.ranks.remove(pos);
+        self.seqs.remove(pos);
+        self.handles.remove(pos);
     }
 
     fn rebuild(
@@ -180,24 +219,23 @@ impl CandidateIndex {
         policy: SchedulingPolicy,
         sender: &Buffer,
         recv: &NodeState,
-        offered: &HashMap<MessageId, SimTime>,
+        offered: &OfferedSet,
     ) {
-        self.keys.clear();
-        self.ids.clear();
-        self.members.clear();
-        let mut entries: Vec<((u64, u64), MessageId)> = Vec::with_capacity(sender.len());
-        for id in sender.ids_in_order() {
-            if offered.contains_key(&id) || recv.knows(id) {
+        self.ranks.clear();
+        self.seqs.clear();
+        self.handles.clear();
+        let mut entries: Vec<((u64, u32), u32)> = Vec::with_capacity(sender.len());
+        for (id, handle, meta) in sender.rank_entries() {
+            if offered.contains(id) || recv.knows(id) {
                 continue;
             }
-            let meta = sender.rank_meta(id).expect("listed id has meta");
-            entries.push(((rank_key(policy, &meta), meta.seq), id));
+            entries.push(((rank_key(policy, &meta), meta.seq), handle.0));
         }
         entries.sort_unstable_by_key(|e| e.0);
-        for (key, id) in entries {
-            self.keys.push(key);
-            self.ids.push(id);
-            self.members.insert(id, key);
+        for (key, handle) in entries {
+            self.ranks.push(key.0);
+            self.seqs.push(key.1);
+            self.handles.push(handle);
         }
     }
 
@@ -210,15 +248,15 @@ impl CandidateIndex {
     /// | delta | effect on `from → to` candidates |
     /// |---|---|
     /// | sender `Insert` | add, unless offered or `to.knows` it |
-    /// | sender `Remove`/`Expire` | drop |
-    /// | receiver `Insert` | drop (peer now knows it) |
+    /// | sender `Remove`/`Expire` | drop (exact key from the carried meta) |
+    /// | receiver `Insert` | drop (peer now knows it; key from the sender's live meta) |
     /// | receiver `Remove`/`Expire` | re-admit, if the sender still holds it, it was never offered here, and the peer did not consume it |
     pub fn sync(
         &mut self,
         policy: SchedulingPolicy,
         sender: &Buffer,
         recv: &NodeState,
-        offered: &HashMap<MessageId, SimTime>,
+        offered: &OfferedSet,
     ) {
         let target = (sender.generation(), recv.buffer.generation());
         if self.synced == Some(target) {
@@ -242,25 +280,49 @@ impl CandidateIndex {
             self.synced = Some(target);
             return;
         }
-        for d in s_deltas {
-            match &d.kind {
-                DeltaKind::Insert(meta) => {
-                    if !offered.contains_key(&d.id) && !recv.knows(d.id) {
-                        self.insert_entry((rank_key(policy, meta), meta.seq), d.id);
+        for d in s_deltas.iter() {
+            match d.kind {
+                DeltaKind::Insert => {
+                    if !offered.contains(d.id) && !recv.knows(d.id) {
+                        // Handle and rank meta are read from the sender's
+                        // live store (insert deltas carry no snapshot — a
+                        // stored copy's meta is immutable): `None` means
+                        // the copy was removed again later in this same
+                        // replayed batch, and skipping the insert is exact
+                        // because the matching removal delta below then
+                        // no-ops on the never-inserted key.
+                        if let (Some(handle), Some(meta)) =
+                            (sender.handle_of(d.id), sender.rank_meta(d.id))
+                        {
+                            self.insert_entry((rank_key(policy, &meta), meta.seq), handle);
+                        }
                     }
                 }
-                DeltaKind::Remove | DeltaKind::Expire => self.remove_entry(d.id),
+                // The removal delta carries the copy's insertion-time meta,
+                // which is exactly the key any live entry was inserted
+                // under.
+                DeltaKind::Remove(meta) | DeltaKind::Expire(meta) => {
+                    self.remove_exact((rank_key(policy, &meta), meta.seq));
+                }
             }
         }
-        for d in r_deltas {
-            match &d.kind {
-                DeltaKind::Insert(_) => self.remove_entry(d.id),
-                DeltaKind::Remove | DeltaKind::Expire => {
-                    if offered.contains_key(&d.id) || recv.delivered.contains(&d.id) {
+        for d in r_deltas.iter() {
+            match d.kind {
+                DeltaKind::Insert => {
+                    // After the sender pass above, a live entry's key always
+                    // equals the sender's current meta for the id; no entry
+                    // can remain for an id the sender no longer stores.
+                    if let Some(meta) = sender.rank_meta(d.id) {
+                        self.remove_exact((rank_key(policy, &meta), meta.seq));
+                    }
+                }
+                DeltaKind::Remove(_) | DeltaKind::Expire(_) => {
+                    if offered.contains(d.id) || recv.delivered.contains(&d.id) {
                         continue;
                     }
                     if let Some(meta) = sender.rank_meta(d.id) {
-                        self.insert_entry((rank_key(policy, &meta), meta.seq), d.id);
+                        let handle = sender.handle_of(d.id).expect("id has rank meta");
+                        self.insert_entry((rank_key(policy, &meta), meta.seq), handle);
                     }
                 }
             }
@@ -268,25 +330,32 @@ impl CandidateIndex {
         self.synced = Some(target);
     }
 
-    /// Walk the candidates in rank order and return the first the router
-    /// accepts. [`Verdict::Never`] entries are pruned as they are visited,
-    /// so rejected-forever candidates are paid for exactly once per
-    /// contact.
-    pub fn scan(&mut self, mut eligible: impl FnMut(MessageId) -> Verdict) -> Option<MessageId> {
+    /// Walk the candidates in rank order (ids resolved lock-free from
+    /// `arena`) and return the first the router accepts.
+    /// [`Verdict::Never`] entries are pruned as they are visited, so
+    /// rejected-forever candidates are paid for exactly once per contact.
+    pub fn scan(
+        &mut self,
+        arena: &MessageArena,
+        mut eligible: impl FnMut(MessageId) -> Verdict,
+    ) -> Option<MessageId> {
         let mut found = None;
-        let mut dead: Vec<MessageId> = Vec::new();
-        for &id in &self.ids {
+        let mut dead: Vec<usize> = Vec::new();
+        for (pos, &h) in self.handles.iter().enumerate() {
+            let id = arena.resolve(MsgHandle(h)).id;
             match eligible(id) {
                 Verdict::Accept => {
                     found = Some(id);
                     break;
                 }
-                Verdict::Never => dead.push(id),
+                Verdict::Never => dead.push(pos),
                 Verdict::NotNow => {}
             }
         }
-        for id in dead {
-            self.remove_entry(id);
+        // Positions were collected in ascending order; removing from the
+        // back keeps the remaining ones valid.
+        for &pos in dead.iter().rev() {
+            self.remove_at(pos);
         }
         found
     }
@@ -335,7 +404,7 @@ impl CandidateSource {
 mod tests {
     use super::*;
     use vdtn_bundle::Message;
-    use vdtn_sim_core::{NodeId, SimDuration};
+    use vdtn_sim_core::{NodeId, SimDuration, SimTime};
 
     fn msg(id: u64, size: u64, created_s: f64, ttl_min: u64) -> Message {
         Message::new(
@@ -352,14 +421,14 @@ mod tests {
         policy: SchedulingPolicy,
         sender: &Buffer,
         recv: &NodeState,
-        offered: &HashMap<MessageId, SimTime>,
+        offered: &OfferedSet,
         now: SimTime,
     ) -> Vec<MessageId> {
         let mut rng = vdtn_sim_core::SimRng::seed_from_u64(0);
         policy
             .order(sender, now, &mut rng)
             .into_iter()
-            .filter(|&id| !offered.contains_key(&id) && !recv.knows(id))
+            .filter(|&id| !offered.contains(id) && !recv.knows(id))
             .collect()
     }
 
@@ -369,7 +438,7 @@ mod tests {
         sender.watch();
         let mut recv = NodeState::new(NodeId(2), 100_000, false);
         recv.buffer.watch();
-        let offered = HashMap::new();
+        let offered = OfferedSet::new();
         let mut index = CandidateIndex::new();
         let now = SimTime::ZERO;
 
@@ -378,7 +447,7 @@ mod tests {
         }
         index.sync(SchedulingPolicy::LifetimeDesc, &sender, &recv, &offered);
         assert_eq!(
-            index.ids_in_rank_order(),
+            index.ids_in_rank_order(sender.arena()),
             fresh_candidates(
                 SchedulingPolicy::LifetimeDesc,
                 &sender,
@@ -394,7 +463,7 @@ mod tests {
         recv.buffer.insert(msg(4, 100, 0.0, 60)).unwrap();
         index.sync(SchedulingPolicy::LifetimeDesc, &sender, &recv, &offered);
         assert_eq!(
-            index.ids_in_rank_order(),
+            index.ids_in_rank_order(sender.arena()),
             fresh_candidates(
                 SchedulingPolicy::LifetimeDesc,
                 &sender,
@@ -404,7 +473,7 @@ mod tests {
             )
         );
         assert_eq!(
-            index.ids_in_rank_order(),
+            index.ids_in_rank_order(sender.arena()),
             [MessageId(5), MessageId(1), MessageId(3)]
         );
     }
@@ -415,17 +484,17 @@ mod tests {
         sender.watch();
         let mut recv = NodeState::new(NodeId(2), 100_000, false);
         recv.buffer.watch();
-        let offered = HashMap::new();
+        let offered = OfferedSet::new();
         let mut index = CandidateIndex::new();
 
         sender.insert(msg(1, 100, 0.0, 60)).unwrap();
         recv.buffer.insert(msg(1, 100, 0.0, 60)).unwrap();
         index.sync(SchedulingPolicy::Fifo, &sender, &recv, &offered);
-        assert!(index.ids_in_rank_order().is_empty(), "peer knows it");
+        assert!(index.ids_in_rank_order(sender.arena()).is_empty(), "peer knows it");
 
         recv.buffer.remove(MessageId(1)).unwrap(); // peer evicted its copy
         index.sync(SchedulingPolicy::Fifo, &sender, &recv, &offered);
-        assert_eq!(index.ids_in_rank_order(), [MessageId(1)]);
+        assert_eq!(index.ids_in_rank_order(sender.arena()), [MessageId(1)]);
     }
 
     #[test]
@@ -434,24 +503,24 @@ mod tests {
         sender.watch();
         let mut recv = NodeState::new(NodeId(2), 100_000, false);
         recv.buffer.watch();
-        let offered = HashMap::new();
+        let offered = OfferedSet::new();
         let mut index = CandidateIndex::new();
 
         sender.insert(msg(1, 100, 0.0, 60)).unwrap();
         index.sync(SchedulingPolicy::Fifo, &sender, &recv, &offered);
-        assert_eq!(index.ids_in_rank_order(), [MessageId(1)]);
+        assert_eq!(index.ids_in_rank_order(sender.arena()), [MessageId(1)]);
 
         // The peer consumes the message as destination: no buffer delta.
         recv.delivered.insert(MessageId(1));
         index.sync(SchedulingPolicy::Fifo, &sender, &recv, &offered);
         assert_eq!(
-            index.ids_in_rank_order(),
+            index.ids_in_rank_order(sender.arena()),
             [MessageId(1)],
             "superset: stale entry allowed"
         );
         // The scan's verdict prunes it, and it never comes back — not even
         // via a later peer-buffer delta.
-        let got = index.scan(|id| {
+        let got = index.scan(sender.arena(), |id| {
             if recv.knows(id) {
                 Verdict::Never
             } else {
@@ -459,7 +528,7 @@ mod tests {
             }
         });
         assert_eq!(got, None);
-        assert!(index.ids_in_rank_order().is_empty());
+        assert!(index.ids_in_rank_order(sender.arena()).is_empty());
     }
 
     #[test]
@@ -467,39 +536,39 @@ mod tests {
         let mut sender = Buffer::new(100_000);
         sender.watch();
         let recv = NodeState::new(NodeId(2), 100_000, false);
-        let mut offered = HashMap::new();
+        let mut offered = OfferedSet::new();
         let mut index = CandidateIndex::new();
 
         sender.insert(msg(1, 100, 0.0, 60)).unwrap();
         sender.insert(msg(2, 100, 0.0, 90)).unwrap();
         index.sync(SchedulingPolicy::Fifo, &sender, &recv, &offered);
-        offered.insert(MessageId(1), SimTime::from_secs_f64(3600.0));
-        index.on_offered(MessageId(1));
-        assert_eq!(index.ids_in_rank_order(), [MessageId(2)]);
+        offered.insert(MessageId(1));
+        index.on_offered(sender.handle_of(MessageId(1)).unwrap());
+        assert_eq!(index.ids_in_rank_order(sender.arena()), [MessageId(2)]);
         // Re-sync with the offered id excluded from a rebuild too.
         index.reset();
         index.sync(SchedulingPolicy::Fifo, &sender, &recv, &offered);
-        assert_eq!(index.ids_in_rank_order(), [MessageId(2)]);
+        assert_eq!(index.ids_in_rank_order(sender.arena()), [MessageId(2)]);
     }
 
     #[test]
     fn scan_prunes_never_and_keeps_not_now() {
         let mut sender = Buffer::new(100_000);
         let recv = NodeState::new(NodeId(2), 100_000, false);
-        let offered = HashMap::new();
+        let offered = OfferedSet::new();
         let mut index = CandidateIndex::new();
         for id in 1..=3u64 {
             sender.insert(msg(id, 100, 0.0, 60)).unwrap();
         }
         index.sync(SchedulingPolicy::Fifo, &sender, &recv, &offered);
-        let got = index.scan(|id| match id.0 {
+        let got = index.scan(sender.arena(), |id| match id.0 {
             1 => Verdict::Never,
             2 => Verdict::NotNow,
             _ => Verdict::Accept,
         });
         assert_eq!(got, Some(MessageId(3)));
         assert_eq!(
-            index.ids_in_rank_order(),
+            index.ids_in_rank_order(sender.arena()),
             [MessageId(2), MessageId(3)],
             "Never pruned, NotNow and the accepted id kept"
         );
@@ -510,7 +579,7 @@ mod tests {
         let mut sender = Buffer::new(u64::MAX);
         sender.watch();
         let recv = NodeState::new(NodeId(2), u64::MAX, false);
-        let offered = HashMap::new();
+        let offered = OfferedSet::new();
         let mut index = CandidateIndex::new();
         sender.insert(msg(1, 1, 0.0, 60)).unwrap();
         index.sync(SchedulingPolicy::Fifo, &sender, &recv, &offered);
@@ -519,8 +588,8 @@ mod tests {
             sender.insert(msg(i, 1, 0.0, 60)).unwrap();
         }
         index.sync(SchedulingPolicy::Fifo, &sender, &recv, &offered);
-        assert_eq!(index.ids_in_rank_order().len(), sender.len());
-        assert_eq!(index.ids_in_rank_order()[0], MessageId(1));
+        assert_eq!(index.ids_in_rank_order(sender.arena()).len(), sender.len());
+        assert_eq!(index.ids_in_rank_order(sender.arena())[0], MessageId(1));
     }
 
     #[test]
@@ -542,7 +611,7 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
     use vdtn_bundle::Message;
-    use vdtn_sim_core::{NodeId, SimDuration, SimRng};
+    use vdtn_sim_core::{NodeId, SimDuration, SimRng, SimTime};
 
     /// All seven scheduling policies; `Random` exercises the fallback
     /// contract instead of the index.
@@ -578,7 +647,7 @@ mod proptests {
             sender.watch();
             let mut recv = NodeState::new(NodeId(1), 30_000, false);
             recv.buffer.watch();
-            let mut offered: HashMap<MessageId, SimTime> = HashMap::new();
+            let mut offered = OfferedSet::new();
             let mut index = CandidateIndex::new();
             let mut now = SimTime::ZERO;
             let mut rng = SimRng::seed_from_u64(11);
@@ -611,13 +680,12 @@ mod proptests {
                         now += SimDuration::from_mins(ttl_min);
                         sender.drain_expired(now);
                         recv.buffer.drain_expired(now);
-                        offered.retain(|_, e| *e > now);
+                        offered.prune_expired(now, sender.arena().as_ref());
                     }
                     5 => {
-                        if sender.contains(MessageId(id)) && !offered.contains_key(&MessageId(id)) {
-                            let expiry = sender.get(MessageId(id)).unwrap().expiry();
-                            offered.insert(MessageId(id), expiry);
-                            index.on_offered(MessageId(id));
+                        if sender.contains(MessageId(id)) && !offered.contains(MessageId(id)) {
+                            offered.insert(MessageId(id));
+                            index.on_offered(sender.handle_of(MessageId(id)).unwrap());
                         }
                     }
                     6 => {
@@ -644,7 +712,7 @@ mod proptests {
                 }
                 index.sync(policy, &sender, &recv, &offered);
                 // A real scan prunes peer-known entries via `Never`.
-                index.scan(|id| {
+                index.scan(sender.arena(), |id| {
                     if recv.knows(id) {
                         Verdict::Never
                     } else {
@@ -654,9 +722,9 @@ mod proptests {
                 let expected: Vec<MessageId> = policy
                     .order(&sender, now, &mut rng)
                     .into_iter()
-                    .filter(|&id| !offered.contains_key(&id) && !recv.knows(id))
+                    .filter(|&id| !offered.contains(id) && !recv.knows(id))
                     .collect();
-                prop_assert_eq!(index.ids_in_rank_order(), &expected[..]);
+                prop_assert_eq!(index.ids_in_rank_order(sender.arena()), &expected[..]);
             }
         }
     }

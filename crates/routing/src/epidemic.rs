@@ -223,7 +223,7 @@ mod tests {
         let next = r.next_transfer(&own, &peer, &r_dummy(), &mut offers.view(0), now, &mut rng);
         assert_eq!(next, Some(MessageId(2)));
         // Marking message 2 offered silences the router.
-        offers.record(MessageId(2), SimTime::MAX);
+        offers.record(MessageId(2), own.buffer.handle_of(MessageId(2)).unwrap());
         let next = r.next_transfer(&own, &peer, &r_dummy(), &mut offers.view(0), now, &mut rng);
         assert_eq!(next, None);
     }

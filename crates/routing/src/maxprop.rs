@@ -601,7 +601,7 @@ mod tests {
         // With it already offered, the cheap-cost message beats the
         // unreachable one.
         let mut offers = ContactOffers::new();
-        offers.record(MessageId(3), SimTime::MAX);
+        offers.record(MessageId(3), s.buffer.handle_of(MessageId(3)).unwrap());
         assert_eq!(
             r.next_transfer(&s, &peer, &peer_router, &mut offers.view(0), now, &mut rng),
             Some(MessageId(2))

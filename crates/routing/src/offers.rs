@@ -26,9 +26,65 @@
 
 use crate::candidates::{CandidateIndex, Verdict};
 use crate::state::NodeState;
-use std::collections::HashMap;
-use vdtn_bundle::{Buffer, MessageId, SchedulingPolicy};
+use vdtn_bundle::{Buffer, MessageArena, MessageId, MsgHandle, SchedulingPolicy};
 use vdtn_sim_core::SimTime;
+
+/// The ids already offered during one contact, as a sorted vector.
+///
+/// Offer sets are small (bounded by live traffic over a contact) but there
+/// is one per live connection — on a 100k-node dense mesh that is hundreds
+/// of thousands of them — so per-entry size dominates contact memory. A
+/// sorted `Vec<MessageId>` costs 8 bytes per tracked id with zero
+/// per-instance table overhead; membership tests stay O(log n), insertion
+/// O(n) memmove (cheap at these sizes). The message expiry needed for TTL
+/// pruning is *not* duplicated per entry: it lives in the world's interned
+/// [`MessageArena`] record and is looked up only during the (rare, serial)
+/// prune.
+#[derive(Debug, Clone, Default)]
+pub struct OfferedSet {
+    /// Tracked ids, sorted, unique.
+    ids: Vec<MessageId>,
+}
+
+impl OfferedSet {
+    /// Fresh, empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if `id` is in the set.
+    pub fn contains(&self, id: MessageId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Record `id`. Idempotent.
+    pub fn insert(&mut self, id: MessageId) {
+        if let Err(pos) = self.ids.binary_search(&id) {
+            self.ids.insert(pos, id);
+        }
+    }
+
+    /// Drop every id whose message (per its interned metadata in `arena`)
+    /// has expired at `now`. Ids the arena does not know are kept — they
+    /// cannot be proven dead.
+    pub fn prune_expired(&mut self, now: SimTime, arena: &MessageArena) {
+        self.ids.retain(|&id| {
+            arena
+                .lookup(id)
+                .map_or(true, |h| arena.resolve(h).expiry() > now)
+        });
+    }
+
+    /// Number of tracked ids.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
 
 /// One direction's resume point into a cached schedule order.
 #[derive(Debug, Clone, Copy, Default)]
@@ -62,10 +118,11 @@ pub type SilenceKey = [u64; 5];
 /// Offer state for one live connection (both directions).
 #[derive(Debug, Clone, Default)]
 pub struct ContactOffers {
-    /// Ids already offered during this contact → their absolute expiry, so
-    /// the engine can prune entries whose message died of TTL and the set
-    /// stays bounded by *live* traffic over arbitrarily long contacts.
-    offered: HashMap<MessageId, SimTime>,
+    /// Ids already offered during this contact; the engine prunes ids
+    /// whose message died of TTL (expiry read from the world's message
+    /// arena) so the set stays bounded by *live* traffic over arbitrarily
+    /// long contacts.
+    offered: OfferedSet,
     /// Scan cursors per direction: `[lower-id sender, higher-id sender]`.
     cursors: [Cursor; 2],
     /// Delta-maintained candidate sets per direction (same indexing), used
@@ -87,17 +144,19 @@ impl ContactOffers {
         Self::default()
     }
 
-    /// Record that `id` (expiring at `expiry`) was offered on this contact.
-    /// The id leaves both directions' candidate indexes for good.
-    pub fn record(&mut self, id: MessageId, expiry: SimTime) {
-        self.offered.insert(id, expiry);
-        self.indexes[0].on_offered(id);
-        self.indexes[1].on_offered(id);
+    /// Record that `id` was offered on this contact. The id leaves both
+    /// directions' candidate indexes for good; `handle` is its arena handle
+    /// in the sender's buffer (the indexes store handles, not ids — callers
+    /// without a live index may pass any handle).
+    pub fn record(&mut self, id: MessageId, handle: MsgHandle) {
+        self.offered.insert(id);
+        self.indexes[0].on_offered(handle);
+        self.indexes[1].on_offered(handle);
     }
 
     /// True if `id` was already offered on this contact.
     pub fn is_offered(&self, id: MessageId) -> bool {
-        self.offered.contains_key(&id)
+        self.offered.contains(id)
     }
 
     /// Number of ids currently tracked.
@@ -105,7 +164,8 @@ impl ContactOffers {
         self.offered.len()
     }
 
-    /// Drop every tracked id whose message has expired at `now`.
+    /// Drop every tracked id whose message (per `arena`) has expired at
+    /// `now`.
     ///
     /// Behaviour-neutral: message ids are never reused and every router
     /// refuses to offer expired messages, so a pruned id can never be
@@ -113,8 +173,8 @@ impl ContactOffers {
     /// expired id below a cursor was drained from the sender's buffer by
     /// the same tick's TTL sweep, which bumped the buffer generation and
     /// therefore rewinds that cursor at its next scan.
-    pub fn prune_expired(&mut self, now: SimTime) {
-        self.offered.retain(|_, expiry| *expiry > now);
+    pub fn prune_expired(&mut self, now: SimTime, arena: &MessageArena) {
+        self.offered.prune_expired(now, arena);
     }
 
     /// Account `bytes` of completed payload for direction `side`.
@@ -152,7 +212,7 @@ impl ContactOffers {
 /// transfer: the offered-id set plus its own direction's cursor.
 #[derive(Debug)]
 pub struct OfferView<'a> {
-    offered: &'a HashMap<MessageId, SimTime>,
+    offered: &'a OfferedSet,
     cursor: &'a mut Cursor,
     index: &'a mut CandidateIndex,
 }
@@ -160,7 +220,7 @@ pub struct OfferView<'a> {
 impl OfferView<'_> {
     /// True if `id` was already offered during this contact.
     pub fn is_offered(&self, id: MessageId) -> bool {
-        self.offered.contains_key(&id)
+        self.offered.contains(id)
     }
 
     /// Sync this direction's candidate index against both endpoints and
@@ -177,7 +237,7 @@ impl OfferView<'_> {
     ) -> Option<MessageId> {
         debug_assert_ne!(policy, SchedulingPolicy::Random);
         self.index.sync(policy, buffer, peer, self.offered);
-        self.index.scan(eligible)
+        self.index.scan(buffer.arena(), eligible)
     }
 
     /// Scan-start position for the schedule order identified by `token`;
@@ -209,7 +269,7 @@ mod tests {
     fn record_and_query() {
         let mut c = ContactOffers::new();
         assert!(!c.is_offered(MessageId(1)));
-        c.record(MessageId(1), SimTime::from_secs_f64(60.0));
+        c.record(MessageId(1), MsgHandle(0));
         assert!(c.is_offered(MessageId(1)));
         assert_eq!(c.offered_count(), 1);
         assert!(c.view(0).is_offered(MessageId(1)));
@@ -218,13 +278,30 @@ mod tests {
 
     #[test]
     fn prune_drops_only_expired() {
+        use vdtn_bundle::Message;
+        use vdtn_sim_core::{NodeId, SimDuration};
+        let arena = MessageArena::new();
+        // Message 1 expires at 60 s, message 2 at 120 s.
+        for (id, ttl_s) in [(1u64, 60.0), (2, 120.0)] {
+            arena.intern(&Message::new(
+                MessageId(id),
+                NodeId(0),
+                NodeId(1),
+                10,
+                SimTime::ZERO,
+                SimDuration::from_secs_f64(ttl_s),
+            ));
+        }
         let mut c = ContactOffers::new();
-        c.record(MessageId(1), SimTime::from_secs_f64(60.0));
-        c.record(MessageId(2), SimTime::from_secs_f64(120.0));
-        c.prune_expired(SimTime::from_secs_f64(60.0)); // expiry ≤ now is dead
+        c.record(MessageId(1), arena.lookup(MessageId(1)).unwrap());
+        c.record(MessageId(2), arena.lookup(MessageId(2)).unwrap());
+        // An id the arena never saw cannot be proven dead — it stays.
+        c.record(MessageId(9), MsgHandle(0));
+        c.prune_expired(SimTime::from_secs_f64(60.0), &arena); // expiry ≤ now is dead
         assert!(!c.is_offered(MessageId(1)));
         assert!(c.is_offered(MessageId(2)));
-        assert_eq!(c.offered_count(), 1);
+        assert!(c.is_offered(MessageId(9)));
+        assert_eq!(c.offered_count(), 2);
     }
 
     #[test]

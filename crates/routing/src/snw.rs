@@ -69,8 +69,9 @@ impl SprayAndWaitRouter {
 /// scan paths so both decide identically. All rejections are permanent for
 /// this direction: peer-knows hits at the index scan mean destination
 /// consumption, expiry and capacity fits are final, and a stored copy's
-/// quota only ever shrinks (halving via `get_mut`, a fresh copy is a fresh
-/// insert delta) — so a wait-phase copy headed elsewhere never comes back.
+/// quota only ever shrinks (halving via `copies_mut`, a fresh copy is a
+/// fresh insert delta) — so a wait-phase copy headed elsewhere never comes
+/// back.
 fn spray_verdict<'a>(
     own: &'a NodeState,
     peer: &'a NodeState,
@@ -200,8 +201,8 @@ impl Router for SprayAndWaitRouter {
             own.buffer.remove(msg_id);
             return;
         }
-        if let Some(stored) = own.buffer.get_mut(msg_id) {
-            stored.copies = self.sender_share(stored.copies).max(1);
+        if let Some(copies) = own.buffer.copies_mut(msg_id) {
+            *copies = self.sender_share(*copies).max(1);
         }
     }
 }
@@ -277,7 +278,7 @@ mod tests {
         // Force the wait phase: single copy left. The in-place quota edit
         // must be visible through the schedule cache (copies is not a
         // scheduling key, so the cached order stays valid).
-        own.buffer.get_mut(MessageId(1)).unwrap().copies = 1;
+        *own.buffer.copies_mut(MessageId(1)).unwrap() = 1;
         assert_eq!(
             r.next_transfer(
                 &own,
@@ -314,7 +315,7 @@ mod tests {
         let (mut r, mut sender, mut receiver, mut rng) = setup(true);
         let now = SimTime::ZERO;
         r.on_message_created(&mut sender, msg(1, 9), now, &mut rng);
-        let snapshot = *sender.buffer.get(MessageId(1)).unwrap();
+        let snapshot = sender.buffer.get(MessageId(1)).unwrap();
         // Receiver side.
         let out = r.on_message_received(&mut receiver, &snapshot, NodeId(1), now, &mut rng);
         assert!(matches!(out, ReceiveOutcome::Stored { .. }));

@@ -233,12 +233,12 @@ impl Router for SprayAndFocusRouter {
             own.buffer.remove(msg_id);
             return;
         }
-        let Some(stored) = own.buffer.get_mut(msg_id) else {
+        let Some(copies) = own.buffer.copies_mut(msg_id) else {
             return;
         };
-        if stored.copies > 1 {
+        if *copies > 1 {
             // Spray: keep the ceiling half.
-            stored.copies -= stored.copies / 2;
+            *copies -= *copies / 2;
         } else {
             // Focus: the copy moved to the better custodian.
             own.buffer.remove(msg_id);

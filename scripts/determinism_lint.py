@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Determinism lint: flag iteration over HashMap/HashSet in non-test code.
+
+The simulator's bit-identity guarantees (engine-mode equivalence, thread
+invariance, bench report identity) only hold if no observable ordering ever
+derives from std hash-table iteration order, which is randomised per
+instance. This lint scans `crates/*/src/**/*.rs`, strips `#[cfg(test)]`
+modules, and fails on any `for`-loop or ordering-sensitive method call
+(`iter`, `keys`, `values`, `drain`, `difference`, ...) applied to an
+identifier whose declared type in the same file is `HashMap`/`HashSet`.
+
+Sites that have been audited (sorted immediately after collection, or
+feeding only order-insensitive sinks like counters and membership tests)
+are listed in `scripts/determinism_allowlist.txt` as `path:identifier`
+pairs, one per line, each with a trailing `# why it is safe` comment.
+
+Exit status: 0 clean, 1 unaudited iteration found.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+ALLOWLIST = ROOT / "scripts" / "determinism_allowlist.txt"
+
+# Identifier declared with a hash-table type: struct fields, let bindings
+# with annotations, fn params. Covers `x: HashMap<..>` and turbofish-free
+# constructor bindings `let x = HashMap::new()`.
+DECL_RE = re.compile(
+    r"\b(\w+)\s*:\s*&?(?:mut\s+)?(?:std::collections::)?Hash(?:Map|Set)\s*<"
+    r"|let\s+(?:mut\s+)?(\w+)(?::[^=]+)?=\s*(?:std::collections::)?Hash(?:Map|Set)::"
+)
+
+ITER_METHODS = (
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "difference",
+    "intersection",
+    "symmetric_difference",
+    "union",
+    "retain",
+)
+
+
+def strip_test_modules(src: str) -> str:
+    """Blank out `#[cfg(test)] mod ... { ... }` bodies (keep line numbers)."""
+    out = list(src)
+    for m in re.finditer(r"#\[cfg\(test\)\]", src):
+        brace = src.find("{", m.end())
+        if brace < 0:
+            continue
+        depth = 0
+        for i in range(brace, len(src)):
+            if src[i] == "{":
+                depth += 1
+            elif src[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    for j in range(m.start(), i + 1):
+                        if out[j] not in "\n":
+                            out[j] = " "
+                    break
+    return "".join(out)
+
+
+def load_allowlist() -> set[tuple[str, str]]:
+    allowed = set()
+    if ALLOWLIST.exists():
+        for line in ALLOWLIST.read_text().splitlines():
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            path, ident = line.rsplit(":", 1)
+            allowed.add((path, ident))
+    return allowed
+
+
+def main() -> int:
+    allowed = load_allowlist()
+    failures = []
+    for path in sorted(ROOT.glob("crates/*/src/**/*.rs")):
+        rel = path.relative_to(ROOT).as_posix()
+        src = strip_test_modules(path.read_text())
+        hashy = set()
+        for m in DECL_RE.finditer(src):
+            hashy.add(m.group(1) or m.group(2))
+        if not hashy:
+            continue
+        method_alt = "|".join(ITER_METHODS)
+        for name in sorted(hashy):
+            # `for x in &map` / `for x in map` (the bare-identifier forms)
+            # and any ordering-sensitive method call on the identifier.
+            pat = re.compile(
+                rf"for\s+[^;{{]*?\bin\s+&?(?:mut\s+)?(?:self\.)?{name}\b\s*\{{"
+                rf"|\b(?:self\.)?{name}\s*\.\s*(?:{method_alt})\s*\("
+            )
+            for i, line in enumerate(src.splitlines(), start=1):
+                if line.lstrip().startswith("//"):
+                    continue
+                if pat.search(line) and (rel, name) not in allowed:
+                    failures.append(f"{rel}:{i}: iteration over hash table `{name}`: {line.strip()}")
+    if failures:
+        print("determinism lint: unaudited HashMap/HashSet iteration in non-test code:")
+        for f in failures:
+            print(f"  {f}")
+        print(
+            "\nEither sort the collected entries before any observable use and add\n"
+            f"`<path>:<identifier>  # reason` to {ALLOWLIST.relative_to(ROOT)}, or\n"
+            "switch the container to an order-stable structure (sorted Vec, slab)."
+        )
+        return 1
+    print("determinism lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
