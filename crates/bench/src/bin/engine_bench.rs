@@ -38,29 +38,50 @@
 //! child runs one world and prints its row. On platforms without
 //! `/proc/self/status` the RSS fields are recorded as JSON `null`.
 //!
-//! Both JSON files carry `"schema_version"` (currently 4; v3 added the
+//! Both JSON files carry `"schema_version"` (currently 5; v3 added the
 //! parallel engine columns, v4 the `memory` section and the 100k-node
-//! sweep row); an unwritable output path is a clean, explained non-zero
-//! exit, not a panic.
+//! sweep row, v5 the `motion` skip-rate section and the
+//! `parallel_overhead` warning field); an unwritable output path is a
+//! clean, explained non-zero exit, not a panic.
+//!
+//! The `motion` section records the event engine's movement counters per
+//! sweep size — ticks executed/skipped and movement-model advances versus
+//! the `mobile_nodes × ticks` the ticked reference performs — so speedup
+//! changes are directly attributable to motion work actually elided.
+//!
+//! The `mobility_bound` section (sizes from `--mobility-nodes`, default
+//! 2000) re-runs the paper fleet with deliberately sparse traffic, making
+//! the run movement-dominated wall to wall: the motion-segment protocol's
+//! target regime, and the row the CI perf floor holds to "event no slower
+//! than ticked". Its skip-rate counters join the `motion` section with
+//! `"scenario": "mobility_bound"`.
+//!
+//! A sweep entry gains `"parallel_overhead": true` when the parallel
+//! engine is slower than the serial event engine *on a one-thread pool* —
+//! that combination means the sharding machinery itself is pure overhead
+//! (no cores to win back), which a CI perf floor must distinguish from a
+//! real scheduler regression.
 //!
 //! ```text
 //! engine_bench [--json [PATH]] [--routing [PATH]] [--routing-nodes N,N]
 //!              [--nodes 50,200,1000,5000,10000,100000] [--memory-nodes N,N]
-//!              [--duration-secs N] [--seed N] [--threads N]
+//!              [--mobility-nodes N,N] [--duration-secs N] [--seed N]
+//!              [--threads N]
 //! ```
 
 use vdtn::engine::EngineMode;
 use vdtn::{PolicyCombo, RouterKind, RoutingBackend};
 use vdtn_bench::engine_perf::{
-    canon, dense_routing_scenario, engine_scenario, run_mode, run_parallel, run_with_backend,
-    transfer_bound_scenario,
+    canon, dense_routing_scenario, engine_scenario, mobility_bound_scenario, run_mode,
+    run_mode_with_stats, run_parallel, run_with_backend, transfer_bound_scenario,
 };
 
 /// Version of the JSON layout this binary writes (bumped when fields
 /// change; PR 5 added the routing section's index/rescan split, PR 6 the
 /// sharded parallel engine's `parallel_wall_secs`/`threads` columns, PR 7
-/// the `memory` section and the 100k-node sweep row).
-const SCHEMA_VERSION: u32 = 4;
+/// the `memory` section and the 100k-node sweep row, PR 8 the `motion`
+/// skip-rate section and the `parallel_overhead` warning field).
+const SCHEMA_VERSION: u32 = 5;
 
 /// Write a benchmark JSON document, exiting non-zero with a clear message
 /// when the path cannot be written (read-only dir, missing parent, …).
@@ -81,6 +102,10 @@ struct Entry {
     parallel_wall_secs: f64,
     speedup: f64,
     identical: bool,
+    /// True when the parallel engine lost to the serial event engine on a
+    /// one-thread pool: sharding overhead with no cores to win it back —
+    /// expected on single-core boxes, and distinct from a real regression.
+    parallel_overhead: bool,
 }
 
 fn main() {
@@ -88,6 +113,7 @@ fn main() {
     let mut routing_path: Option<String> = None;
     let mut nodes: Vec<usize> = vec![50, 200, 1000, 5000, 10000, 100000];
     let mut routing_nodes: Option<Vec<usize>> = None;
+    let mut mobility_nodes: Vec<usize> = vec![2000];
     let mut memory_nodes: Vec<usize> = vec![1000, 10000, 100000];
     let mut memory_probe: Option<usize> = None;
     let mut duration_override: Option<f64> = None;
@@ -128,6 +154,15 @@ fn main() {
                         .map(|s| s.trim().parse().expect("node count"))
                         .collect(),
                 );
+            }
+            "--mobility-nodes" => {
+                let list = args
+                    .next()
+                    .expect("--mobility-nodes needs a comma-separated list");
+                mobility_nodes = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("node count"))
+                    .collect();
             }
             "--memory-nodes" => {
                 let list = args
@@ -171,7 +206,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: engine_bench [--json [PATH]] [--routing [PATH]] [--routing-nodes N,N] [--nodes 50,200,1000,5000,10000] [--duration-secs N] [--seed N] [--threads N]");
+                eprintln!("usage: engine_bench [--json [PATH]] [--routing [PATH]] [--routing-nodes N,N] [--nodes 50,200,1000,5000,10000] [--mobility-nodes N,N] [--memory-nodes N,N] [--duration-secs N] [--seed N] [--threads N]");
                 std::process::exit(2);
             }
         }
@@ -189,6 +224,7 @@ fn main() {
         "nodes", "sim secs", "ticked s", "event s", "parallel s", "speedup", "identical"
     );
     let mut entries = Vec::new();
+    let mut motion_rows = Vec::new();
     for &n in &nodes {
         let duration = duration_override.unwrap_or(match n {
             0..=99 => 1_200.0,
@@ -199,7 +235,7 @@ fn main() {
         });
         let scenario = engine_scenario(n, duration, seed);
         let ticked = run_mode(&scenario, EngineMode::Ticked);
-        let event = run_mode(&scenario, EngineMode::EventDriven);
+        let (event, stats) = run_mode_with_stats(&scenario, EngineMode::EventDriven);
         let parallel = run_parallel(&scenario, RoutingBackend::default(), threads);
         let identical = canon(ticked.clone()) == canon(event.clone())
             && canon(event.clone()) == canon(parallel.clone());
@@ -211,6 +247,7 @@ fn main() {
             parallel_wall_secs: parallel.wall_secs,
             speedup: ticked.wall_secs / event.wall_secs.max(1e-9),
             identical,
+            parallel_overhead: threads == 1 && parallel.wall_secs > event.wall_secs,
         };
         println!(
             "{:>6} {:>10.0} {:>12.3} {:>12.3} {:>12.3} {:>8.2}x {:>10}",
@@ -222,6 +259,22 @@ fn main() {
             entry.speedup,
             entry.identical,
         );
+        if entry.parallel_overhead {
+            println!(
+                "        warning: parallel ({:.3}s) slower than event ({:.3}s) on a 1-thread pool — sharding overhead, not a scheduler regression",
+                entry.parallel_wall_secs, entry.event_wall_secs
+            );
+        }
+        motion_rows.push(format!(
+            "    {{\"scenario\": \"sweep\", \"nodes\": {}, \"sim_duration_secs\": {}, \"ticks_executed\": {}, \"ticks_skipped\": {}, \"movement_advances\": {}, \"movement_node_ticks\": {}, \"movement_skip_rate\": {:.6}}}",
+            n,
+            duration,
+            stats.ticks_executed,
+            stats.ticks_skipped,
+            stats.movement_advances,
+            stats.movement_node_ticks,
+            stats.movement_skip_rate(),
+        ));
         entries.push(entry);
     }
 
@@ -251,6 +304,7 @@ fn main() {
             parallel_wall_secs: parallel.wall_secs,
             speedup: ticked.wall_secs / event.wall_secs.max(1e-9),
             identical,
+            parallel_overhead: threads == 1 && parallel.wall_secs > event.wall_secs,
         };
         println!(
             "{:>6} {:>10.0} {:>12.3} {:>12.3} {:>12.3} {:>8.2}x {:>10}",
@@ -263,6 +317,58 @@ fn main() {
             entry.identical,
         );
         transfer_entries.push(entry);
+    }
+
+    // Mobility-bound section: the paper fleet with sparse traffic, so the
+    // run is movement and contact detection wall to wall — the motion-
+    // segment protocol's target regime, and the row the CI perf floor
+    // holds to "event no slower than ticked".
+    println!("mobility-bound: paper fleet, sparse traffic (movement dominates)");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>9} {:>10}",
+        "nodes", "sim secs", "ticked s", "event s", "parallel s", "speedup", "identical"
+    );
+    let mut mobility_entries = Vec::new();
+    let mut mobility_motion_rows = Vec::new();
+    for &n in &mobility_nodes {
+        let duration = duration_override.unwrap_or(240.0);
+        let scenario = mobility_bound_scenario(n, duration, seed);
+        let ticked = run_mode(&scenario, EngineMode::Ticked);
+        let (event, stats) = run_mode_with_stats(&scenario, EngineMode::EventDriven);
+        let parallel = run_parallel(&scenario, RoutingBackend::default(), threads);
+        let identical = canon(ticked.clone()) == canon(event.clone())
+            && canon(event.clone()) == canon(parallel.clone());
+        let entry = Entry {
+            nodes: n,
+            duration_secs: duration,
+            ticked_wall_secs: ticked.wall_secs,
+            event_wall_secs: event.wall_secs,
+            parallel_wall_secs: parallel.wall_secs,
+            speedup: ticked.wall_secs / event.wall_secs.max(1e-9),
+            identical,
+            parallel_overhead: threads == 1 && parallel.wall_secs > event.wall_secs,
+        };
+        println!(
+            "{:>6} {:>10.0} {:>12.3} {:>12.3} {:>12.3} {:>8.2}x {:>10}",
+            entry.nodes,
+            entry.duration_secs,
+            entry.ticked_wall_secs,
+            entry.event_wall_secs,
+            entry.parallel_wall_secs,
+            entry.speedup,
+            entry.identical,
+        );
+        mobility_motion_rows.push(format!(
+            "    {{\"scenario\": \"mobility_bound\", \"nodes\": {}, \"sim_duration_secs\": {}, \"ticks_executed\": {}, \"ticks_skipped\": {}, \"movement_advances\": {}, \"movement_node_ticks\": {}, \"movement_skip_rate\": {:.6}}}",
+            n,
+            duration,
+            stats.ticks_executed,
+            stats.ticks_skipped,
+            stats.movement_advances,
+            stats.movement_node_ticks,
+            stats.movement_skip_rate(),
+        ));
+        mobility_entries.push(entry);
     }
 
     // Memory section: one child process per size, since VmHWM is a
@@ -278,25 +384,39 @@ fn main() {
     let any_mismatch = entries
         .iter()
         .chain(transfer_entries.iter())
+        .chain(mobility_entries.iter())
         .any(|e| !e.identical)
         || !memory_identical;
     if let Some(path) = json_path {
         // Hand-rolled JSON keeps the schema explicit and the vendored
         // serde_json shim out of the float-formatting hot seat.
         let row = |e: &Entry| {
+            let overhead = if e.parallel_overhead {
+                ", \"parallel_overhead\": true"
+            } else {
+                ""
+            };
             format!(
-                "    {{\"nodes\": {}, \"sim_duration_secs\": {}, \"ticked_wall_secs\": {:.6}, \"event_wall_secs\": {:.6}, \"parallel_wall_secs\": {:.6}, \"speedup\": {:.3}, \"reports_identical\": {}}}",
-                e.nodes, e.duration_secs, e.ticked_wall_secs, e.event_wall_secs, e.parallel_wall_secs, e.speedup, e.identical
+                "    {{\"nodes\": {}, \"sim_duration_secs\": {}, \"ticked_wall_secs\": {:.6}, \"event_wall_secs\": {:.6}, \"parallel_wall_secs\": {:.6}, \"speedup\": {:.3}, \"reports_identical\": {}{}}}",
+                e.nodes, e.duration_secs, e.ticked_wall_secs, e.event_wall_secs, e.parallel_wall_secs, e.speedup, e.identical, overhead
             )
         };
         let rows: Vec<String> = entries.iter().map(row).collect();
         let transfer_rows: Vec<String> = transfer_entries.iter().map(row).collect();
+        let mobility_rows: Vec<String> = mobility_entries.iter().map(row).collect();
+        let all_motion_rows: Vec<String> = motion_rows
+            .iter()
+            .chain(mobility_motion_rows.iter())
+            .cloned()
+            .collect();
         let doc = format!(
-            "{{\n  \"benchmark\": \"engine_modes\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"description\": \"World::run wall time, ticked vs event-driven vs sharded-parallel scheduler, identical scenarios (paper mobility, Epidemic + Lifetime policies)\",\n  \"seed\": {},\n  \"threads\": {},\n  \"entries\": [\n{}\n  ],\n  \"transfer_bound\": [\n{}\n  ],\n  \"memory\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"benchmark\": \"engine_modes\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"description\": \"World::run wall time, ticked vs event-driven vs sharded-parallel scheduler, identical scenarios (paper mobility, Epidemic + Lifetime policies)\",\n  \"seed\": {},\n  \"threads\": {},\n  \"entries\": [\n{}\n  ],\n  \"motion\": [\n{}\n  ],\n  \"transfer_bound\": [\n{}\n  ],\n  \"mobility_bound\": [\n{}\n  ],\n  \"memory\": [\n{}\n  ]\n}}\n",
             seed,
             threads,
             rows.join(",\n"),
+            all_motion_rows.join(",\n"),
             transfer_rows.join(",\n"),
+            mobility_rows.join(",\n"),
             memory_rows.join(",\n")
         );
         write_json(&path, &doc);
@@ -335,8 +455,13 @@ fn proc_status_kb(field: &str) -> Option<u64> {
 /// fields to JSON `null`, never a panic.
 fn run_memory_probe(nodes: usize, duration: f64, seed: u64, threads: usize) -> ! {
     let pre_kb = proc_status_kb("VmRSS");
-    let scenario =
-        dense_routing_scenario(nodes, duration, RouterKind::Epidemic, PolicyCombo::LIFETIME, seed);
+    let scenario = dense_routing_scenario(
+        nodes,
+        duration,
+        RouterKind::Epidemic,
+        PolicyCombo::LIFETIME,
+        seed,
+    );
     let event = run_with_backend(&scenario, EngineMode::EventDriven, RoutingBackend::Index);
     let peak_kb = proc_status_kb("VmHWM");
     let parallel = run_parallel(&scenario, RoutingBackend::Index, threads);
@@ -387,7 +512,10 @@ fn run_memory_section(
         match out {
             Ok(out) => {
                 let stdout = String::from_utf8_lossy(&out.stdout);
-                let Some(row) = stdout.lines().rev().find(|l| l.trim_start().starts_with('{'))
+                let Some(row) = stdout
+                    .lines()
+                    .rev()
+                    .find(|l| l.trim_start().starts_with('{'))
                 else {
                     eprintln!("warning: memory probe for {n} nodes produced no row; skipped");
                     all_identical &= out.status.success();

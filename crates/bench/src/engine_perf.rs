@@ -5,7 +5,7 @@
 //! (`benches/engine_bench.rs`) and the `engine_bench` binary, whose
 //! `--json` mode records the perf trajectory in `BENCH_engine.json`.
 
-use vdtn::engine::{EngineMode, World};
+use vdtn::engine::{EngineMode, EngineStats, World};
 use vdtn::scenario::{MapSpec, MobilitySpec, NodeGroup, RelayPlacement, Scenario, TrafficSpec};
 use vdtn::{DetectorBackend, PolicyCombo, RouterKind, RoutingBackend, SimDuration, SimReport};
 use vdtn_geo::{GridMapGen, Point};
@@ -44,6 +44,25 @@ pub fn engine_scenario(vehicles: usize, duration_secs: f64, seed: u64) -> Scenar
         policy: PolicyCombo::LIFETIME,
         sample_period_secs: 0.0,
     }
+}
+
+/// A mobility-bound scenario: the paper's vehicle fleet with traffic made
+/// deliberately sparse (tens of minutes between creations, small bundles),
+/// so the run is dominated by movement and contact detection — the regime
+/// the motion-segment protocol targets. The event engine should win purely
+/// on elided movement work: nearly every node-tick is a mid-segment
+/// evaluation the analytic columns answer without stepping the model.
+pub fn mobility_bound_scenario(vehicles: usize, duration_secs: f64, seed: u64) -> Scenario {
+    let mut scenario = engine_scenario(vehicles, duration_secs, seed);
+    scenario.name = format!("mobility-bound-{vehicles}");
+    scenario.traffic = TrafficSpec {
+        interval_lo: 600.0,
+        interval_hi: 1_200.0,
+        size_lo: 10_000,
+        size_hi: 50_000,
+        ttl: SimDuration::from_mins(30),
+    };
+    scenario
 }
 
 /// A routing-round-dominated scenario: `nodes` stationary nodes pinned to a
@@ -168,6 +187,12 @@ pub fn transfer_bound_scenario(pairs: usize, duration_secs: f64, seed: u64) -> S
 /// `wall_secs` is the engine-loop wall time).
 pub fn run_mode(scenario: &Scenario, mode: EngineMode) -> SimReport {
     World::build_with_mode(scenario, mode).run()
+}
+
+/// [`run_mode`] plus the engine's motion counters — the per-size
+/// skip-rate rows of `BENCH_engine.json`'s `motion` section.
+pub fn run_mode_with_stats(scenario: &Scenario, mode: EngineMode) -> (SimReport, EngineStats) {
+    World::build_with_mode(scenario, mode).run_with_stats()
 }
 
 /// Run with an explicit routing scan backend too — the index-vs-cursor

@@ -727,9 +727,7 @@ impl Buffer {
         due.sort_unstable();
         due.dedup_by_key(|e| e.1);
         due.into_iter()
-            .map(|(_, id)| {
-                self.remove_with(id, true).expect("live id collected above")
-            })
+            .map(|(_, id)| self.remove_with(id, true).expect("live id collected above"))
             .collect()
     }
 
@@ -838,7 +836,8 @@ mod tests {
         let mut b2 = Buffer::with_arena(1000, arena.clone());
         let m = msg(1, 100, 0.0, 60);
         b1.insert(m).unwrap();
-        b2.insert(m.relayed_copy(SimTime::from_secs_f64(5.0))).unwrap();
+        b2.insert(m.relayed_copy(SimTime::from_secs_f64(5.0)))
+            .unwrap();
         assert_eq!(arena.len(), 1, "replicas share one metadata record");
         assert_eq!(b1.get(MessageId(1)).unwrap().hops, 0);
         assert_eq!(b2.get(MessageId(1)).unwrap().hops, 1);
@@ -853,7 +852,11 @@ mod tests {
         let gen = b.generation();
         *b.copies_mut(MessageId(1)).unwrap() = 4;
         assert_eq!(b.get(MessageId(1)).unwrap().copies, 4);
-        assert_eq!(b.generation(), gen, "in-place quota edits are not membership changes");
+        assert_eq!(
+            b.generation(),
+            gen,
+            "in-place quota edits are not membership changes"
+        );
         assert!(b.copies_mut(MessageId(9)).is_none());
     }
 
@@ -1070,8 +1073,7 @@ mod tests {
         assert_eq!(deltas.len(), 10);
         assert!(deltas
             .chunks(2)
-            .all(|c| c[0].kind == DeltaKind::Insert
-                && matches!(c[1].kind, DeltaKind::Remove(_))));
+            .all(|c| c[0].kind == DeltaKind::Insert && matches!(c[1].kind, DeltaKind::Remove(_))));
     }
 
     #[test]

@@ -30,24 +30,29 @@
 //!   every phase — the straightforward reference implementation.
 //! * [`EngineMode::EventDriven`] (the default) keeps the exact same phase
 //!   semantics but schedules [`EngineEvent`] wake-ups in a deterministic
-//!   [`EventQueue`] — traffic creation times, parked vehicles' wait
-//!   deadlines, per-transfer byte-drain instants
+//!   [`EventQueue`] — traffic creation times, per-node movement decision
+//!   boundaries ([`EngineEvent::MovementWake`] at each exported
+//!   [`vdtn_geo::Segment`]'s expiry), conservative contact-window deadlines
+//!   ([`EngineEvent::ContactWindow`], fed by the detector's slack-deadline
+//!   heap), per-transfer byte-drain instants
 //!   ([`EngineEvent::TransferComplete`], scheduled once at transfer start),
-//!   per-node TTL expiries, sample boundaries, plus per-tick re-arms while
-//!   vehicles drive ([`EngineEvent::ContactRecheck`]) or some idle
-//!   connection could still produce a transfer ([`EngineEvent::LinkRound`],
-//!   re-armed only while a direction is not provably silent). Ticks with no
-//!   due wake-up are provably work-free for every phase and are skipped in O(1)
-//!   (the clock jumps straight to the next wake-up); executed ticks
-//!   restrict each phase to its active frontier: only driving vehicles are
-//!   stepped, only moved nodes re-examine their radio neighbourhood
-//!   (incremental spatial grid), and TTL housekeeping touches only buffers
-//!   whose earliest expiry is due (per-buffer expiry min-heaps).
+//!   per-node TTL expiries, sample boundaries, plus a per-tick re-arm while
+//!   some idle connection could still produce a transfer
+//!   ([`EngineEvent::LinkRound`], re-armed only while a direction is not
+//!   provably silent). Ticks with no due wake-up are provably work-free for
+//!   every phase and are skipped in O(1) (the clock jumps straight to the
+//!   next wake-up); executed ticks restrict each phase to its active
+//!   frontier: only nodes at a decision boundary advance their movement
+//!   models (every other position follows its motion segment's closed form
+//!   analytically — see ARCHITECTURE.md's *motion segment protocol*), only
+//!   nodes whose slack deadline is due re-examine their radio
+//!   neighbourhood, and TTL housekeeping touches only buffers whose
+//!   earliest expiry is due (per-buffer expiry min-heaps).
 //! * [`EngineMode::Parallel`] runs the event-driven driver but shards the
-//!   two per-tick hot phases across a pinned thread pool: incremental
+//!   two per-tick hot phases across a pinned thread pool: kinematic
 //!   contact re-queries are partitioned by [`ShardMap`] spatial region
 //!   (merged back in sorted pair-key order before any state changes — see
-//!   [`ContactDetector::update_incremental_sharded`]), and the routing
+//!   [`ContactDetector::update_kinematic_sharded`]), and the routing
 //!   round is split into a read-only parallel *scan* that plans one
 //!   verdict per idle direction from round-start state, followed by a
 //!   serial *commit* that walks the canonical pair order applying plans
@@ -85,10 +90,10 @@ use crate::report::{DropCause, Sample, SimReport};
 use crate::scenario::{place_relays_high_degree, MobilitySpec, RelayPlacement, Scenario};
 use std::sync::Arc;
 use vdtn_bundle::{MessageId, TrafficConfig, TrafficGenerator};
-use vdtn_geo::{Point, ShardMap};
+use vdtn_geo::{Point, Segment, ShardMap};
 use vdtn_mobility::{MovementModel, ShortestPathMapBased, Stationary};
 use vdtn_net::{
-    pair_key, ContactDetector, ContactTrace, LinkEvent, LinkTable, MovedNode, TransferOutcome,
+    pair_key, ContactDetector, ContactTrace, LinkEvent, LinkTable, MotionCols, TransferOutcome,
 };
 use vdtn_routing::offers::SilenceKey;
 use vdtn_routing::{ContactOffers, NodeState, ReceiveOutcome, Router, RoutingBackend};
@@ -126,6 +131,42 @@ pub enum EngineMode {
     /// other modes at every thread count (`VDTN_THREADS` pins the pool;
     /// see [`World::build_parallel_with_threads`] for an explicit count).
     Parallel,
+}
+
+/// Scheduler-efficiency counters. Deliberately **not** part of
+/// [`SimReport`]: the three engine modes produce byte-identical reports
+/// while doing very different amounts of work, and these counters describe
+/// the work side. The bench harness reads them through
+/// [`World::run_with_stats`] to emit the per-size `motion` section of
+/// `BENCH_engine.json`.
+#[derive(Debug, Default, Clone, Copy, serde::Serialize)]
+pub struct EngineStats {
+    /// Grid ticks actually executed.
+    pub ticks_executed: u64,
+    /// Grid ticks skipped outright (no due wake-up anywhere).
+    pub ticks_skipped: u64,
+    /// Mobile (non-stationary) nodes in the world.
+    pub mobile_nodes: u64,
+    /// Movement-model advances executed. The ticked reference performs
+    /// `mobile_nodes × (ticks_executed + ticks_skipped)` of these; the
+    /// event engine only advances a model at its decision boundaries, so
+    /// `1 − movement_advances / movement_node_ticks` is the movement
+    /// skip rate.
+    pub movement_advances: u64,
+    /// Movement steps the per-tick reference loop would have executed:
+    /// `mobile_nodes × total ticks`.
+    pub movement_node_ticks: u64,
+}
+
+impl EngineStats {
+    /// Fraction of per-node movement steps the scheduler avoided, in
+    /// `[0, 1]` (zero when the world has no mobile nodes).
+    pub fn movement_skip_rate(&self) -> f64 {
+        if self.movement_node_ticks == 0 {
+            return 0.0;
+        }
+        1.0 - self.movement_advances as f64 / self.movement_node_ticks as f64
+    }
 }
 
 /// Parallel-mode machinery: a pinned worker pool plus the fixed spatial
@@ -199,7 +240,23 @@ pub struct World {
     radio_rate: f64,
 
     movers: Vec<Box<dyn MovementModel>>,
+    /// Materialised per-node positions. The ticked loop refreshes every
+    /// mobile entry each tick; the event engine refreshes an entry only
+    /// when its model advances (decision boundaries) and answers position
+    /// queries from the kinematics columns instead.
     positions: Vec<Point>,
+    /// Structure-of-arrays kinematics columns: node `i`'s current motion
+    /// segment is `(seg_origin[i], seg_vel[i], seg_start[i], seg_until[i])`
+    /// — refreshed from [`MovementModel::motion`] whenever the model
+    /// advances, and always covering the current tick. Positions derived
+    /// from these via [`Segment::position_at`] are bit-identical to the
+    /// stepped positions the ticked loop materialises.
+    seg_origin: Vec<Point>,
+    seg_vel: Vec<Point>,
+    seg_start: Vec<SimTime>,
+    seg_until: Vec<SimTime>,
+    /// Global speed cap: max over all movers' [`MovementModel::max_speed`].
+    v_glob: f64,
     states: Vec<NodeState>,
     routers: Vec<Box<dyn Router>>,
     node_rngs: Vec<SimRng>,
@@ -227,23 +284,24 @@ pub struct World {
     //     mode; Ticked mode never reads it) ---
     /// Pending wake-ups, popped per executed tick.
     events: EventQueue<EngineEvent>,
-    /// Per-node movement wake: `None` = actively moving (step every tick),
-    /// `Some(t)` = stepping before `t` is a contractual no-op
-    /// (`SimTime::MAX` for stationary nodes).
-    mover_wake: Vec<Option<SimTime>>,
-    /// Number of `None` entries in `mover_wake`.
-    driving_count: usize,
+    /// Per-node next movement decision boundary — `seg_until[i]` for mobile
+    /// nodes, [`SimTime::MAX`] for stationary ones. Advancing a model
+    /// before its boundary is a contractual no-op
+    /// (see [`MovementModel::next_decision_time`]).
+    mover_wake: Vec<SimTime>,
+    /// Nodes whose `MovementWake` popped this tick (scratch).
+    movement_due: Vec<u32>,
     /// Per-node earliest scheduled TTL wake (`SimTime::MAX` = none). Always
     /// a lower bound on the buffer's earliest expiry.
     ttl_wake: Vec<SimTime>,
-    /// Dedup flags for the singleton per-tick re-arm events.
-    contact_recheck_scheduled: bool,
+    /// Dedup flag for the singleton per-tick `LinkRound` re-arm.
     link_round_scheduled: bool,
-    /// The first executed tick must run contact detection even if nothing
-    /// moved, to observe contacts present in the initial layout.
-    needs_detection_prime: bool,
-    /// Scratch: nodes whose position changed this tick.
-    moved_scratch: Vec<MovedNode>,
+    /// Earliest outstanding `ContactWindow` wake (`SimTime::MAX` = none):
+    /// a later-or-equal detector deadline is already covered and needs no
+    /// new event.
+    contact_window_scheduled: SimTime,
+    /// Scheduler-efficiency counters (see [`EngineStats`]).
+    stats: EngineStats,
     /// Scratch ([`EngineMode::Parallel`] only): completion wakes from this
     /// tick's routing round, held back until the re-arm decision so wakes
     /// provably covered by an already-scheduled next-tick event are never
@@ -417,18 +475,31 @@ impl World {
         let sample_period = (scenario.sample_period_secs > 0.0)
             .then(|| SimDuration::from_secs_f64(scenario.sample_period_secs));
 
+        // Kinematics columns: every model's exported motion segment at
+        // t = 0, stored column-wise, plus the global speed cap the
+        // detector's slack deadlines divide by.
+        let mut seg_origin = Vec::with_capacity(n);
+        let mut seg_vel = Vec::with_capacity(n);
+        let mut seg_start = Vec::with_capacity(n);
+        let mut seg_until = Vec::with_capacity(n);
+        for m in &movers {
+            let seg = m.motion();
+            seg_origin.push(seg.origin);
+            seg_vel.push(seg.velocity);
+            seg_start.push(seg.start);
+            seg_until.push(seg.until);
+        }
+        let v_glob = movers.iter().map(|m| m.max_speed()).fold(0.0, f64::max);
+        let mobile_nodes = movers.iter().filter(|m| !m.is_stationary()).count() as u64;
+
         // Prime the wake-up schedule. Harmless under Ticked mode (never
         // popped), essential under EventDriven.
-        let mover_wake: Vec<Option<SimTime>> =
-            movers.iter().map(|m| m.next_decision_time()).collect();
-        let driving_count = mover_wake.iter().filter(|w| w.is_none()).count();
+        let mover_wake: Vec<SimTime> = movers.iter().map(|m| m.next_decision_time()).collect();
         let mut events = EventQueue::with_capacity(n + 8);
         events.schedule(traffic.peek_time(), EngineEvent::TrafficDue);
-        for (i, wake) in mover_wake.iter().enumerate() {
-            if let Some(t) = wake {
-                if *t < SimTime::MAX {
-                    events.schedule(*t, EngineEvent::MovementWake(NodeId(i as u32)));
-                }
+        for (i, &wake) in mover_wake.iter().enumerate() {
+            if wake < SimTime::MAX {
+                events.schedule(wake, EngineEvent::MovementWake(NodeId(i as u32)));
             }
         }
         // The first tick always executes: it primes contact detection on the
@@ -455,6 +526,11 @@ impl World {
             radio_rate: scenario.radio.rate,
             movers,
             positions,
+            seg_origin,
+            seg_vel,
+            seg_start,
+            seg_until,
+            v_glob,
             states,
             routers,
             node_rngs,
@@ -477,12 +553,14 @@ impl World {
             log: None,
             events,
             mover_wake,
-            driving_count,
+            movement_due: Vec::new(),
             ttl_wake: vec![SimTime::MAX; n],
-            contact_recheck_scheduled: true,
             link_round_scheduled: false,
-            needs_detection_prime: true,
-            moved_scratch: Vec::new(),
+            contact_window_scheduled: SimTime::MAX,
+            stats: EngineStats {
+                mobile_nodes,
+                ..EngineStats::default()
+            },
             pending_transfer_wakes: Vec::new(),
             par,
         }
@@ -516,8 +594,30 @@ impl World {
     }
 
     /// Current position of a node.
+    ///
+    /// The ticked reference reads the materialised per-tick position; the
+    /// event-driven modes evaluate the node's motion segment at the current
+    /// clock — the same closed form the model's own stepping uses, so the
+    /// two answers are bit-identical (asserted per tick in
+    /// `event_mode_matches_ticked_stepwise`).
     pub fn node_position(&self, id: NodeId) -> Point {
-        self.positions[id.index()]
+        let i = id.index();
+        if self.event_driven() {
+            self.segment(i).position_at(self.now)
+        } else {
+            self.positions[i]
+        }
+    }
+
+    /// Reassemble node `i`'s motion segment from the kinematics columns.
+    #[inline]
+    fn segment(&self, i: usize) -> Segment {
+        Segment {
+            origin: self.seg_origin[i],
+            velocity: self.seg_vel[i],
+            start: self.seg_start[i],
+            until: self.seg_until[i],
+        }
     }
 
     /// The report accumulated so far.
@@ -525,11 +625,30 @@ impl World {
         &self.report
     }
 
+    /// Scheduler-efficiency counters accumulated so far (see
+    /// [`EngineStats`]). Meaningful for the event-driven modes; the ticked
+    /// reference reports a zero skip rate by construction.
+    pub fn engine_stats(&self) -> EngineStats {
+        let mut s = self.stats;
+        s.movement_node_ticks = s.mobile_nodes * (s.ticks_executed + s.ticks_skipped);
+        s
+    }
+
     /// Run to completion and return the final report.
     pub fn run(mut self) -> SimReport {
         let t0 = std::time::Instant::now();
         self.run_to_end();
         self.finish(t0).0
+    }
+
+    /// Run to completion, returning the report plus the scheduler's
+    /// efficiency counters (the bench harness's entry point for the
+    /// `motion` section of `BENCH_engine.json`).
+    pub fn run_with_stats(mut self) -> (SimReport, EngineStats) {
+        let t0 = std::time::Instant::now();
+        self.run_to_end();
+        let stats = self.engine_stats();
+        (self.finish(t0).0, stats)
     }
 
     /// Run to completion, additionally recording the full contact/message
@@ -583,11 +702,13 @@ impl World {
                 // to exactly where the ticked loop would stop.
                 self.tick_index += ticks_to_end;
                 self.now += self.tick * ticks_to_end;
+                self.stats.ticks_skipped += ticks_to_end;
                 return;
             }
             let skipped = ticks_to_wake - 1;
             self.tick_index += skipped;
             self.now += self.tick * skipped;
+            self.stats.ticks_skipped += skipped;
             self.step_event();
         }
     }
@@ -607,6 +728,8 @@ impl World {
                 self.positions[i] = mover.step(prev, self.tick);
             }
         }
+        self.stats.ticks_executed += 1;
+        self.stats.movement_advances += self.stats.mobile_nodes;
 
         // Phase 3: connectivity (downs are emitted before ups).
         let events = self.detector.update(&self.positions);
@@ -634,24 +757,26 @@ impl World {
     /// every phase re-derives its work from simulation state, so stale or
     /// duplicate events are harmless.
     fn step_event(&mut self) {
-        let prev = self.now;
         self.now += self.tick;
         let now = self.now;
+        self.stats.ticks_executed += 1;
 
         let mut traffic_due = false;
         while let Some((_, ev)) = self.events.pop_due(now) {
             match ev {
                 EngineEvent::TrafficDue => traffic_due = true,
-                EngineEvent::ContactRecheck => self.contact_recheck_scheduled = false,
+                EngineEvent::MovementWake(id) => self.movement_due.push(id.0),
+                EngineEvent::ContactWindow => self.contact_window_scheduled = SimTime::MAX,
                 EngineEvent::LinkRound => self.link_round_scheduled = false,
-                // Movement, TTL, sampling and transfer-completion work is
-                // re-derived from `mover_wake` / `ttl_wake` / `next_sample`
-                // / the link table below. In particular a TransferComplete
-                // is only a wake-up: the due completions are drained from
-                // the link table in pair-key order, so same-instant
-                // completions resolve deterministically no matter in which
-                // order their transfers started.
-                EngineEvent::MovementWake(_)
+                // TTL, sampling and transfer-completion work is re-derived
+                // from `ttl_wake` / `next_sample` / the link table below.
+                // In particular a TransferComplete is only a wake-up: the
+                // due completions are drained from the link table in
+                // pair-key order, so same-instant completions resolve
+                // deterministically no matter in which order their
+                // transfers started. ContactRecheck survives solely as the
+                // build-time "first tick always executes" marker.
+                EngineEvent::ContactRecheck
                 | EngineEvent::TransferComplete(_, _)
                 | EngineEvent::TtlExpiry(_)
                 | EngineEvent::Sample => {}
@@ -666,83 +791,63 @@ impl World {
                 .schedule(self.traffic.peek_time(), EngineEvent::TrafficDue);
         }
 
-        // Phase 2: movement — only movers that are driving or whose wait
-        // deadline arrived; everyone else's step would be a contractual
-        // no-op (see `MovementModel::next_decision_time`).
-        self.moved_scratch.clear();
-        for i in 0..self.movers.len() {
-            let due = match self.mover_wake[i] {
-                None => true,
-                Some(t) => t <= now,
-            };
-            if !due {
-                continue;
-            }
-            let old = self.positions[i];
-            let new_pos = self.movers[i].step(prev, self.tick);
-            let wake = self.movers[i].next_decision_time();
-            match (self.mover_wake[i].is_none(), wake.is_none()) {
-                (false, true) => self.driving_count += 1,
-                (true, false) => self.driving_count -= 1,
-                _ => {}
-            }
-            if let Some(t) = wake {
-                if t < SimTime::MAX {
-                    self.events
-                        .schedule(t, EngineEvent::MovementWake(NodeId(i as u32)));
-                }
-            }
-            self.mover_wake[i] = wake;
-            if new_pos != old {
-                self.positions[i] = new_pos;
-                self.moved_scratch.push(MovedNode {
-                    index: i as u32,
-                    displacement: old.distance(new_pos),
-                });
-            }
+        // Phase 2: movement — only nodes whose decision boundary arrived;
+        // every other node's position follows its motion segment's closed
+        // form, so stepping its model would change nothing it exports.
+        if !self.movement_due.is_empty() {
+            self.phase_movement_event(now);
         }
 
-        // Phase 3: connectivity — an unchanged position set cannot change
-        // the in-range pair set, so detection runs only when something
-        // moved; the first executed tick always runs it to observe contacts
-        // in the initial layout (the ticked loop's first scan).
-        if self.needs_detection_prime || !self.moved_scratch.is_empty() {
-            self.needs_detection_prime = false;
-            let moved = std::mem::take(&mut self.moved_scratch);
+        // Phase 3: connectivity — the detector re-queries only nodes whose
+        // slack deadline is due. Motion-segment replacements (phase 2)
+        // collapse deadlines to `now`; between boundaries the quadratic
+        // contact-window bounds are exact, so a tick with no due deadline
+        // provably cannot flip any pair. The first executed tick primes the
+        // detector on the initial layout (the ticked loop's first scan);
+        // `next_deadline()` reports `ZERO` while unprimed.
+        if self.detector.next_deadline() <= now {
+            let cols = MotionCols {
+                origin: &self.seg_origin,
+                velocity: &self.seg_vel,
+                start: &self.seg_start,
+                until: &self.seg_until,
+            };
             // A one-thread pool pays the sharded path's grouping and merge
-            // for no concurrency at all — the serial incremental update is
+            // for no concurrency at all — the serial kinematic update is
             // the same diff (property-tested equal), so only real pools
             // take the sharded path.
-            let events = match &self.par {
-                Some(par) if par.pool.num_threads() >= 2 => {
-                    self.detector.update_incremental_sharded(
-                        &self.positions,
-                        &moved,
-                        &par.pool,
-                        &par.shards,
-                    )
-                }
-                _ => self.detector.update_incremental(&self.positions, &moved),
-            };
-            self.moved_scratch = moved;
+            let events =
+                match &self.par {
+                    Some(par) if par.pool.num_threads() >= 2 => self
+                        .detector
+                        .update_kinematic_sharded(now, &cols, self.v_glob, &par.pool, &par.shards),
+                    _ => self.detector.update_kinematic(now, &cols, self.v_glob),
+                };
             self.apply_link_events(events);
+        }
+        // Arm a wake at the earliest pending slack deadline, unless an
+        // earlier-or-equal ContactWindow is already outstanding.
+        let deadline = self.detector.next_deadline();
+        if deadline < self.contact_window_scheduled && deadline < SimTime::MAX {
+            self.contact_window_scheduled = deadline;
+            self.events.schedule(deadline, EngineEvent::ContactWindow);
         }
 
         // Phases 4 + 5: transfers and routing exist only on open contacts.
-        // The parallel round reports whether it ended **provably quiet** —
-        // every pair still idle after the commit had both directions
+        // The routing round reports whether it ended **provably quiet** —
+        // every pair still idle after the round had both directions
         // answered `None` and memoised under its current silence key, with
         // no RNG-drawing direction left — which pre-answers the `LinkRound`
         // re-arm below without a second pass over the idle pairs. With no
         // open contacts the round is vacuously quiet.
-        let mut round_quiet = self.par.is_some();
+        let mut round_quiet = true;
         if self.links.connection_count() > 0 {
             self.phase_transfers();
-            if self.par.is_some() {
-                round_quiet = self.phase_routing_parallel();
+            round_quiet = if self.par.is_some() {
+                self.phase_routing_parallel()
             } else {
-                self.phase_routing();
-            }
+                self.phase_routing_tracked()
+            };
         }
 
         // Phase 6: TTL — only buffers whose scheduled expiry wake is due;
@@ -771,26 +876,20 @@ impl World {
             self.events.schedule(self.next_sample, EngineEvent::Sample);
         }
 
-        // Re-arm the per-tick wake-ups that mirror ongoing activity.
-        if self.driving_count > 0 && !self.contact_recheck_scheduled {
-            self.contact_recheck_scheduled = true;
-            self.events
-                .schedule(now + self.tick, EngineEvent::ContactRecheck);
-        }
         // A routing round next tick can only do work if some *idle*
         // connection has a direction that is not provably silent — busy
         // connections drain via their scheduled TransferComplete instants,
         // and every state change that could flip a silent verdict (traffic,
         // contact churn, completions, TTL expiry, deliveries) happens
         // inside an executed tick, where this re-arm is re-evaluated. The
-        // parallel round answers this for free in *both* directions (unless
+        // routing round answers this for free in *both* directions (unless
         // TTL work ran after it and may have moved a silence-key input):
         // quiet means every idle direction is memoised silent (the sweep
         // would conclude false), loud means some idle RNG-drawing direction
         // remains (the sweep would conclude true on reaching it) — so the
         // verdict *is* `routing_work_possible()` and the sweep is skipped
         // on every non-TTL executed tick.
-        let work_possible = if self.par.is_some() && !ttl_ran {
+        let work_possible = if !ttl_ran {
             debug_assert_eq!(!round_quiet, self.routing_work_possible());
             !round_quiet
         } else {
@@ -824,6 +923,96 @@ impl World {
         }
 
         self.tick_index += 1;
+    }
+
+    /// Event-mode movement phase: advance exactly the models whose
+    /// decision boundary (`mover_wake`) arrived, refresh their kinematics
+    /// columns from the newly exported segments, schedule the next
+    /// boundary wakes, and collapse their detector deadlines — a replaced
+    /// segment invalidates every bound derived from the old velocity.
+    ///
+    /// `advance_to` draws each model's own RNG lane at its own boundaries,
+    /// so per-node advances are order-independent; the parallel path
+    /// exploits exactly that, while every observable write below happens
+    /// serially in ascending node order.
+    fn phase_movement_event(&mut self, now: SimTime) {
+        let mut due = std::mem::take(&mut self.movement_due);
+        // Pop order is heap order; canonicalise. One wake is outstanding
+        // per node at a time, so duplicates cannot occur — but dedup is
+        // cheap insurance on sorted input.
+        due.sort_unstable();
+        due.dedup();
+        due.retain(|&i| self.mover_wake[i as usize] <= now);
+
+        // Advancing a model is the expensive part (trip planning runs
+        // A*); with a real pool and enough due nodes it fans out, each
+        // worker owning its models exclusively.
+        const PAR_DUE_MIN: usize = 32;
+        let fan_out = match &self.par {
+            Some(par) => par.pool.num_threads() >= 2 && due.len() >= PAR_DUE_MIN,
+            None => false,
+        };
+        if fan_out {
+            self.advance_due_parallel(&due, now);
+        }
+
+        for &iu in &due {
+            let i = iu as usize;
+            if !fan_out {
+                self.movers[i].advance_to(now);
+            }
+            let seg = self.movers[i].motion();
+            self.positions[i] = self.movers[i].position();
+            self.seg_origin[i] = seg.origin;
+            self.seg_vel[i] = seg.velocity;
+            self.seg_start[i] = seg.start;
+            self.seg_until[i] = seg.until;
+            self.mover_wake[i] = seg.until;
+            if seg.until < SimTime::MAX {
+                self.events
+                    .schedule(seg.until, EngineEvent::MovementWake(NodeId(iu)));
+            }
+            self.detector.on_motion_change(iu, now);
+        }
+        self.stats.movement_advances += due.len() as u64;
+        due.clear();
+        self.movement_due = due;
+    }
+
+    /// Advance the due movement models on the worker pool. Models are
+    /// temporarily moved out of `movers` (a parked placeholder holds each
+    /// slot) so every chunk owns its boxes outright; results are read back
+    /// serially by the caller.
+    fn advance_due_parallel(&mut self, due: &[u32], now: SimTime) {
+        let pool = &self
+            .par
+            .as_ref()
+            .expect("parallel advance needs a pool")
+            .pool;
+        let mut owned: Vec<(u32, Box<dyn MovementModel>)> = due
+            .iter()
+            .map(|&i| {
+                let placeholder: Box<dyn MovementModel> =
+                    Box::new(Stationary::new(Point::new(0.0, 0.0)));
+                (
+                    i,
+                    std::mem::replace(&mut self.movers[i as usize], placeholder),
+                )
+            })
+            .collect();
+        let chunk = vdtn_sim_core::par::chunk_len(owned.len(), pool.num_threads());
+        pool.scope(|s| {
+            for ch in owned.chunks_mut(chunk) {
+                s.spawn(move || {
+                    for (_, m) in ch.iter_mut() {
+                        m.advance_to(now);
+                    }
+                });
+            }
+        });
+        for (i, m) in owned {
+            self.movers[i as usize] = m;
+        }
     }
 
     /// True if next tick's routing round could do anything at all: some
@@ -1242,7 +1431,10 @@ impl World {
             let node = NodeId(i as u32);
             let arena = self.states[i].buffer.arena().clone();
             for &(_, slot) in self.links.neighbors(node) {
-                if let Some(contact) = self.contacts.get_mut(slot as usize).and_then(Option::as_mut)
+                if let Some(contact) = self
+                    .contacts
+                    .get_mut(slot as usize)
+                    .and_then(Option::as_mut)
                 {
                     contact.prune_expired(now, &arena);
                 }

@@ -45,7 +45,7 @@ pub mod scenario;
 pub mod sweep;
 
 pub use analysis::{oracle_delays, oracle_summary, MeetingModel, OracleSummary};
-pub use engine::{EngineMode, World};
+pub use engine::{EngineMode, EngineStats, World};
 pub use logging::{ContactRecord, SimLog};
 pub use report::{DropCause, MessageStats, SimReport};
 pub use scenario::{MapSpec, MobilitySpec, NodeGroup, RelayPlacement, Scenario};

@@ -56,6 +56,14 @@ pub struct RoadGraph {
     edges: Vec<(VertexId, VertexId)>,
     bounds: Bounds,
     total_length: f64,
+    /// Lazily-built ALT landmark distances for the A* heuristic. Derived
+    /// data, so it is skipped on (de)serialisation and rebuilt on demand.
+    #[serde(skip)]
+    landmarks: std::sync::OnceLock<crate::shortest_path::Landmarks>,
+    /// Lazily-built cumulative edge lengths for length-proportional edge
+    /// sampling. Derived data, skipped on (de)serialisation.
+    #[serde(skip)]
+    length_prefix: std::sync::OnceLock<Vec<f64>>,
 }
 
 impl RoadGraph {
@@ -156,6 +164,41 @@ impl RoadGraph {
             }
         }
         seen
+    }
+
+    /// ALT landmark table for goal-directed search, built on first use.
+    ///
+    /// Four extremal "corner" vertices are chosen deterministically and a
+    /// full Dijkstra sweep is run from each; [`crate::shortest_path::astar`]
+    /// uses the triangle-inequality bound `|d_L(v) - d_L(goal)|` as its
+    /// heuristic, which is exact on grid-like maps and collapses the search
+    /// to the optimal corridor.
+    pub fn landmarks(&self) -> &crate::shortest_path::Landmarks {
+        self.landmarks
+            .get_or_init(|| crate::shortest_path::Landmarks::build(self))
+    }
+
+    /// The first edge whose cumulative length (edges accumulated in id
+    /// order, left-to-right f64 additions) reaches `target` — i.e. the edge
+    /// a length-proportional uniform draw over `[0, total_length]` lands
+    /// on. Bit-for-bit the edge a sequential `acc += edge_length(e)` scan
+    /// with an `acc >= target` stop would choose, including the rounding
+    /// fallback to the last edge when `target` exceeds every partial sum,
+    /// but answered in O(log E) from a cached prefix table. Panics on
+    /// edgeless graphs.
+    pub fn edge_at_accumulated_length(&self, target: f64) -> EdgeId {
+        assert!(!self.edges.is_empty(), "edgeless graph");
+        let prefix = self.length_prefix.get_or_init(|| {
+            let mut acc = 0.0;
+            (0..self.edges.len())
+                .map(|e| {
+                    acc += self.edge_length(EdgeId(e as u32));
+                    acc
+                })
+                .collect()
+        });
+        let i = prefix.partition_point(|&p| p < target);
+        EdgeId(i.min(self.edges.len() - 1) as u32)
     }
 
     /// Mean undirected edge length in metres (0 for edgeless graphs).
@@ -322,6 +365,8 @@ impl RoadGraphBuilder {
             edges,
             bounds,
             total_length,
+            landmarks: Default::default(),
+            length_prefix: Default::default(),
         }
     }
 

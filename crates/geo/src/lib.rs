@@ -31,6 +31,7 @@ pub mod gen;
 pub mod graph;
 pub mod grid;
 pub mod point;
+pub mod segment;
 pub mod shard;
 pub mod shortest_path;
 pub mod stats;
@@ -40,6 +41,7 @@ pub use gen::{GridMapGen, SyntheticCityGen};
 pub use graph::{EdgeId, RoadGraph, RoadGraphBuilder, VertexId};
 pub use grid::SpatialGrid;
 pub use point::{Bounds, Point};
+pub use segment::Segment;
 pub use shard::ShardMap;
-pub use shortest_path::{astar, dijkstra, PathResult};
+pub use shortest_path::{astar, dijkstra, distance_lower_bound, PathResult};
 pub use stats::{map_stats, MapStats};

@@ -1,13 +1,142 @@
 //! Shortest paths over road graphs: Dijkstra and A*.
 //!
 //! Both return a [`PathResult`] with the vertex sequence and total length.
-//! A* uses the Euclidean distance heuristic, which is admissible because
-//! edge weights *are* Euclidean segment lengths. The micro benches compare
-//! the two on city-scale maps (see `DESIGN.md`, ablation table).
+//! A* combines the Euclidean distance heuristic (admissible because edge
+//! weights *are* Euclidean segment lengths) with an ALT landmark bound
+//! (`|d_L(v) - d_L(goal)|`, admissible and consistent by the triangle
+//! inequality) cached on the graph. On grid-like maps the landmark bound is
+//! exact, so the search expands only vertices on shortest paths; a high-`g`
+//! tie-break then walks a single corridor instead of flooding the equal-cost
+//! plateau. Search state (`dist`/`prev`) is kept in generation-stamped
+//! thread-local scratch so repeated queries — trip planning runs tens of
+//! thousands per scenario — never re-allocate or re-zero O(V) memory.
 
 use crate::graph::{RoadGraph, VertexId};
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Number of extremal landmark vertices used by [`Landmarks`].
+const LANDMARK_COUNT: usize = 4;
+
+/// ALT landmark table: shortest-path distances from a handful of extremal
+/// vertices to every vertex. `|d_L(v) - d_L(goal)|` lower-bounds
+/// `d(v, goal)` for each landmark `L`; the maximum over landmarks (and the
+/// Euclidean bound) is still admissible and consistent, so A* stays exact.
+#[derive(Debug, Clone)]
+pub struct Landmarks {
+    /// `dists[l][v]` = shortest-path distance from landmark `l` to vertex
+    /// `v` (`f64::INFINITY` when unreachable).
+    dists: Vec<Vec<f64>>,
+}
+
+impl Landmarks {
+    /// Pick the four "corner" vertices (extremal `x+y` / `x-y`, ties to the
+    /// lowest id) and run one Dijkstra sweep from each. Deterministic.
+    pub fn build(graph: &RoadGraph) -> Landmarks {
+        let n = graph.vertex_count();
+        if n == 0 {
+            return Landmarks { dists: Vec::new() };
+        }
+        let mut corners = [(f64::NEG_INFINITY, 0u32); LANDMARK_COUNT];
+        for (i, p) in graph.positions().iter().enumerate() {
+            for (k, key) in [p.x + p.y, -(p.x + p.y), p.x - p.y, p.y - p.x]
+                .into_iter()
+                .enumerate()
+            {
+                if key > corners[k].0 {
+                    corners[k] = (key, i as u32);
+                }
+            }
+        }
+        let mut dists = Vec::with_capacity(LANDMARK_COUNT);
+        for &(_, v) in &corners {
+            dists.push(distances_from(graph, VertexId(v)));
+        }
+        Landmarks { dists }
+    }
+
+    /// Landmark distances to `v`, one per landmark (empty for empty graphs).
+    #[inline]
+    fn to_vertex(&self, v: VertexId) -> [f64; LANDMARK_COUNT] {
+        let mut out = [f64::INFINITY; LANDMARK_COUNT];
+        for (o, d) in out.iter_mut().zip(&self.dists) {
+            *o = d[v.index()];
+        }
+        out
+    }
+}
+
+/// Generation-stamped per-thread search scratch: `dist`/`prev` entries are
+/// only valid when `stamp[v] == generation`, so starting a new query is O(1)
+/// instead of an O(V) clear. Contents never influence results — only reuse.
+struct SearchScratch {
+    dist: Vec<f64>,
+    prev: Vec<u32>,
+    stamp: Vec<u32>,
+    settled: Vec<u32>,
+    generation: u32,
+}
+
+impl SearchScratch {
+    const fn new() -> Self {
+        SearchScratch {
+            dist: Vec::new(),
+            prev: Vec::new(),
+            stamp: Vec::new(),
+            settled: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// Begin a query over `n` vertices: bump the generation (wrapping safely
+    /// by re-zeroing stamps) and grow the columns if the graph is larger
+    /// than any seen before on this thread.
+    fn begin(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.prev.resize(n, u32::MAX);
+            self.stamp.resize(n, 0);
+            self.settled.resize(n, 0);
+        }
+        if self.generation == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.settled.iter_mut().for_each(|s| *s = 0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+    }
+
+    #[inline]
+    fn is_settled(&self, v: usize) -> bool {
+        self.settled[v] == self.generation
+    }
+
+    #[inline]
+    fn settle(&mut self, v: usize) {
+        self.settled[v] = self.generation;
+    }
+
+    #[inline]
+    fn dist(&self, v: usize) -> f64 {
+        if self.stamp[v] == self.generation {
+            self.dist[v]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, v: usize, dist: f64, prev: u32) {
+        self.dist[v] = dist;
+        self.prev[v] = prev;
+        self.stamp[v] = self.generation;
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SearchScratch> = const { RefCell::new(SearchScratch::new()) };
+}
 
 /// A found path: the vertex chain `from → … → to` and its length in metres.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,12 +151,18 @@ pub struct PathResult {
 #[derive(Debug, Clone, Copy)]
 struct HeapEntry {
     cost: f64,
+    /// Distance from the source (g-score). Ties on `cost` prefer the larger
+    /// `g`: on equal-cost plateaus (ubiquitous on grid maps, where the exact
+    /// landmark heuristic puts the whole corridor at `f = C*`) this walks a
+    /// single staircase instead of flooding the plateau. Purely a search-
+    /// order change — the admissible heuristic keeps the result optimal.
+    g: f64,
     vertex: VertexId,
 }
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.cost == other.cost && self.vertex == other.vertex
+        self.cost == other.cost && self.g == other.g && self.vertex == other.vertex
     }
 }
 impl Eq for HeapEntry {}
@@ -38,20 +173,22 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on cost; tie-break on vertex id for determinism.
+        // Min-heap on cost; ties prefer larger g, then lower vertex id,
+        // keeping pop order fully deterministic.
         other
             .cost
             .partial_cmp(&self.cost)
             .expect("NaN cost")
+            .then_with(|| self.g.partial_cmp(&other.g).expect("NaN g"))
             .then_with(|| other.vertex.0.cmp(&self.vertex.0))
     }
 }
 
-fn reconstruct(prev: &[u32], from: VertexId, to: VertexId) -> Vec<VertexId> {
+fn reconstruct(scratch: &SearchScratch, from: VertexId, to: VertexId) -> Vec<VertexId> {
     let mut chain = vec![to];
     let mut cur = to;
     while cur != from {
-        cur = VertexId(prev[cur.index()]);
+        cur = VertexId(scratch.prev[cur.index()]);
         chain.push(cur);
     }
     chain.reverse();
@@ -63,24 +200,60 @@ pub fn dijkstra(graph: &RoadGraph, from: VertexId, to: VertexId) -> Option<PathR
     search(graph, from, to, |_| 0.0)
 }
 
-/// A* with the Euclidean heuristic. Same results as [`dijkstra`]
-/// (the heuristic is admissible and consistent), usually visiting fewer
-/// vertices.
-pub fn astar(graph: &RoadGraph, from: VertexId, to: VertexId) -> Option<PathResult> {
-    let goal = graph.position(to);
-    search(graph, from, to, move |g: &VertexCtx| g.pos.distance(goal))
+/// Admissible lower bound on the shortest-path distance `from → to`: the
+/// maximum of the Euclidean distance and the ALT landmark bounds — exactly
+/// the heuristic [`astar`] evaluates at its start vertex. Never exceeds the
+/// true distance (both bounds are admissible), so callers comparing several
+/// candidate endpoint pairs can skip the full search for any pair whose
+/// bound already reaches the best exact total found so far, without changing
+/// which pair wins. On grid-like maps the landmark bound is exact, so the
+/// pruning typically leaves a single A* run.
+pub fn distance_lower_bound(graph: &RoadGraph, from: VertexId, to: VertexId) -> f64 {
+    let n = graph.vertex_count();
+    if from.index() >= n || to.index() >= n {
+        return f64::INFINITY;
+    }
+    let mut h = graph.position(from).distance(graph.position(to));
+    let lm = graph.landmarks();
+    for (a, b) in lm.to_vertex(from).into_iter().zip(lm.to_vertex(to)) {
+        if a.is_finite() && b.is_finite() {
+            h = h.max((a - b).abs());
+        }
+    }
+    h
 }
 
-/// Context handed to the heuristic.
-struct VertexCtx {
-    pos: crate::point::Point,
+/// A* with the combined ALT-landmark + Euclidean heuristic. Same results as
+/// [`dijkstra`] (both bounds are admissible and consistent), visiting far
+/// fewer vertices — on grid maps the landmark bound is exact and the search
+/// walks only the optimal corridor.
+pub fn astar(graph: &RoadGraph, from: VertexId, to: VertexId) -> Option<PathResult> {
+    let n = graph.vertex_count();
+    if from.index() >= n || to.index() >= n {
+        return None;
+    }
+    let goal = graph.position(to);
+    let lm = graph.landmarks();
+    let lm_goal = lm.to_vertex(to);
+    search(graph, from, to, move |v: VertexId| {
+        let mut h = graph.position(v).distance(goal);
+        let lv = lm.to_vertex(v);
+        for (a, b) in lv.into_iter().zip(lm_goal) {
+            // Unreachable-from-landmark vertices hold INFINITY; skip them so
+            // the bound degrades to Euclidean instead of producing NaN.
+            if a.is_finite() && b.is_finite() {
+                h = h.max((a - b).abs());
+            }
+        }
+        h
+    })
 }
 
 fn search(
     graph: &RoadGraph,
     from: VertexId,
     to: VertexId,
-    heuristic: impl Fn(&VertexCtx) -> f64,
+    heuristic: impl Fn(VertexId) -> f64,
 ) -> Option<PathResult> {
     let n = graph.vertex_count();
     if from.index() >= n || to.index() >= n {
@@ -92,50 +265,47 @@ fn search(
             length: 0.0,
         });
     }
-    let mut dist = vec![f64::INFINITY; n];
-    let mut prev = vec![u32::MAX; n];
-    let mut settled = vec![false; n];
-    let mut heap = BinaryHeap::with_capacity(64);
+    SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        scratch.begin(n);
+        let mut heap = BinaryHeap::with_capacity(64);
 
-    dist[from.index()] = 0.0;
-    heap.push(HeapEntry {
-        cost: heuristic(&VertexCtx {
-            pos: graph.position(from),
-        }),
-        vertex: from,
-    });
+        scratch.set(from.index(), 0.0, u32::MAX);
+        heap.push(HeapEntry {
+            cost: heuristic(from),
+            g: 0.0,
+            vertex: from,
+        });
 
-    while let Some(HeapEntry { vertex, .. }) = heap.pop() {
-        if settled[vertex.index()] {
-            continue;
-        }
-        settled[vertex.index()] = true;
-        if vertex == to {
-            return Some(PathResult {
-                vertices: reconstruct(&prev, from, to),
-                length: dist[to.index()],
-            });
-        }
-        let base = dist[vertex.index()];
-        for nb in graph.neighbors(vertex) {
-            if settled[nb.to.index()] {
+        while let Some(HeapEntry { vertex, .. }) = heap.pop() {
+            if scratch.is_settled(vertex.index()) {
                 continue;
             }
-            let cand = base + nb.length;
-            if cand < dist[nb.to.index()] {
-                dist[nb.to.index()] = cand;
-                prev[nb.to.index()] = vertex.0;
-                heap.push(HeapEntry {
-                    cost: cand
-                        + heuristic(&VertexCtx {
-                            pos: graph.position(nb.to),
-                        }),
-                    vertex: nb.to,
+            scratch.settle(vertex.index());
+            if vertex == to {
+                return Some(PathResult {
+                    vertices: reconstruct(&scratch, from, to),
+                    length: scratch.dist(to.index()),
                 });
             }
+            let base = scratch.dist(vertex.index());
+            for nb in graph.neighbors(vertex) {
+                if scratch.is_settled(nb.to.index()) {
+                    continue;
+                }
+                let cand = base + nb.length;
+                if cand < scratch.dist(nb.to.index()) {
+                    scratch.set(nb.to.index(), cand, vertex.0);
+                    heap.push(HeapEntry {
+                        cost: cand + heuristic(nb.to),
+                        g: cand,
+                        vertex: nb.to,
+                    });
+                }
+            }
         }
-    }
-    None
+        None
+    })
 }
 
 /// Single-source distances to every vertex (plain Dijkstra sweep).
@@ -148,6 +318,7 @@ pub fn distances_from(graph: &RoadGraph, from: VertexId) -> Vec<f64> {
     dist[from.index()] = 0.0;
     heap.push(HeapEntry {
         cost: 0.0,
+        g: 0.0,
         vertex: from,
     });
     while let Some(HeapEntry { vertex, .. }) = heap.pop() {
@@ -162,6 +333,7 @@ pub fn distances_from(graph: &RoadGraph, from: VertexId) -> Vec<f64> {
                 dist[nb.to.index()] = cand;
                 heap.push(HeapEntry {
                     cost: cand,
+                    g: cand,
                     vertex: nb.to,
                 });
             }

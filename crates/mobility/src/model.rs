@@ -1,19 +1,68 @@
 //! The movement-model trait and the stationary model.
+//!
+//! # The motion segment protocol
+//!
+//! Every model exposes its current motion as a piecewise-linear
+//! [`Segment`](vdtn_geo::Segment): position ≡ `origin + velocity · (t − start)`
+//! over `[start, until]`. The engine's two disciplines both evaluate positions
+//! through that one closed form — the ticked loop via [`MovementModel::step`]
+//! (which is just `advance_to(now + dt)`), the event-driven loop via the
+//! world's kinematics columns — so analytically computed positions are
+//! bit-identical to stepped ones.
+//!
+//! Decision boundaries (wait expiry, leg arrival) happen at the *boundary
+//! time*, not at the end of whatever tick observed them: RNG draws and new
+//! segments are anchored to `until`, which makes the trajectory independent
+//! of the call pattern (stepping every tick vs. jumping straight to the
+//! deadline).
 
-use vdtn_geo::Point;
+use vdtn_geo::{Point, Segment};
 use vdtn_sim_core::{SimDuration, SimTime};
 
-/// A node's movement behaviour, stepped once per simulation tick.
+/// Minimum length of any waiting segment. A parked phase always lasts at
+/// least one millisecond, which guarantees `advance_to` makes progress even
+/// when a drawn wait quantises to zero.
+pub(crate) const MIN_WAIT: SimDuration = SimDuration::from_millis(1);
+
+/// Convert fractional seconds to a duration rounding *down* to the
+/// millisecond grid. Leg durations must floor: a segment that expires at or
+/// before the true arrival time never drives past its waypoint, so positions
+/// stay on the road and deadline math stays conservative. (The crossing then
+/// snaps exactly onto the waypoint, absorbing the sub-millisecond remainder.)
+pub(crate) fn floor_secs(secs: f64) -> SimDuration {
+    debug_assert!(secs.is_finite() && secs >= 0.0, "bad duration {secs}");
+    SimDuration::from_millis((secs * 1000.0).floor() as u64)
+}
+
+/// A node's movement behaviour.
 ///
 /// Implementations own all their state (current position, pending path,
 /// per-node RNG stream) so the engine can hold them as `Box<dyn MovementModel>`
-/// and step them independently — including in parallel, hence `Send`.
+/// and advance them independently — including in parallel, hence `Send`.
 pub trait MovementModel: Send {
-    /// Advance the model by `dt` ending at absolute time `now + dt`.
-    /// Returns the position at the end of the step.
-    fn step(&mut self, now: SimTime, dt: SimDuration) -> Point;
+    /// Advance the model to absolute time `t`, crossing every decision
+    /// boundary (wait expiry, waypoint arrival) on the way, and return the
+    /// position at `t`.
+    ///
+    /// Contract: RNG draws triggered by a boundary use the *boundary time*,
+    /// never `t`, so calling `advance_to(b); advance_to(t)` for any
+    /// intermediate `b` yields exactly the same state and trajectory as
+    /// calling `advance_to(t)` directly. `t` must be non-decreasing across
+    /// calls.
+    fn advance_to(&mut self, t: SimTime) -> Point;
 
-    /// Current position without advancing.
+    /// The current motion segment. Within `[seg.start, seg.until]` the
+    /// closed form reproduces `advance_to` bit-for-bit; at `seg.until` the
+    /// model makes its next decision (see
+    /// [`next_decision_time`](MovementModel::next_decision_time)).
+    fn motion(&self) -> Segment;
+
+    /// Static upper bound on this node's speed over the whole run, m/s.
+    /// Contact prediction uses this to bound how fast any pair can close.
+    fn max_speed(&self) -> f64;
+
+    /// Current position without advancing (the position at the last
+    /// `advance_to` time).
     fn position(&self) -> Point;
 
     /// True for models that never move (lets the engine skip work).
@@ -21,34 +70,29 @@ pub trait MovementModel: Send {
         false
     }
 
-    /// Earliest future time at which stepping this model can have any effect.
-    ///
-    /// This is the hook the event-driven engine schedules movement wake-ups
-    /// from, and it carries a strict contract:
-    ///
-    /// * `Some(t)` — every [`step`](MovementModel::step) whose end time is
-    ///   strictly before `t` is a **pure no-op**: position unchanged, no
-    ///   internal state change, no RNG draw. The engine may therefore skip
-    ///   those calls entirely and wake the model at the first tick ≥ `t`.
-    ///   Parked vehicles return their wait deadline; [`Stationary`] returns
-    ///   [`SimTime::MAX`].
-    /// * `None` — the model is actively moving and must be stepped every
-    ///   tick (the conservative default).
-    fn next_decision_time(&self) -> Option<SimTime> {
-        None
+    /// First future time at which advancing this model can change anything:
+    /// `motion().until`. Every `advance_to(t)` with `t` strictly before it
+    /// stays on the current segment — no state change, no RNG draw — so the
+    /// engine may skip straight to the first tick ≥ this time.
+    /// [`Stationary`] reports [`SimTime::MAX`].
+    fn next_decision_time(&self) -> SimTime {
+        self.motion().until
+    }
+
+    /// Tick-style wrapper: advance by `dt` ending at `now + dt`.
+    fn step(&mut self, now: SimTime, dt: SimDuration) -> Point {
+        self.advance_to(now + dt)
     }
 
     /// Closed-form position `elapsed` after the current state, without
     /// mutating the model.
     ///
-    /// Valid while no decision boundary (waypoint arrival, wait expiry) is
-    /// crossed within `elapsed`; beyond one the result is a conservative
-    /// extrapolation (it clamps at the final waypoint for path-based
-    /// models). This never replaces per-tick stepping where bit-identical
-    /// trajectories matter — iterated stepping accumulates float rounding
-    /// differently — but gives analysis code and coarse look-ahead (e.g.
-    /// contact-recheck bounds) an `O(1)` interpolation. Default: the current
-    /// position (correct for anything not moving).
+    /// Exact (bit-identical to `advance_to`) while no *random* decision
+    /// boundary is crossed within `elapsed`: deterministic leg changes inside
+    /// a planned trip project exactly, and beyond the last waypoint (or for
+    /// parked nodes, beyond the wait — whose outcome needs an RNG draw) the
+    /// result conservatively clamps in place. Default: the current position
+    /// (correct for anything not moving).
     fn position_at(&self, elapsed: SimDuration) -> Point {
         let _ = elapsed;
         self.position()
@@ -72,8 +116,16 @@ impl Stationary {
 }
 
 impl MovementModel for Stationary {
-    fn step(&mut self, _now: SimTime, _dt: SimDuration) -> Point {
+    fn advance_to(&mut self, _t: SimTime) -> Point {
         self.pos
+    }
+
+    fn motion(&self) -> Segment {
+        Segment::stationary(self.pos, SimTime::ZERO, SimTime::MAX)
+    }
+
+    fn max_speed(&self) -> f64 {
+        0.0
     }
 
     fn position(&self) -> Point {
@@ -84,48 +136,58 @@ impl MovementModel for Stationary {
         true
     }
 
-    fn next_decision_time(&self) -> Option<SimTime> {
-        Some(SimTime::MAX)
-    }
-
     fn name(&self) -> &'static str {
         "Stationary"
     }
 }
 
-/// Shared helper: advance along a polyline path by `dist` metres.
+/// Build the motion segment for one polyline leg from `origin` towards
+/// `target` at `speed` m/s, starting at `start`.
 ///
-/// `leg` is the index of the current target waypoint; returns the new
-/// position, updating `leg` in place. When the path is exhausted the final
-/// waypoint is returned and `leg == path.len()`.
-pub(crate) fn advance_along_path(
-    path: &[Point],
-    pos: Point,
-    leg: &mut usize,
-    mut dist: f64,
-) -> Point {
-    let mut cur = pos;
-    while *leg < path.len() && dist > 0.0 {
-        let target = path[*leg];
-        let to_target = cur.distance(target);
-        if dist >= to_target {
-            dist -= to_target;
-            cur = target;
-            *leg += 1;
-        } else {
-            cur = cur.advance_towards(target, dist);
-            dist = 0.0;
-        }
+/// The expiry is floor-quantised ([`floor_secs`]) so the segment never
+/// evaluates past the waypoint; a zero-length leg yields a degenerate
+/// segment (`until == start`) that the crossing loop steps over by index.
+pub(crate) fn leg_segment(origin: Point, target: Point, speed: f64, start: SimTime) -> Segment {
+    let len = origin.distance(target);
+    if len <= 0.0 {
+        return Segment::stationary(origin, start, start);
     }
-    cur
+    let scale = speed / len;
+    Segment {
+        origin,
+        velocity: Point::new((target.x - origin.x) * scale, (target.y - origin.y) * scale),
+        start,
+        until: start + floor_secs(len / speed),
+    }
 }
 
-/// Pure counterpart of [`advance_along_path`]: the position `dist` metres
-/// further along the path, without committing the move. Used by
-/// [`MovementModel::position_at`] implementations.
-pub(crate) fn peek_along_path(path: &[Point], pos: Point, leg: usize, dist: f64) -> Point {
-    let mut leg = leg;
-    advance_along_path(path, pos, &mut leg, dist)
+/// Walk deterministic leg boundaries up to time `t`.
+///
+/// `leg` indexes the waypoint the segment is driving towards; each crossing
+/// snaps onto `path[leg]` exactly and starts the next leg at the expired
+/// segment's `until`. Returns the segment active at `t` plus the new target
+/// index. When the path is exhausted (arrival — the caller's cue to draw the
+/// wait RNG at the returned segment's `start`) the segment is a stationary
+/// sentinel parked on the final waypoint and the index equals `path.len()`.
+///
+/// Pure: both `advance_to` and `position_at` route through this, which is
+/// what makes within-trip projections bit-identical to stepping.
+pub(crate) fn project_legs(
+    path: &[Point],
+    mut leg: usize,
+    mut seg: Segment,
+    speed: f64,
+    t: SimTime,
+) -> (Segment, usize) {
+    while seg.until < SimTime::MAX && t >= seg.until {
+        let reached = path[leg];
+        leg += 1;
+        if leg >= path.len() {
+            return (Segment::stationary(reached, seg.until, SimTime::MAX), leg);
+        }
+        seg = leg_segment(reached, path[leg], speed, seg.until);
+    }
+    (seg, leg)
 }
 
 #[cfg(test)]
@@ -145,55 +207,88 @@ mod tests {
     }
 
     #[test]
-    fn advance_partial_leg() {
-        let path = [Point::new(10.0, 0.0), Point::new(10.0, 10.0)];
-        let mut leg = 0;
-        let p = advance_along_path(&path, Point::ORIGIN, &mut leg, 4.0);
-        assert_eq!(p, Point::new(4.0, 0.0));
-        assert_eq!(leg, 0);
-    }
-
-    #[test]
-    fn advance_across_legs() {
-        let path = [Point::new(10.0, 0.0), Point::new(10.0, 10.0)];
-        let mut leg = 0;
-        let p = advance_along_path(&path, Point::ORIGIN, &mut leg, 15.0);
-        assert_eq!(p, Point::new(10.0, 5.0));
-        assert_eq!(leg, 1);
-    }
-
-    #[test]
-    fn advance_exhausts_path() {
-        let path = [Point::new(10.0, 0.0), Point::new(10.0, 10.0)];
-        let mut leg = 0;
-        let p = advance_along_path(&path, Point::ORIGIN, &mut leg, 1000.0);
-        assert_eq!(p, Point::new(10.0, 10.0));
-        assert_eq!(leg, 2);
-    }
-
-    #[test]
-    fn advance_zero_distance() {
-        let path = [Point::new(10.0, 0.0)];
-        let mut leg = 0;
-        let p = advance_along_path(&path, Point::new(3.0, 0.0), &mut leg, 0.0);
-        assert_eq!(p, Point::new(3.0, 0.0));
-        assert_eq!(leg, 0);
-    }
-
-    #[test]
-    fn peek_does_not_commit() {
-        let path = [Point::new(10.0, 0.0), Point::new(10.0, 10.0)];
-        let leg = 0;
-        let p = peek_along_path(&path, Point::ORIGIN, leg, 15.0);
-        assert_eq!(p, Point::new(10.0, 5.0));
-        // Peeking twice from the same state yields the same answer.
-        assert_eq!(p, peek_along_path(&path, Point::ORIGIN, leg, 15.0));
-    }
-
-    #[test]
     fn stationary_decision_time_is_never() {
         let s = Stationary::new(Point::ORIGIN);
-        assert_eq!(s.next_decision_time(), Some(SimTime::MAX));
+        assert_eq!(s.next_decision_time(), SimTime::MAX);
         assert_eq!(s.position_at(SimDuration::from_hours(5)), Point::ORIGIN);
+        assert!(s.motion().is_parked());
+        assert_eq!(s.max_speed(), 0.0);
+    }
+
+    #[test]
+    fn leg_segment_reaches_waypoint_on_the_grid() {
+        // 100 m at 10 m/s = exactly 10 s: no quantisation loss.
+        let s = leg_segment(
+            Point::ORIGIN,
+            Point::new(100.0, 0.0),
+            10.0,
+            SimTime::from_millis(5_000),
+        );
+        assert_eq!(s.until, SimTime::from_millis(15_000));
+        assert_eq!(
+            s.position_at(SimTime::from_millis(15_000)),
+            Point::new(100.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn leg_segment_floors_the_expiry() {
+        // 100 m at 30 m/s = 3.333… s → floors to 3.333 s, so the segment
+        // stops a hair short of the waypoint rather than overshooting it.
+        let s = leg_segment(Point::ORIGIN, Point::new(100.0, 0.0), 30.0, SimTime::ZERO);
+        assert_eq!(s.until, SimTime::from_millis(3_333));
+        let end = s.position_at(s.until);
+        assert!(end.x <= 100.0, "overshot the waypoint: {end}");
+        assert!(
+            100.0 - end.x < 30.0 * 0.001 + 1e-9,
+            "stopped too short: {end}"
+        );
+    }
+
+    #[test]
+    fn zero_length_leg_is_degenerate() {
+        let s = leg_segment(
+            Point::new(3.0, 3.0),
+            Point::new(3.0, 3.0),
+            10.0,
+            SimTime::ZERO,
+        );
+        assert_eq!(s.until, s.start);
+        assert!(s.is_parked());
+    }
+
+    #[test]
+    fn project_crosses_legs_and_snaps() {
+        let path = [Point::ORIGIN, Point::new(10.0, 0.0), Point::new(10.0, 10.0)];
+        let seg = leg_segment(path[0], path[1], 1.0, SimTime::ZERO);
+        // 15 s at 1 m/s: 10 m east (snap onto the corner), 5 m north.
+        let (s, leg) = project_legs(&path, 1, seg, 1.0, SimTime::from_millis(15_000));
+        assert_eq!(leg, 2);
+        assert_eq!(s.origin, Point::new(10.0, 0.0));
+        assert_eq!(
+            s.position_at(SimTime::from_millis(15_000)),
+            Point::new(10.0, 5.0)
+        );
+    }
+
+    #[test]
+    fn project_exhausts_path_into_sentinel() {
+        let path = [Point::ORIGIN, Point::new(10.0, 0.0)];
+        let seg = leg_segment(path[0], path[1], 1.0, SimTime::ZERO);
+        let (s, leg) = project_legs(&path, 1, seg, 1.0, SimTime::from_millis(60_000));
+        assert_eq!(leg, 2);
+        assert!(s.is_parked());
+        assert_eq!(s.origin, Point::new(10.0, 0.0));
+        assert_eq!(s.start, SimTime::from_millis(10_000));
+        assert_eq!(s.until, SimTime::MAX);
+    }
+
+    #[test]
+    fn project_before_boundary_is_identity() {
+        let path = [Point::ORIGIN, Point::new(10.0, 0.0)];
+        let seg = leg_segment(path[0], path[1], 1.0, SimTime::ZERO);
+        let (s, leg) = project_legs(&path, 1, seg, 1.0, SimTime::from_millis(4_000));
+        assert_eq!(leg, 1);
+        assert_eq!(s, seg);
     }
 }

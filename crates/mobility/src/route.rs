@@ -6,10 +6,10 @@
 //! the headline experiments but is exercised by the extension examples and
 //! sweep ablations.
 
-use crate::model::{advance_along_path, MovementModel};
+use crate::model::{leg_segment, project_legs, MovementModel, MIN_WAIT};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use vdtn_geo::{astar, Point, RoadGraph, VertexId};
+use vdtn_geo::{astar, Point, RoadGraph, Segment, VertexId};
 use vdtn_sim_core::{SimDuration, SimRng, SimTime};
 
 /// Parameters for [`MapRouteMovement`].
@@ -39,8 +39,14 @@ impl RouteConfig {
 }
 
 enum Phase {
-    Dwelling { until: SimTime },
-    Driving { path: Vec<Point>, leg: usize },
+    Dwelling {
+        seg: Segment,
+    },
+    Driving {
+        path: Vec<Point>,
+        leg: usize,
+        seg: Segment,
+    },
 }
 
 /// Cyclic fixed-route movement over the road graph.
@@ -48,6 +54,8 @@ pub struct MapRouteMovement {
     graph: Arc<RoadGraph>,
     cfg: RouteConfig,
     pos: Point,
+    /// Time of the last `advance_to` (the anchor for `position_at`).
+    clock: SimTime,
     /// Index into `cfg.stops` of the *next* stop to visit.
     next_stop: usize,
     phase: Phase,
@@ -59,18 +67,21 @@ impl MapRouteMovement {
         cfg.validate(&graph);
         let start_idx = rng.index(cfg.stops.len());
         let pos = graph.position(cfg.stops[start_idx]);
+        let until = SimTime::ZERO + SimDuration::from_secs_f64(cfg.stop_wait).max(MIN_WAIT);
         MapRouteMovement {
             graph,
             pos,
+            clock: SimTime::ZERO,
             next_stop: (start_idx + 1) % cfg.stops.len(),
             phase: Phase::Dwelling {
-                until: SimTime::ZERO + SimDuration::from_secs_f64(cfg.stop_wait),
+                seg: Segment::stationary(pos, SimTime::ZERO, until),
             },
             cfg,
         }
     }
 
-    fn depart(&mut self, now: SimTime) {
+    /// Leave for the next stop at `depart` (the dwell's expiry).
+    fn depart(&mut self, depart: SimTime) {
         let here = self
             .graph
             .nearest_vertex(self.pos)
@@ -78,19 +89,22 @@ impl MapRouteMovement {
         let target = self.cfg.stops[self.next_stop];
         match astar(&self.graph, here, target) {
             Some(result) if result.vertices.len() > 1 => {
-                let path = result
+                let path: Vec<Point> = result
                     .vertices
                     .iter()
                     .map(|&v| self.graph.position(v))
                     .collect();
-                self.phase = Phase::Driving { path, leg: 1 };
+                let seg = leg_segment(path[0], path[1], self.cfg.speed, depart);
+                self.phase = Phase::Driving { path, leg: 1, seg };
             }
             _ => {
                 // Already there or unreachable: advance the stop pointer and
                 // dwell again instead of spinning.
                 self.next_stop = (self.next_stop + 1) % self.cfg.stops.len();
+                let until =
+                    depart + SimDuration::from_secs_f64(self.cfg.stop_wait.max(1.0)).max(MIN_WAIT);
                 self.phase = Phase::Dwelling {
-                    until: now + SimDuration::from_secs_f64(self.cfg.stop_wait.max(1.0)),
+                    seg: Segment::stationary(self.pos, depart, until),
                 };
             }
         }
@@ -98,48 +112,64 @@ impl MapRouteMovement {
 }
 
 impl MovementModel for MapRouteMovement {
-    fn step(&mut self, now: SimTime, dt: SimDuration) -> Point {
-        let end = now + dt;
-        match &mut self.phase {
-            Phase::Dwelling { until } => {
-                if end >= *until {
-                    self.depart(end);
+    fn advance_to(&mut self, t: SimTime) -> Point {
+        loop {
+            match &mut self.phase {
+                Phase::Dwelling { seg } => {
+                    if t < seg.until {
+                        self.clock = t;
+                        return self.pos;
+                    }
+                    let when = seg.until;
+                    self.depart(when);
                 }
-            }
-            Phase::Driving { path, leg } => {
-                let dist = self.cfg.speed * dt.as_secs_f64();
-                self.pos = advance_along_path(path, self.pos, leg, dist);
-                if *leg >= path.len() {
+                Phase::Driving { path, leg, seg } => {
+                    let (nseg, nleg) = project_legs(path, *leg, *seg, self.cfg.speed, t);
+                    if nleg < path.len() {
+                        *seg = nseg;
+                        *leg = nleg;
+                        self.pos = nseg.position_at(t);
+                        self.clock = t;
+                        return self.pos;
+                    }
+                    // Arrived at the stop: dwell from the arrival instant.
+                    let arrival = nseg.start;
+                    let parked = nseg.origin;
+                    self.pos = parked;
                     self.next_stop = (self.next_stop + 1) % self.cfg.stops.len();
+                    let until =
+                        arrival + SimDuration::from_secs_f64(self.cfg.stop_wait).max(MIN_WAIT);
                     self.phase = Phase::Dwelling {
-                        until: end + SimDuration::from_secs_f64(self.cfg.stop_wait),
+                        seg: Segment::stationary(parked, arrival, until),
                     };
                 }
             }
         }
-        self.pos
+    }
+
+    fn motion(&self) -> Segment {
+        match &self.phase {
+            Phase::Dwelling { seg } => *seg,
+            Phase::Driving { seg, .. } => *seg,
+        }
+    }
+
+    fn max_speed(&self) -> f64 {
+        self.cfg.speed
     }
 
     fn position(&self) -> Point {
         self.pos
     }
 
-    fn next_decision_time(&self) -> Option<SimTime> {
-        match &self.phase {
-            Phase::Dwelling { until } => Some(*until),
-            Phase::Driving { .. } => None,
-        }
-    }
-
     fn position_at(&self, elapsed: SimDuration) -> Point {
+        let t = self.clock + elapsed;
         match &self.phase {
             Phase::Dwelling { .. } => self.pos,
-            Phase::Driving { path, leg } => crate::model::peek_along_path(
-                path,
-                self.pos,
-                *leg,
-                self.cfg.speed * elapsed.as_secs_f64(),
-            ),
+            Phase::Driving { path, leg, seg } => {
+                let (nseg, _) = project_legs(path, *leg, *seg, self.cfg.speed, t);
+                nseg.position_at(t)
+            }
         }
     }
 
@@ -217,12 +247,45 @@ mod tests {
         let dt = SimDuration::from_secs(1);
         let mut now = SimTime::ZERO;
         let mut prev = m.position();
+        // Arrival snap absorbs the floored sub-millisecond remainder.
+        let limit = 10.0 * 1.001 + 1e-9;
         for _ in 0..500 {
             let p = m.step(now, dt);
             now += dt;
             let d = prev.distance(p);
-            assert!(d <= 10.0 + 1e-9, "step of {d} m at {now}");
+            assert!(d <= limit, "step of {d} m at {now}");
             prev = p;
+        }
+    }
+
+    #[test]
+    fn lazy_advance_matches_stepping() {
+        let g = grid();
+        let stops = corners(&g);
+        let cfg = RouteConfig {
+            stops,
+            speed: 7.0,
+            stop_wait: 4.0,
+        };
+        let mut rng_a = SimRng::seed_from_u64(5);
+        let mut rng_b = SimRng::seed_from_u64(5);
+        let mut every_tick = MapRouteMovement::new(g.clone(), cfg.clone(), &mut rng_a);
+        let mut lazy = MapRouteMovement::new(g, cfg, &mut rng_b);
+        let dt = SimDuration::from_secs(1);
+        let mut now = SimTime::ZERO;
+        for _ in 0..3_000 {
+            let end = now + dt;
+            let reference = every_tick.step(now, dt);
+            if lazy.next_decision_time() <= end {
+                lazy.advance_to(end);
+                assert_eq!(reference, lazy.position(), "diverged at {end}");
+            }
+            assert_eq!(
+                reference,
+                lazy.motion().position_at(end),
+                "segment diverged at {end}"
+            );
+            now = end;
         }
     }
 

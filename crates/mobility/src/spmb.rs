@@ -13,11 +13,17 @@
 //! Vehicles start at a random road vertex in the Waiting state with a random
 //! initial residual wait (avoids the thundering-herd of every vehicle
 //! departing at t = 0).
+//!
+//! Motion follows the segment protocol (see [`crate::model`]): each driving
+//! leg is a [`Segment`] evaluated in closed form, transitions happen at
+//! segment expiry with RNG draws anchored to the boundary time, and
+//! [`MovementModel::position_at`] projects across leg boundaries exactly —
+//! a whole trip is deterministic once planned.
 
-use crate::model::{advance_along_path, MovementModel};
+use crate::model::{leg_segment, project_legs, MovementModel, MIN_WAIT};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use vdtn_geo::{astar, Point, RoadGraph, VertexId};
+use vdtn_geo::{astar, distance_lower_bound, Point, RoadGraph, Segment, VertexId};
 use vdtn_sim_core::{SimDuration, SimRng, SimTime};
 
 /// Parameters for [`ShortestPathMapBased`]. Defaults are the paper's.
@@ -64,14 +70,15 @@ impl SpmbConfig {
 }
 
 enum Phase {
-    /// Parked until the deadline.
-    Waiting { until: SimTime },
-    /// Driving along `path` (waypoint positions); `leg` indexes the next
-    /// waypoint, `speed` is this trip's speed in m/s.
+    /// Parked on a stationary segment until `seg.until`.
+    Waiting { seg: Segment },
+    /// Driving along `path` (waypoint positions); `leg` indexes the waypoint
+    /// the active segment drives towards, `speed` is this trip's m/s.
     Driving {
         path: Vec<Point>,
         leg: usize,
         speed: f64,
+        seg: Segment,
     },
 }
 
@@ -87,6 +94,8 @@ pub struct ShortestPathMapBased {
     cfg: SpmbConfig,
     rng: SimRng,
     pos: Point,
+    /// Time of the last `advance_to` (the anchor for `position_at`).
+    clock: SimTime,
     /// The two road vertices the current position lies between (equal when
     /// parked exactly at an intersection). These are the legal ways back
     /// onto the vertex graph when planning the next trip.
@@ -105,34 +114,46 @@ impl ShortestPathMapBased {
         assert!(graph.vertex_count() > 0, "map has no vertices");
         let (pos, anchor_a, anchor_b) = random_road_point(&graph, &mut rng);
         let initial_wait = SimDuration::from_secs_f64(rng.range_f64(0.0, cfg.wait_hi.max(1.0)));
+        let until = SimTime::ZERO + initial_wait.max(MIN_WAIT);
         ShortestPathMapBased {
             graph,
             cfg,
             rng,
             pos,
+            clock: SimTime::ZERO,
             anchor_a,
             anchor_b,
             phase: Phase::Waiting {
-                until: SimTime::ZERO + initial_wait,
+                seg: Segment::stationary(pos, SimTime::ZERO, until),
             },
         }
     }
 
-    fn plan_next_trip(&mut self, now: SimTime) {
+    /// Plan the next trip, departing at `depart` (the wait's expiry — all
+    /// RNG draws here are anchored to that boundary time).
+    fn plan_next_trip(&mut self, depart: SimTime) {
         let (dest, dest_a, dest_b) = random_road_point(&self.graph, &mut self.rng);
 
         // Choose the cheapest combination of exit anchor (how we rejoin the
         // vertex graph) and entry anchor (where we leave it for the final
-        // off-vertex stretch). Up to four A* runs per trip (~one trip per
-        // vehicle per ten minutes — negligible).
+        // off-vertex stretch). Up to four A* runs per trip; a pair whose
+        // admissible lower bound already reaches the best exact total is
+        // skipped — the bound never exceeds the true length and the update
+        // below is strictly `<`, so the pruned loop picks the same winner
+        // (ties stay first-in-order) while usually running a single search.
         let mut best: Option<(f64, Vec<Point>)> = None;
         for &exit in &[self.anchor_a, self.anchor_b] {
             for &entry in &[dest_a, dest_b] {
+                let head = self.pos.distance(self.graph.position(exit));
+                let tail = self.graph.position(entry).distance(dest);
+                if let Some((c, _)) = &best {
+                    if head + distance_lower_bound(&self.graph, exit, entry) + tail >= *c {
+                        continue;
+                    }
+                }
                 let Some(result) = astar(&self.graph, exit, entry) else {
                     continue;
                 };
-                let head = self.pos.distance(self.graph.position(exit));
-                let tail = self.graph.position(entry).distance(dest);
                 let total = head + result.length + tail;
                 if best.as_ref().map(|(c, _)| total < *c).unwrap_or(true) {
                     let mut path: Vec<Point> = Vec::with_capacity(result.vertices.len() + 2);
@@ -149,17 +170,20 @@ impl ShortestPathMapBased {
                 let speed = self.rng.range_f64(self.cfg.speed_lo, self.cfg.speed_hi);
                 self.anchor_a = dest_a;
                 self.anchor_b = dest_b;
+                let seg = leg_segment(path[0], path[1], speed, depart);
                 self.phase = Phase::Driving {
                     path,
                     leg: 1, // element 0 is the current position
                     speed,
+                    seg,
                 };
             }
             None => {
                 // Unreachable destination (disconnected map): wait and retry.
                 let wait = self.rng.range_f64(self.cfg.wait_lo, self.cfg.wait_hi);
+                let until = depart + SimDuration::from_secs_f64(wait.max(1.0)).max(MIN_WAIT);
                 self.phase = Phase::Waiting {
-                    until: now + SimDuration::from_secs_f64(wait.max(1.0)),
+                    seg: Segment::stationary(self.pos, depart, until),
                 };
             }
         }
@@ -175,19 +199,11 @@ fn random_road_point(graph: &RoadGraph, rng: &mut SimRng) -> (Point, VertexId, V
         return (graph.position(v), v, v);
     }
     // Length-proportional edge choice via one uniform draw over the total
-    // street length. Linear scan is fine at setup/trip frequency.
+    // street length, answered from the graph's cached length-prefix table —
+    // bit-identical to a sequential `acc >= target` scan (including its
+    // rounding fallback to the last edge), but O(log E) per trip.
     let target = rng.range_f64(0.0, graph.total_length());
-    let mut acc = 0.0;
-    let mut chosen = vdtn_geo::EdgeId(0);
-    for e in 0..graph.edge_count() {
-        let id = vdtn_geo::EdgeId(e as u32);
-        acc += graph.edge_length(id);
-        if acc >= target {
-            chosen = id;
-            break;
-        }
-        chosen = id; // float-rounding fallback: keep the last edge
-    }
+    let chosen = graph.edge_at_accumulated_length(target);
     let (a, b) = graph.edge_endpoints(chosen);
     let t = rng.next_f64();
     let p = graph.position(a).lerp(graph.position(b), t);
@@ -195,47 +211,75 @@ fn random_road_point(graph: &RoadGraph, rng: &mut SimRng) -> (Point, VertexId, V
 }
 
 impl MovementModel for ShortestPathMapBased {
-    fn step(&mut self, now: SimTime, dt: SimDuration) -> Point {
-        let end = now + dt;
-        match &mut self.phase {
-            Phase::Waiting { until } => {
-                if end >= *until {
-                    self.plan_next_trip(end);
+    fn advance_to(&mut self, t: SimTime) -> Point {
+        loop {
+            match &mut self.phase {
+                Phase::Waiting { seg } => {
+                    if t < seg.until {
+                        self.clock = t;
+                        return self.pos;
+                    }
+                    let depart = seg.until;
+                    self.plan_next_trip(depart);
                 }
-            }
-            Phase::Driving { path, leg, speed } => {
-                let dist = *speed * dt.as_secs_f64();
-                self.pos = advance_along_path(path, self.pos, leg, dist);
-                if *leg >= path.len() {
-                    // Arrived: park and schedule the paper's 5–15 min wait.
+                Phase::Driving {
+                    path,
+                    leg,
+                    speed,
+                    seg,
+                } => {
+                    let (nseg, nleg) = project_legs(path, *leg, *seg, *speed, t);
+                    if nleg < path.len() {
+                        *seg = nseg;
+                        *leg = nleg;
+                        self.pos = nseg.position_at(t);
+                        self.clock = t;
+                        return self.pos;
+                    }
+                    // Arrived at `nseg.start`, parked exactly on the final
+                    // waypoint: schedule the paper's 5–15 min wait from the
+                    // arrival instant.
+                    let arrival = nseg.start;
+                    let parked = nseg.origin;
+                    self.pos = parked;
                     let wait = self.rng.range_f64(self.cfg.wait_lo, self.cfg.wait_hi);
+                    let until = arrival + SimDuration::from_secs_f64(wait).max(MIN_WAIT);
                     self.phase = Phase::Waiting {
-                        until: end + SimDuration::from_secs_f64(wait),
+                        seg: Segment::stationary(parked, arrival, until),
                     };
                 }
             }
         }
-        self.pos
+    }
+
+    fn motion(&self) -> Segment {
+        match &self.phase {
+            Phase::Waiting { seg } => *seg,
+            Phase::Driving { seg, .. } => *seg,
+        }
+    }
+
+    fn max_speed(&self) -> f64 {
+        self.cfg.speed_hi
     }
 
     fn position(&self) -> Point {
         self.pos
     }
 
-    fn next_decision_time(&self) -> Option<SimTime> {
-        match &self.phase {
-            // Steps ending before `until` are pure no-ops (no RNG draw, no
-            // state change — see `step`), so the engine may skip them.
-            Phase::Waiting { until } => Some(*until),
-            Phase::Driving { .. } => None,
-        }
-    }
-
     fn position_at(&self, elapsed: SimDuration) -> Point {
+        let t = self.clock + elapsed;
         match &self.phase {
             Phase::Waiting { .. } => self.pos,
-            Phase::Driving { path, leg, speed } => {
-                crate::model::peek_along_path(path, self.pos, *leg, *speed * elapsed.as_secs_f64())
+            Phase::Driving {
+                path,
+                leg,
+                speed,
+                seg,
+                ..
+            } => {
+                let (nseg, _) = project_legs(path, *leg, *seg, *speed, t);
+                nseg.position_at(t)
             }
         }
     }
@@ -308,13 +352,13 @@ mod tests {
         };
         let mut m = ShortestPathMapBased::new(g, cfg, SimRng::seed_from_u64(5));
         let trace = drive(&mut m, 2_000);
+        // A leg boundary inside the tick snaps onto the waypoint, absorbing
+        // the floored sub-millisecond remainder: allow one millisecond's
+        // travel of slack on top of the per-second limit.
+        let limit = cfg.speed_hi * 1.001 + 1e-9;
         for w in trace.windows(2) {
             let d = w[0].distance(w[1]);
-            assert!(
-                d <= cfg.speed_hi + 1e-9,
-                "moved {d} m in one second (limit {})",
-                cfg.speed_hi
-            );
+            assert!(d <= limit, "moved {d} m in one second (limit {limit})");
         }
     }
 
@@ -355,10 +399,12 @@ mod tests {
     }
 
     #[test]
-    fn skipping_noop_steps_is_bit_identical() {
-        // The event-driven engine's movement contract: a model whose
-        // `next_decision_time()` is `Some(t)` may be left unstepped for every
-        // tick ending before `t` without changing its trajectory at all.
+    fn skipping_to_deadlines_is_bit_identical() {
+        // The event-driven engine's movement contract: between decision
+        // boundaries a node need not be advanced at all — its segment's
+        // closed form IS its trajectory. Advancing only at boundaries and
+        // evaluating `motion()` in between must reproduce per-tick stepping
+        // bit-for-bit, including every RNG draw.
         let g = grid();
         let cfg = SpmbConfig {
             wait_lo: 5.0,
@@ -372,21 +418,24 @@ mod tests {
         for _ in 0..4_000 {
             let end = now + dt;
             let reference = every_tick.step(now, dt);
-            let due = match lazy.next_decision_time() {
-                None => true,
-                Some(t) => t <= end,
-            };
-            if due {
-                lazy.step(now, dt);
+            if lazy.next_decision_time() <= end {
+                lazy.advance_to(end);
+                assert_eq!(reference, lazy.position(), "diverged at {end}");
             }
-            assert_eq!(reference, lazy.position(), "diverged at {end}");
-            assert_eq!(every_tick.next_decision_time(), lazy.next_decision_time());
+            // Whether lazy advanced or not, its segment must reproduce the
+            // stepped position analytically.
+            assert_eq!(
+                reference,
+                lazy.motion().position_at(end),
+                "segment diverged at {end}"
+            );
+            assert_eq!(every_tick.motion(), lazy.motion());
             now = end;
         }
     }
 
     #[test]
-    fn position_at_interpolates_while_driving() {
+    fn position_at_is_exact_between_boundaries() {
         let g = grid();
         let cfg = SpmbConfig {
             wait_lo: 1.0,
@@ -398,22 +447,21 @@ mod tests {
         let mut now = SimTime::ZERO;
         let mut checked = 0;
         for _ in 0..2_000 {
-            if m.next_decision_time().is_none() {
-                // Driving: a one-tick closed-form look-ahead must land within
-                // one tick's travel of the stepped position (float rounding
-                // aside, they follow the same polyline at the same speed).
-                let predicted = m.position_at(dt);
-                let actual = m.step(now, dt);
-                assert!(
-                    predicted.distance(actual) < 1e-6,
-                    "peek {predicted} vs step {actual}"
-                );
-                checked += 1;
-            } else {
-                assert_eq!(m.position_at(dt), m.position(), "waiting peek moved");
-                m.step(now, dt);
+            let end = now + dt;
+            let seg = m.motion();
+            let driving = !seg.is_parked();
+            let predicted = m.position_at(dt);
+            let actual = m.step(now, dt);
+            if seg.until > end {
+                // No decision boundary inside the tick: the projection and
+                // the exported segment are both bit-exact.
+                assert_eq!(predicted, actual, "peek diverged at {end}");
+                assert_eq!(seg.position_at(end), actual, "segment diverged at {end}");
+                if driving {
+                    checked += 1;
+                }
             }
-            now += dt;
+            now = end;
         }
         assert!(checked > 100, "never drove ({checked} checks)");
     }

@@ -5,9 +5,9 @@
 //! paper's scenario (which is map-constrained) but included as a baseline so
 //! the effect of map constraints on contact statistics can be measured.
 
-use crate::model::MovementModel;
+use crate::model::{leg_segment, MovementModel, MIN_WAIT};
 use serde::{Deserialize, Serialize};
-use vdtn_geo::{Bounds, Point};
+use vdtn_geo::{Bounds, Point, Segment};
 use vdtn_sim_core::{SimDuration, SimRng, SimTime};
 
 /// Parameters for [`RandomWaypoint`].
@@ -35,8 +35,8 @@ impl WaypointConfig {
 }
 
 enum Phase {
-    Waiting { until: SimTime },
-    Moving { target: Point, speed: f64 },
+    Waiting { seg: Segment },
+    Moving { target: Point, seg: Segment },
 }
 
 /// Free-space random waypoint model.
@@ -44,6 +44,8 @@ pub struct RandomWaypoint {
     cfg: WaypointConfig,
     rng: SimRng,
     pos: Point,
+    /// Time of the last `advance_to` (the anchor for `position_at`).
+    clock: SimTime,
     phase: Phase,
 }
 
@@ -59,13 +61,16 @@ impl RandomWaypoint {
             cfg,
             rng,
             pos,
+            clock: SimTime::ZERO,
+            // Degenerate wait: the first leg is drawn at t = 0.
             phase: Phase::Waiting {
-                until: SimTime::ZERO,
+                seg: Segment::stationary(pos, SimTime::ZERO, SimTime::ZERO),
             },
         }
     }
 
-    fn pick_leg(&mut self) {
+    /// Draw the next leg, departing at `depart` (the wait's expiry).
+    fn pick_leg(&mut self, depart: SimTime) {
         let target = Point::new(
             self.rng
                 .range_f64(self.cfg.bounds.min.x, self.cfg.bounds.max.x),
@@ -73,50 +78,69 @@ impl RandomWaypoint {
                 .range_f64(self.cfg.bounds.min.y, self.cfg.bounds.max.y),
         );
         let speed = self.rng.range_f64(self.cfg.speed_lo, self.cfg.speed_hi);
-        self.phase = Phase::Moving { target, speed };
+        let seg = leg_segment(self.pos, target, speed, depart);
+        self.phase = Phase::Moving { target, seg };
     }
 }
 
 impl MovementModel for RandomWaypoint {
-    fn step(&mut self, now: SimTime, dt: SimDuration) -> Point {
-        let end = now + dt;
-        match self.phase {
-            Phase::Waiting { until } => {
-                if end >= until {
-                    self.pick_leg();
+    fn advance_to(&mut self, t: SimTime) -> Point {
+        loop {
+            match &mut self.phase {
+                Phase::Waiting { seg } => {
+                    if t < seg.until {
+                        self.clock = t;
+                        return self.pos;
+                    }
+                    let depart = seg.until;
+                    self.pick_leg(depart);
                 }
-            }
-            Phase::Moving { target, speed } => {
-                let dist = speed * dt.as_secs_f64();
-                self.pos = self.pos.advance_towards(target, dist);
-                if self.pos.distance(target) < 1e-9 {
+                Phase::Moving { target, seg } => {
+                    if t < seg.until {
+                        self.pos = seg.position_at(t);
+                        self.clock = t;
+                        return self.pos;
+                    }
+                    // Arrived: snap exactly onto the waypoint and pause.
+                    let arrival = seg.until;
+                    let parked = *target;
+                    self.pos = parked;
                     let wait = self.rng.range_f64(self.cfg.wait_lo, self.cfg.wait_hi);
+                    let until = arrival + SimDuration::from_secs_f64(wait).max(MIN_WAIT);
                     self.phase = Phase::Waiting {
-                        until: end + SimDuration::from_secs_f64(wait),
+                        seg: Segment::stationary(parked, arrival, until),
                     };
                 }
             }
         }
-        self.pos
+    }
+
+    fn motion(&self) -> Segment {
+        match &self.phase {
+            Phase::Waiting { seg } => *seg,
+            Phase::Moving { seg, .. } => *seg,
+        }
+    }
+
+    fn max_speed(&self) -> f64 {
+        self.cfg.speed_hi
     }
 
     fn position(&self) -> Point {
         self.pos
     }
 
-    fn next_decision_time(&self) -> Option<SimTime> {
-        match self.phase {
-            Phase::Waiting { until } => Some(until),
-            Phase::Moving { .. } => None,
-        }
-    }
-
     fn position_at(&self, elapsed: SimDuration) -> Point {
-        match self.phase {
+        let t = self.clock + elapsed;
+        match &self.phase {
             Phase::Waiting { .. } => self.pos,
-            Phase::Moving { target, speed } => self
-                .pos
-                .advance_towards(target, speed * elapsed.as_secs_f64()),
+            Phase::Moving { target, seg } => {
+                if t >= seg.until {
+                    *target // conservative: parked on the waypoint
+                } else {
+                    seg.position_at(t)
+                }
+            }
         }
     }
 
@@ -160,10 +184,13 @@ mod tests {
         let dt = SimDuration::from_secs(1);
         let mut now = SimTime::ZERO;
         let mut prev = m.position();
+        // One millisecond's travel of slack for the arrival snap (see
+        // `leg_segment`'s floor-quantisation).
+        let limit = 15.0 * 1.001 + 1e-9;
         for _ in 0..5_000 {
             let p = m.step(now, dt);
             now += dt;
-            assert!(prev.distance(p) <= 15.0 + 1e-9);
+            assert!(prev.distance(p) <= limit);
             prev = p;
         }
     }
@@ -192,6 +219,30 @@ mod tests {
         for _ in 0..1_000 {
             assert_eq!(a.step(now, dt), b.step(now, dt));
             now += dt;
+        }
+    }
+
+    #[test]
+    fn lazy_advance_matches_stepping() {
+        // Same contract test as SPMB's: boundaries-only advancement plus
+        // closed-form evaluation reproduces per-tick stepping bit-for-bit.
+        let mut every_tick = RandomWaypoint::new(cfg(), SimRng::seed_from_u64(7));
+        let mut lazy = RandomWaypoint::new(cfg(), SimRng::seed_from_u64(7));
+        let dt = SimDuration::from_secs(1);
+        let mut now = SimTime::ZERO;
+        for _ in 0..5_000 {
+            let end = now + dt;
+            let reference = every_tick.step(now, dt);
+            if lazy.next_decision_time() <= end {
+                lazy.advance_to(end);
+                assert_eq!(reference, lazy.position(), "diverged at {end}");
+            }
+            assert_eq!(
+                reference,
+                lazy.motion().position_at(end),
+                "segment diverged at {end}"
+            );
+            now = end;
         }
     }
 }

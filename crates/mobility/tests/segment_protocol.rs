@@ -1,0 +1,154 @@
+//! Property tests for the motion segment protocol.
+//!
+//! For every movement model, over random configurations and seeds:
+//!
+//! * `position_at(elapsed)` anchored at any tick must equal the position the
+//!   model actually reaches by iterated `step()`ping, bit-for-bit, for every
+//!   grid tick that lands strictly inside the current decision window, and
+//! * the exported `motion()` segment must reproduce both through its own
+//!   closed form.
+//!
+//! This is the contract the event-driven engine leans on when it skips
+//! movement ticks entirely and evaluates kinematics columns analytically.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vdtn_geo::{Bounds, GridMapGen, Point, RoadGraph};
+use vdtn_mobility::{
+    MapRouteMovement, MovementModel, RandomWaypoint, RouteConfig, ShortestPathMapBased, SpmbConfig,
+    Stationary, WaypointConfig,
+};
+use vdtn_sim_core::{SimDuration, SimRng, SimTime};
+
+/// How many future grid ticks each anchor predicts ahead.
+const HORIZON: u64 = 30;
+
+/// Drive `m` for `ticks` one-second steps; at every tick check all earlier
+/// predictions that land on it, then predict forward from the fresh state.
+fn check_protocol<M: MovementModel>(mut m: M, ticks: u64) {
+    let dt = SimDuration::from_secs(1);
+    let mut now = SimTime::ZERO;
+    let mut pending: Vec<(SimTime, Point)> = Vec::new();
+    let mut predicted = 0u64;
+    for _ in 0..ticks {
+        let end = now + dt;
+        let p = m.step(now, dt);
+        for &(t, pred) in pending.iter() {
+            if t == end {
+                assert_eq!(pred, p, "prediction for {end} diverged");
+            }
+        }
+        pending.retain(|&(t, _)| t > end);
+
+        // The exported segment must agree with the model *now*…
+        let seg = m.motion();
+        assert_eq!(seg.position_at(end), p, "segment disagrees at its anchor");
+        // …and project exactly up to (not including) the next decision.
+        let nd = m.next_decision_time();
+        for k in 1..=HORIZON {
+            let f = end + SimDuration::from_secs(k);
+            if f >= nd {
+                break;
+            }
+            let via_at = m.position_at(SimDuration::from_secs(k));
+            assert_eq!(via_at, seg.position_at(f), "position_at vs segment at {f}");
+            pending.push((f, via_at));
+            predicted += 1;
+        }
+        now = end;
+    }
+    assert!(
+        predicted > 0 || ticks == 0,
+        "window never admitted a prediction — test is vacuous"
+    );
+}
+
+fn grid_map() -> Arc<RoadGraph> {
+    Arc::new(
+        GridMapGen {
+            cols: 5,
+            rows: 5,
+            spacing: 100.0,
+        }
+        .generate(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn spmb_segment_protocol(
+        seed in 0u64..1_000_000,
+        speed_lo_d in 10u32..150,
+        speed_span_d in 0u32..150,
+        wait_lo_d in 0u32..200,
+        wait_span_d in 10u32..400,
+    ) {
+        let speed_lo = speed_lo_d as f64 / 10.0;
+        let cfg = SpmbConfig {
+            speed_lo,
+            speed_hi: speed_lo + speed_span_d as f64 / 10.0,
+            wait_lo: wait_lo_d as f64 / 10.0,
+            wait_hi: (wait_lo_d + wait_span_d) as f64 / 10.0,
+        };
+        let m = ShortestPathMapBased::new(grid_map(), cfg, SimRng::seed_from_u64(seed));
+        check_protocol(m, 400);
+    }
+
+    #[test]
+    fn waypoint_segment_protocol(
+        seed in 0u64..1_000_000,
+        speed_lo_d in 10u32..150,
+        speed_span_d in 0u32..150,
+        wait_lo_d in 0u32..100,
+        wait_span_d in 10u32..200,
+    ) {
+        let speed_lo = speed_lo_d as f64 / 10.0;
+        let speed_span = speed_span_d as f64 / 10.0;
+        let wait_lo = wait_lo_d as f64 / 10.0;
+        let wait_span = wait_span_d as f64 / 10.0;
+        let mut bounds = Bounds::empty();
+        bounds.expand(Point::new(0.0, 0.0));
+        bounds.expand(Point::new(900.0, 700.0));
+        let cfg = WaypointConfig {
+            bounds,
+            speed_lo,
+            speed_hi: speed_lo + speed_span,
+            wait_lo,
+            wait_hi: wait_lo + wait_span,
+        };
+        let m = RandomWaypoint::new(cfg, SimRng::seed_from_u64(seed));
+        check_protocol(m, 400);
+    }
+
+    #[test]
+    fn route_segment_protocol(
+        seed in 0u64..1_000_000,
+        speed_d in 10u32..200,
+        stop_wait_d in 0u32..200,
+    ) {
+        let speed = speed_d as f64 / 10.0;
+        let stop_wait = stop_wait_d as f64 / 10.0;
+        let g = grid_map();
+        let stops = [
+            Point::new(0.0, 0.0),
+            Point::new(400.0, 0.0),
+            Point::new(400.0, 400.0),
+            Point::new(0.0, 400.0),
+        ]
+        .iter()
+        .map(|&p| g.nearest_vertex(p).unwrap())
+        .collect();
+        let cfg = RouteConfig { stops, speed, stop_wait };
+        let mut rng = SimRng::seed_from_u64(seed);
+        let m = MapRouteMovement::new(g, cfg, &mut rng);
+        check_protocol(m, 400);
+    }
+
+    #[test]
+    fn stationary_segment_protocol(x in -500i32..500, y in -500i32..500) {
+        let m = Stationary::new(Point::new(x as f64, y as f64));
+        check_protocol(m, 50);
+    }
+}

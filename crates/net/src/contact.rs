@@ -21,9 +21,10 @@
 
 use crate::interface::RadioInterface;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
-use vdtn_geo::{Point, ShardMap, SpatialGrid};
-use vdtn_sim_core::NodeId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use vdtn_geo::{Point, Segment, ShardMap, SpatialGrid};
+use vdtn_sim_core::{NodeId, SimDuration, SimTime};
 
 /// Which pair-finding algorithm the detector uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -79,6 +80,75 @@ fn remove_sorted(peers: &mut Vec<u32>, v: u32) {
     }
 }
 
+/// Borrowed view over the world's structure-of-arrays kinematics columns:
+/// one motion segment per node, stored column-wise.
+///
+/// Positions are *always* evaluated through [`Segment::position_at`] — the
+/// same closed form the movement models and the engine use — so a distance
+/// the detector computes here is bit-identical to one computed from
+/// materialised per-tick positions.
+#[derive(Clone, Copy)]
+pub struct MotionCols<'a> {
+    /// Segment origin (position at `start`) per node.
+    pub origin: &'a [Point],
+    /// Segment velocity per node, m/s per axis.
+    pub velocity: &'a [Point],
+    /// Segment start time per node.
+    pub start: &'a [SimTime],
+    /// Segment expiry (next decision boundary) per node.
+    pub until: &'a [SimTime],
+}
+
+impl MotionCols<'_> {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.origin.len()
+    }
+
+    /// True when there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.origin.is_empty()
+    }
+
+    /// Reassemble node `i`'s current motion segment.
+    #[inline]
+    pub fn segment(&self, i: usize) -> Segment {
+        Segment {
+            origin: self.origin[i],
+            velocity: self.velocity[i],
+            start: self.start[i],
+            until: self.until[i],
+        }
+    }
+
+    /// Closed-form position of node `i` at absolute time `t`.
+    #[inline]
+    pub fn position_at(&self, i: usize, t: SimTime) -> Point {
+        self.segment(i).position_at(t)
+    }
+}
+
+/// Guard band, metres, around the range boundary for the analytic
+/// no-crossing proofs: a pair is only declared safe-for-the-window when its
+/// extremal distance clears the boundary by at least this much, absorbing
+/// float error in the quadratic.
+const GUARD: f64 = 1e-6;
+
+/// Safety margin, seconds, subtracted from an analytically solved crossing
+/// time before it becomes a deadline, so float error in the root can never
+/// push a wake *past* the true flip.
+const ROOT_SAFETY: f64 = 1e-3;
+
+/// Convert non-negative fractional seconds to a duration, rounding *down*
+/// to the millisecond grid — deadline arithmetic must always err early.
+fn floor_ms(secs: f64) -> SimDuration {
+    debug_assert!(secs >= 0.0, "negative deadline distance {secs}");
+    if secs >= u64::MAX as f64 / 1000.0 {
+        return SimDuration::MAX;
+    }
+    SimDuration::from_millis((secs * 1000.0).floor() as u64)
+}
+
 /// A connectivity change between two nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkEvent {
@@ -126,6 +196,24 @@ pub struct ContactDetector {
     /// one node's total motion since drift `d0` is bounded by
     /// `cum_drift - d0`.
     cum_drift: f64,
+
+    // --- Kinematic state (valid while `kin_valid`) ---
+    /// True once `prime_kinematic` has built the deadline state. Any ticked
+    /// or slack-incremental update invalidates it.
+    kin_valid: bool,
+    /// Per-node slack deadline: the earliest instant at which a pair
+    /// involving this node could flip its in-range status, as bounded at the
+    /// node's last re-query. Parked nodes carry [`SimTime::MAX`] — any flip
+    /// of their pairs has a moving endpoint whose own deadline covers it.
+    deadline: Vec<SimTime>,
+    /// Min-heap of `(deadline, node)` wake entries. Entries are lazily
+    /// invalidated: one whose time no longer equals `deadline[node]` is
+    /// stale and discarded on pop. `(time, node)` keys totally order the
+    /// pops, so push order never matters — the sharded merge needs no
+    /// sequence counter.
+    due_heap: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// Scratch for the due set popped per update.
+    due_scratch: Vec<u32>,
 }
 
 impl ContactDetector {
@@ -144,6 +232,10 @@ impl ContactDetector {
             slack: Vec::new(),
             drift_at_check: Vec::new(),
             cum_drift: 0.0,
+            kin_valid: false,
+            deadline: Vec::new(),
+            due_heap: BinaryHeap::new(),
+            due_scratch: Vec::new(),
         }
     }
 
@@ -185,6 +277,7 @@ impl ContactDetector {
         self.current = fresh;
         // The per-node incremental caches no longer match `current`.
         self.primed = false;
+        self.kin_valid = false;
         assemble_events(downs, ups)
     }
 
@@ -211,6 +304,8 @@ impl ContactDetector {
         if !self.primed {
             return self.prime(positions);
         }
+        // The slack path does not maintain deadlines.
+        self.kin_valid = false;
         if moved.is_empty() {
             return Vec::new();
         }
@@ -247,18 +342,35 @@ impl ContactDetector {
             self.query_scratch.clear();
             self.grid
                 .query_within(center, 2.0 * self.range, Some(i), &mut self.query_scratch);
-            let mut new_slack = self.range;
+            // Track the extremal squared distances on each side of the range
+            // boundary instead of square-rooting every candidate: sqrt is
+            // monotone, so the nearest boundary margin comes from the largest
+            // in-range d² and the smallest out-of-range d². At most two
+            // sqrts per re-query, and — because the selected d² feeds the
+            // exact expression the per-candidate loop used — the slack value
+            // is bit-identical.
+            let mut best_in = -1.0f64; // max d² among d² ≤ range²
+            let mut best_out = f64::INFINITY; // min d² among d² > range²
             still.clear();
             for k in 0..self.query_scratch.len() {
                 let j = self.query_scratch[k];
                 let d2 = positions[j as usize].distance_sq(center);
-                new_slack = new_slack.min((d2.sqrt() - self.range).abs());
                 if d2 <= r2 {
+                    best_in = best_in.max(d2);
                     still.push(j);
                     if self.neighbors[i as usize].binary_search(&j).is_err() {
                         ups.push(pair_key(NodeId(i), NodeId(j)));
                     }
+                } else {
+                    best_out = best_out.min(d2);
                 }
+            }
+            let mut new_slack = self.range;
+            if best_in >= 0.0 {
+                new_slack = new_slack.min((best_in.sqrt() - self.range).abs());
+            }
+            if best_out.is_finite() {
+                new_slack = new_slack.min((best_out.sqrt() - self.range).abs());
             }
             still.sort_unstable();
             for &j in &self.neighbors[i as usize] {
@@ -270,8 +382,18 @@ impl ContactDetector {
             self.drift_at_check[i as usize] = self.cum_drift;
         }
 
-        // Pairs where both endpoints moved are discovered twice; canonical
-        // keys + dedup collapse them.
+        self.apply_diff(downs, ups)
+    }
+
+    /// Sort, dedup, and apply a pair diff to `current` and the adjacency
+    /// mirror, then assemble the canonical event stream. Pairs whose both
+    /// endpoints re-queried are discovered twice; canonical keys + dedup
+    /// collapse them, regardless of discovery order.
+    fn apply_diff(
+        &mut self,
+        mut downs: Vec<(u32, u32)>,
+        mut ups: Vec<(u32, u32)>,
+    ) -> Vec<LinkEvent> {
         downs.sort_unstable();
         downs.dedup();
         ups.sort_unstable();
@@ -319,6 +441,7 @@ impl ContactDetector {
         if !self.primed {
             return self.prime(positions);
         }
+        self.kin_valid = false;
         if moved.is_empty() {
             return Vec::new();
         }
@@ -381,16 +504,28 @@ impl ContactDetector {
                             downs: Vec::new(),
                             ups: Vec::new(),
                         };
+                        // Same two-sided extremal-d² slack as the serial
+                        // path: ≤ 2 sqrts per re-query, bit-identical value.
+                        let mut best_in = -1.0f64;
+                        let mut best_out = f64::INFINITY;
                         still.clear();
                         for &j in &query {
                             let d2 = positions[j as usize].distance_sq(center);
-                            rq.new_slack = rq.new_slack.min((d2.sqrt() - range).abs());
                             if d2 <= r2 {
+                                best_in = best_in.max(d2);
                                 still.push(j);
                                 if neighbors[i as usize].binary_search(&j).is_err() {
                                     rq.ups.push(pair_key(NodeId(i), NodeId(j)));
                                 }
+                            } else {
+                                best_out = best_out.min(d2);
                             }
+                        }
+                        if best_in >= 0.0 {
+                            rq.new_slack = rq.new_slack.min((best_in.sqrt() - range).abs());
+                        }
+                        if best_out.is_finite() {
+                            rq.new_slack = rq.new_slack.min((best_out.sqrt() - range).abs());
                         }
                         still.sort_unstable();
                         for &j in &neighbors[i as usize] {
@@ -413,21 +548,202 @@ impl ContactDetector {
             downs.extend(rq.downs);
             ups.extend(rq.ups);
         }
-        downs.sort_unstable();
-        downs.dedup();
-        ups.sort_unstable();
-        ups.dedup();
-        for &(a, b) in &downs {
-            self.current.remove(&(a, b));
-            remove_sorted(&mut self.neighbors[a as usize], b);
-            remove_sorted(&mut self.neighbors[b as usize], a);
+        self.apply_diff(downs, ups)
+    }
+
+    /// Prime the kinematic (slack-deadline) state from the motion columns
+    /// at `now`: a full rescan at analytically evaluated positions, then a
+    /// deadline of `now` for every moving node (forcing a first real
+    /// re-query at the next update) and [`SimTime::MAX`] for parked ones.
+    pub fn prime_kinematic(&mut self, now: SimTime, cols: &MotionCols) -> Vec<LinkEvent> {
+        let positions: Vec<Point> = (0..cols.len()).map(|i| cols.position_at(i, now)).collect();
+        let events = self.prime(&positions);
+        let n = cols.len();
+        self.deadline.clear();
+        self.deadline.resize(n, SimTime::MAX);
+        self.due_heap.clear();
+        for i in 0..n {
+            if !cols.segment(i).is_parked() {
+                self.deadline[i] = now;
+                self.due_heap.push(Reverse((now, i as u32)));
+            }
         }
-        for &(a, b) in &ups {
-            self.current.insert((a, b));
-            insert_sorted(&mut self.neighbors[a as usize], b);
-            insert_sorted(&mut self.neighbors[b as usize], a);
+        self.kin_valid = true;
+        events
+    }
+
+    /// Earliest pending slack deadline — when the engine should wake the
+    /// detector next ([`SimTime::MAX`] when nothing is pending, i.e. all
+    /// nodes parked). May be conservatively early when the top heap entry
+    /// is stale; a wake that finds no due node is a cheap no-op.
+    pub fn next_deadline(&self) -> SimTime {
+        if !self.kin_valid {
+            return SimTime::ZERO;
         }
-        assemble_events(downs, ups)
+        self.due_heap
+            .peek()
+            .map_or(SimTime::MAX, |&Reverse((t, _))| t)
+    }
+
+    /// Note that node `i`'s motion segment was just replaced (trip planned,
+    /// leg crossed, waypoint reached, wait drawn): every bound derived from
+    /// its old velocity dies with the segment, so its deadline collapses to
+    /// `now` and the next kinematic update re-queries it against the new
+    /// segment. No-op before priming.
+    pub fn on_motion_change(&mut self, i: u32, now: SimTime) {
+        if !self.kin_valid {
+            return;
+        }
+        self.deadline[i as usize] = now;
+        self.due_heap.push(Reverse((now, i)));
+    }
+
+    /// Pop the due set for `now` into `due_scratch`: every still-valid heap
+    /// entry at or before `now`, deduplicated, ascending by node index.
+    /// Entries whose time no longer matches the node's recorded deadline
+    /// are stale (the deadline was superseded) and are discarded.
+    fn pop_due(&mut self, now: SimTime) {
+        self.due_scratch.clear();
+        while let Some(&Reverse((t, i))) = self.due_heap.peek() {
+            if t > now {
+                break;
+            }
+            self.due_heap.pop();
+            if self.deadline[i as usize] == t {
+                self.due_scratch.push(i);
+            }
+        }
+        self.due_scratch.sort_unstable();
+        self.due_scratch.dedup();
+    }
+
+    /// Kinematic update at `now`: pop the due slack deadlines, re-query
+    /// only those nodes at analytically evaluated positions, emit the pair
+    /// diff, and schedule fresh deadlines from the quadratic contact-window
+    /// bounds.
+    ///
+    /// Produces exactly the event stream a full rescan at `now` would emit,
+    /// provided the caller invoked it at (the first evaluation instant at
+    /// or after) every `next_deadline()` it reported and routed every
+    /// segment replacement through
+    /// [`on_motion_change`](ContactDetector::on_motion_change) — which the
+    /// engine guarantees with `ContactWindow` and `MovementWake` events.
+    /// Auto-primes on first use.
+    pub fn update_kinematic(
+        &mut self,
+        now: SimTime,
+        cols: &MotionCols,
+        v_glob: f64,
+    ) -> Vec<LinkEvent> {
+        if !self.kin_valid {
+            return self.prime_kinematic(now, cols);
+        }
+        self.pop_due(now);
+        if self.due_scratch.is_empty() {
+            return Vec::new();
+        }
+        // Patch the grid for every due node before any re-query, so
+        // due-due pairs see each other's fresh position.
+        let due = std::mem::take(&mut self.due_scratch);
+        for &i in &due {
+            self.grid.move_point(i, cols.position_at(i as usize, now));
+        }
+        let mut downs: Vec<(u32, u32)> = Vec::new();
+        let mut ups: Vec<(u32, u32)> = Vec::new();
+        let mut query = std::mem::take(&mut self.query_scratch);
+        let mut still: Vec<u32> = Vec::new();
+        for &i in &due {
+            let rq = kin_requery(
+                i,
+                now,
+                cols,
+                v_glob,
+                self.range,
+                &self.grid,
+                &self.neighbors,
+                &mut query,
+                &mut still,
+            );
+            self.deadline[i as usize] = rq.deadline;
+            if rq.deadline < SimTime::MAX {
+                self.due_heap.push(Reverse((rq.deadline, i)));
+            }
+            downs.extend(rq.downs);
+            ups.extend(rq.ups);
+        }
+        self.query_scratch = query;
+        self.due_scratch = due;
+        self.apply_diff(downs, ups)
+    }
+
+    /// Sharded variant of [`ContactDetector::update_kinematic`]: identical
+    /// event stream and deadline state at every pool size. The due set is
+    /// popped serially; re-queries read only round-start shared state
+    /// (grid, columns, adjacency) into private records; the merge is serial
+    /// — the same argument as `update_incremental_sharded`, with one
+    /// addition: heap pushes commute because `(time, node)` keys totally
+    /// order the pops, so merge order cannot leak into the due schedule.
+    pub fn update_kinematic_sharded(
+        &mut self,
+        now: SimTime,
+        cols: &MotionCols,
+        v_glob: f64,
+        pool: &rayon::ThreadPool,
+        shards: &ShardMap,
+    ) -> Vec<LinkEvent> {
+        if !self.kin_valid {
+            return self.prime_kinematic(now, cols);
+        }
+        self.pop_due(now);
+        if self.due_scratch.is_empty() {
+            return Vec::new();
+        }
+        let due = std::mem::take(&mut self.due_scratch);
+        let centers: Vec<Point> = due
+            .iter()
+            .map(|&i| cols.position_at(i as usize, now))
+            .collect();
+        for (&i, &c) in due.iter().zip(&centers) {
+            self.grid.move_point(i, c);
+        }
+        // Group due nodes by owning shard — a locality hint only;
+        // determinism does not depend on the grouping.
+        let shard_of: Vec<u32> = centers.iter().map(|&c| shards.of_point(c)).collect();
+        let order = vdtn_sim_core::par::order_of(&shard_of);
+        let grouped: Vec<u32> = order.iter().map(|&k| due[k]).collect();
+
+        let mut results: Vec<Option<KinRequery>> = Vec::new();
+        results.resize_with(grouped.len(), || None);
+        let chunk = vdtn_sim_core::par::chunk_len(grouped.len(), pool.num_threads());
+        let grid = &self.grid;
+        let neighbors = &self.neighbors;
+        let range = self.range;
+        pool.scope(|s| {
+            for (nodes, out) in grouped.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    let mut query: Vec<u32> = Vec::new();
+                    let mut still: Vec<u32> = Vec::new();
+                    for (slot, &i) in out.iter_mut().zip(nodes) {
+                        *slot = Some(kin_requery(
+                            i, now, cols, v_glob, range, grid, neighbors, &mut query, &mut still,
+                        ));
+                    }
+                });
+            }
+        });
+
+        let mut downs: Vec<(u32, u32)> = Vec::new();
+        let mut ups: Vec<(u32, u32)> = Vec::new();
+        for rq in results.into_iter().map(|r| r.expect("all chunks ran")) {
+            self.deadline[rq.node as usize] = rq.deadline;
+            if rq.deadline < SimTime::MAX {
+                self.due_heap.push(Reverse((rq.deadline, rq.node)));
+            }
+            downs.extend(rq.downs);
+            ups.extend(rq.ups);
+        }
+        self.due_scratch = due;
+        self.apply_diff(downs, ups)
     }
 
     /// Full scan that initialises the incremental per-node state. Emits the
@@ -455,6 +771,9 @@ impl ContactDetector {
         self.cum_drift = 0.0;
         self.current = fresh;
         self.primed = true;
+        // A slack prime does not build deadlines; the kinematic entry points
+        // re-prime through `prime_kinematic`.
+        self.kin_valid = false;
 
         assemble_events(downs, ups)
     }
@@ -463,7 +782,211 @@ impl ContactDetector {
     pub fn reset(&mut self) {
         self.current.clear();
         self.primed = false;
+        self.kin_valid = false;
     }
+}
+
+/// Private result of one kinematic re-query, applied serially afterwards.
+/// Shared by the serial and sharded paths so they are one algorithm.
+struct KinRequery {
+    node: u32,
+    deadline: SimTime,
+    downs: Vec<(u32, u32)>,
+    ups: Vec<(u32, u32)>,
+}
+
+/// Re-query node `i` against the grid at time `now`: exact pair diff from
+/// true (analytic) distances, plus a fresh conservative slack deadline.
+///
+/// Pure with respect to shared state — grid, columns, and adjacency are
+/// only read — so the sharded path runs many of these concurrently and
+/// merges the records serially.
+///
+/// The grid query uses radius `3·range`: candidate discovery must find any
+/// node within a *true* `2·range`, and a non-due node's indexed position is
+/// stale by strictly less than `range` (its deadline caps its drift at
+/// `speed · range / (speed + v_glob)`, and due nodes were just patched).
+/// Candidates are then filtered by true distance, so the inflated radius
+/// affects cost only, never results.
+#[allow(clippy::too_many_arguments)]
+fn kin_requery(
+    i: u32,
+    now: SimTime,
+    cols: &MotionCols,
+    v_glob: f64,
+    range: f64,
+    grid: &SpatialGrid,
+    neighbors: &[Vec<u32>],
+    query: &mut Vec<u32>,
+    still: &mut Vec<u32>,
+) -> KinRequery {
+    let idx = i as usize;
+    let seg_i = cols.segment(idx);
+    let center = seg_i.position_at(now);
+    let r2 = range * range;
+    let shell2 = (2.0 * range) * (2.0 * range);
+
+    query.clear();
+    grid.query_within(center, 3.0 * range, Some(i), query);
+
+    let mut rq = KinRequery {
+        node: i,
+        deadline: SimTime::MAX,
+        downs: Vec::new(),
+        ups: Vec::new(),
+    };
+    still.clear();
+
+    if seg_i.is_parked() {
+        // Parked node: no deadline of its own — any flip of its pairs has a
+        // moving endpoint whose own deadline covers it, and a later segment
+        // change routes through `on_motion_change`. Its in-range set still
+        // needs refreshing: it typically just *became* parked.
+        for &j in query.iter() {
+            let pj = cols.position_at(j as usize, now);
+            if pj.distance_sq(center) <= r2 {
+                still.push(j);
+                if neighbors[idx].binary_search(&j).is_err() {
+                    rq.ups.push(pair_key(NodeId(i), NodeId(j)));
+                }
+            }
+        }
+    } else {
+        // Entrant cap: anything beyond the 2·range shell is at margin
+        // > range, and no pair at `i` closes faster than `speed + v_glob`
+        // (this segment's own speed is valid until `until`, where
+        // `on_motion_change` resets the deadline anyway; everyone else is
+        // bounded by the global maximum).
+        let closing = seg_i.speed() + v_glob;
+        rq.deadline = now.saturating_add(floor_ms(range / closing));
+        for &j in query.iter() {
+            let seg_j = cols.segment(j as usize);
+            let pj = seg_j.position_at(now);
+            let d2 = pj.distance_sq(center);
+            if d2 > shell2 {
+                continue; // covered by the entrant cap
+            }
+            if d2 <= r2 {
+                still.push(j);
+                if neighbors[idx].binary_search(&j).is_err() {
+                    rq.ups.push(pair_key(NodeId(i), NodeId(j)));
+                }
+            }
+            let bound = pair_flip_bound(now, range, closing, &seg_i, &seg_j, center, pj, d2);
+            rq.deadline = rq.deadline.min(bound);
+        }
+        // Livelock guard: the fresh deadline is strictly in the future.
+        rq.deadline = rq
+            .deadline
+            .max(now.saturating_add(SimDuration::from_millis(1)));
+    }
+    still.sort_unstable();
+    for &j in &neighbors[idx] {
+        if still.binary_search(&j).is_err() {
+            rq.downs.push(pair_key(NodeId(i), NodeId(j)));
+        }
+    }
+    rq
+}
+
+/// Earliest time the pair `(i, j)` can flip its in-range status, bounded
+/// two ways, each individually conservative (so their max is too):
+///
+/// * **rate bound** — the distance margin `|d − range|` is consumed at most
+///   at `closing` m/s, so no flip before `now + margin / closing`. Valid
+///   across segment changes: speeds are statically bounded, and a change to
+///   `i`'s *own* segment resets its deadline through `on_motion_change`.
+/// * **analytic window bound** — while both current segments are live
+///   (until `w = min(until_i, until_j)`) relative motion is exactly linear,
+///   so `|Δp + Δv·τ| = range` is a quadratic in τ. If it provably has no
+///   root in the window (guard-banded by [`GUARD`]), nothing flips before
+///   `w`; if its earliest root is `τ₁`, nothing flips before `now + τ₁`
+///   (minus [`ROOT_SAFETY`], floored to the millisecond grid).
+#[allow(clippy::too_many_arguments)]
+fn pair_flip_bound(
+    now: SimTime,
+    range: f64,
+    closing: f64,
+    seg_i: &Segment,
+    seg_j: &Segment,
+    pi: Point,
+    pj: Point,
+    d2: f64,
+) -> SimTime {
+    let r2 = range * range;
+    let margin = (d2.sqrt() - range).abs();
+    let rate = now.saturating_add(floor_ms(margin / closing));
+
+    let w = seg_i.until.min(seg_j.until);
+    if w <= now {
+        return rate;
+    }
+    // Relative state at `now`: d²(τ) = a·τ² + b·τ + d², τ seconds from now.
+    let dpx = pj.x - pi.x;
+    let dpy = pj.y - pi.y;
+    let dvx = seg_j.velocity.x - seg_i.velocity.x;
+    let dvy = seg_j.velocity.y - seg_i.velocity.y;
+    let a = dvx * dvx + dvy * dvy;
+    let b = 2.0 * (dpx * dvx + dpy * dvy);
+    let tw = w.since(now).as_secs_f64();
+
+    let analytic = if d2 > r2 {
+        // Currently out of range: safe for the whole window when the
+        // distance minimum over it clears the boundary.
+        let tstar = if a > 0.0 {
+            (-b / (2.0 * a)).clamp(0.0, tw)
+        } else {
+            0.0
+        };
+        let dmin2 = d2 + (b + a * tstar) * tstar;
+        let safe = range + GUARD;
+        if dmin2 > safe * safe {
+            w
+        } else {
+            let disc = b * b - 4.0 * a * (d2 - r2);
+            if a > 0.0 && disc >= 0.0 {
+                let root = (-b - disc.sqrt()) / (2.0 * a);
+                if root > tw + ROOT_SAFETY {
+                    w
+                } else {
+                    now.saturating_add(floor_ms((root - ROOT_SAFETY).max(0.0)))
+                }
+            } else {
+                // Inside the guard band with degenerate geometry: keep only
+                // the rate bound.
+                return rate;
+            }
+        }
+    } else {
+        // Currently in range: d² is convex in τ, so its window maximum sits
+        // at an endpoint.
+        let dend2 = d2 + (b + a * tw) * tw;
+        let safe = range - GUARD;
+        if safe > 0.0 && d2.max(dend2) < safe * safe {
+            w
+        } else if a > 0.0 {
+            // Exit root exists (disc ≥ b² since d² ≤ range²).
+            let disc = b * b - 4.0 * a * (d2 - r2);
+            let root = (-b + disc.max(0.0).sqrt()) / (2.0 * a);
+            if root > tw + ROOT_SAFETY {
+                w
+            } else {
+                now.saturating_add(floor_ms((root - ROOT_SAFETY).max(0.0)))
+            }
+        } else if b > 0.0 {
+            // Linear recession: exits where b·τ = range² − d².
+            let root = (r2 - d2) / b;
+            if root > tw + ROOT_SAFETY {
+                w
+            } else {
+                now.saturating_add(floor_ms((root - ROOT_SAFETY).max(0.0)))
+            }
+        } else {
+            // Distance non-increasing over the window: cannot exit.
+            w
+        }
+    };
+    rate.max(analytic)
 }
 
 #[cfg(test)]
@@ -703,5 +1226,320 @@ mod tests {
         ]);
         assert_eq!(ev.len(), 3);
         assert_eq!(d.active_count(), 3);
+    }
+
+    // --- Kinematic (slack-deadline heap) layer ---
+
+    /// Test world of per-node linear segments, randomly re-planned at tick
+    /// boundaries — the same column layout the engine keeps.
+    struct KinWorld {
+        origin: Vec<Point>,
+        velocity: Vec<Point>,
+        start: Vec<SimTime>,
+        until: Vec<SimTime>,
+    }
+
+    const KIN_SPAN: f64 = 300.0;
+    const KIN_VMAX: f64 = 12.0;
+
+    impl KinWorld {
+        fn new(seed: &mut u64, n: usize) -> KinWorld {
+            KinWorld {
+                origin: (0..n)
+                    .map(|_| Point::new(lcg(seed) * KIN_SPAN, lcg(seed) * KIN_SPAN))
+                    .collect(),
+                velocity: vec![Point::new(0.0, 0.0); n],
+                start: vec![SimTime::ZERO; n],
+                until: vec![SimTime::ZERO; n],
+            }
+        }
+
+        fn cols(&self) -> MotionCols<'_> {
+            MotionCols {
+                origin: &self.origin,
+                velocity: &self.velocity,
+                start: &self.start,
+                until: &self.until,
+            }
+        }
+
+        fn position(&self, i: usize, now: SimTime) -> Point {
+            Segment {
+                origin: self.origin[i],
+                velocity: self.velocity[i],
+                start: self.start[i],
+                until: self.until[i],
+            }
+            .position_at(now)
+        }
+
+        fn materialize(&self, now: SimTime) -> Vec<Point> {
+            (0..self.origin.len())
+                .map(|i| self.position(i, now))
+                .collect()
+        }
+
+        /// Replace every expired segment with a fresh random one anchored at
+        /// the node's current (clamped) position; returns the changed nodes.
+        fn replan(&mut self, seed: &mut u64, now: SimTime) -> Vec<u32> {
+            let mut changed = Vec::new();
+            for i in 0..self.origin.len() {
+                if self.until[i] > now {
+                    continue;
+                }
+                let p = self.position(i, now);
+                let dur = SimDuration::from_millis(1_000 + (lcg(seed) * 7_000.0) as u64);
+                let vel = if lcg(seed) < 0.3 {
+                    Point::new(0.0, 0.0) // pause
+                } else {
+                    let q = Point::new(lcg(seed) * KIN_SPAN, lcg(seed) * KIN_SPAN);
+                    let len = p.distance(q);
+                    if len <= 0.0 {
+                        Point::new(0.0, 0.0)
+                    } else {
+                        let speed = (0.2 + 0.8 * lcg(seed)) * KIN_VMAX;
+                        Point::new((q.x - p.x) * speed / len, (q.y - p.y) * speed / len)
+                    }
+                };
+                self.origin[i] = p;
+                self.velocity[i] = vel;
+                self.start[i] = now;
+                self.until[i] = now + dur;
+                changed.push(i as u32);
+            }
+            changed
+        }
+    }
+
+    /// The kinematic path must reproduce the full-rescan reference stream
+    /// exactly — including emitting *nothing* at every tick where no slack
+    /// deadline is due, which is the skip the event engine relies on.
+    #[test]
+    fn kinematic_matches_reference_on_segment_walks() {
+        let mut seed = 11u64;
+        let mut w = KinWorld::new(&mut seed, 40);
+        let mut reference = detector(DetectorBackend::Grid);
+        let mut kin = detector(DetectorBackend::Grid);
+        let dt = SimDuration::from_secs(1);
+        let mut now = SimTime::ZERO;
+        w.replan(&mut seed, now);
+        let er = reference.update(&w.materialize(now));
+        let ek = kin.update_kinematic(now, &w.cols(), KIN_VMAX);
+        assert_eq!(er, ek, "priming events differ");
+        for tick in 0..400 {
+            now += dt;
+            for &i in &w.replan(&mut seed, now) {
+                kin.on_motion_change(i, now);
+            }
+            let er = reference.update(&w.materialize(now));
+            let ek = if kin.next_deadline() <= now {
+                kin.update_kinematic(now, &w.cols(), KIN_VMAX)
+            } else {
+                Vec::new()
+            };
+            assert_eq!(er, ek, "tick {tick}: event streams diverged");
+            assert_eq!(
+                reference.active_count(),
+                kin.active_count(),
+                "tick {tick}: active sets diverged"
+            );
+        }
+    }
+
+    /// In a sparse world with long segments, the deadline heap must let
+    /// whole ticks pass without any contact work — the skip the event
+    /// engine turns into wall-clock wins — while still matching the
+    /// reference stream.
+    #[test]
+    fn kinematic_deadlines_skip_ticks_in_sparse_world() {
+        let mut seed = 31u64;
+        let n = 4;
+        let mut w = KinWorld::new(&mut seed, n);
+        let mut reference = detector(DetectorBackend::Grid);
+        let mut kin = detector(DetectorBackend::Grid);
+        let dt = SimDuration::from_secs(1);
+        let mut now = SimTime::ZERO;
+        // Long segments: replans (which force wakes) are rare.
+        let replan_long = |w: &mut KinWorld, seed: &mut u64, now: SimTime| -> Vec<u32> {
+            let mut changed = Vec::new();
+            for i in 0..n {
+                if w.until[i] > now {
+                    continue;
+                }
+                let p = w.position(i, now);
+                let q = Point::new(lcg(seed) * KIN_SPAN, lcg(seed) * KIN_SPAN);
+                let len = p.distance(q);
+                let speed = (0.2 + 0.8 * lcg(seed)) * KIN_VMAX;
+                w.origin[i] = p;
+                w.velocity[i] = if len <= 0.0 {
+                    Point::new(0.0, 0.0)
+                } else {
+                    Point::new((q.x - p.x) * speed / len, (q.y - p.y) * speed / len)
+                };
+                w.start[i] = now;
+                w.until[i] = now + SimDuration::from_millis(15_000 + (lcg(seed) * 25_000.0) as u64);
+                changed.push(i as u32);
+            }
+            changed
+        };
+        replan_long(&mut w, &mut seed, now);
+        let er = reference.update(&w.materialize(now));
+        let ek = kin.update_kinematic(now, &w.cols(), KIN_VMAX);
+        assert_eq!(er, ek);
+        let mut skipped = 0u32;
+        for tick in 0..400 {
+            now += dt;
+            for &i in &replan_long(&mut w, &mut seed, now) {
+                kin.on_motion_change(i, now);
+            }
+            let er = reference.update(&w.materialize(now));
+            let ek = if kin.next_deadline() <= now {
+                kin.update_kinematic(now, &w.cols(), KIN_VMAX)
+            } else {
+                skipped += 1;
+                Vec::new()
+            };
+            assert_eq!(er, ek, "tick {tick}: event streams diverged");
+        }
+        assert!(skipped > 0, "deadlines never skipped a tick — vacuous test");
+    }
+
+    /// Sharded kinematic updates must match the serial ones (and the
+    /// reference) at every pool size.
+    #[test]
+    fn kinematic_sharded_matches_serial_at_every_pool_size() {
+        for &threads in &[1usize, 2, 4] {
+            let pool = rayon::ThreadPool::new(threads);
+            let mut seed = 23u64;
+            let mut w = KinWorld::new(&mut seed, 40);
+            let mut reference = detector(DetectorBackend::Grid);
+            let mut serial = detector(DetectorBackend::Grid);
+            let mut sharded = detector(DetectorBackend::Grid);
+            let dt = SimDuration::from_secs(1);
+            let mut now = SimTime::ZERO;
+            w.replan(&mut seed, now);
+            let shards = ShardMap::build(&w.materialize(now), reference.range(), 8);
+            let er = reference.update(&w.materialize(now));
+            let es = serial.update_kinematic(now, &w.cols(), KIN_VMAX);
+            let eh = sharded.update_kinematic_sharded(now, &w.cols(), KIN_VMAX, &pool, &shards);
+            assert_eq!(er, es);
+            assert_eq!(er, eh);
+            for tick in 0..200 {
+                now += dt;
+                for &i in &w.replan(&mut seed, now) {
+                    serial.on_motion_change(i, now);
+                    sharded.on_motion_change(i, now);
+                }
+                let er = reference.update(&w.materialize(now));
+                let es = if serial.next_deadline() <= now {
+                    serial.update_kinematic(now, &w.cols(), KIN_VMAX)
+                } else {
+                    Vec::new()
+                };
+                let eh = if sharded.next_deadline() <= now {
+                    sharded.update_kinematic_sharded(now, &w.cols(), KIN_VMAX, &pool, &shards)
+                } else {
+                    Vec::new()
+                };
+                assert_eq!(er, es, "threads {threads} tick {tick}: serial diverged");
+                assert_eq!(er, eh, "threads {threads} tick {tick}: sharded diverged");
+                assert_eq!(serial.next_deadline(), sharded.next_deadline());
+                assert_eq!(serial.active_count(), sharded.active_count());
+            }
+        }
+    }
+
+    /// An all-parked world settles to an empty heap: no wakes, ever.
+    #[test]
+    fn kinematic_parked_world_needs_no_wakes() {
+        let origin = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(200.0, 0.0),
+        ];
+        let velocity = vec![Point::new(0.0, 0.0); 3];
+        let start = vec![SimTime::ZERO; 3];
+        let until = vec![SimTime::MAX; 3];
+        let cols = MotionCols {
+            origin: &origin,
+            velocity: &velocity,
+            start: &start,
+            until: &until,
+        };
+        let mut kin = detector(DetectorBackend::Grid);
+        let ev = kin.update_kinematic(SimTime::ZERO, &cols, 0.0);
+        assert_eq!(ev, vec![LinkEvent::Up(NodeId(0), NodeId(1))]);
+        assert_eq!(kin.next_deadline(), SimTime::MAX);
+    }
+
+    /// The quadratic flip bound must never land after the true crossing.
+    #[test]
+    fn flip_bound_is_conservative_for_head_on_approach() {
+        let now = SimTime::from_millis(10_000);
+        let range = 30.0;
+        // 100 m apart, closing head-on at 10 m/s combined: d = range at
+        // τ = 7 s exactly, i.e. t = 17 s.
+        let seg_i = Segment {
+            origin: Point::new(0.0, 0.0),
+            velocity: Point::new(5.0, 0.0),
+            start: now,
+            until: now + SimDuration::from_secs(60),
+        };
+        let seg_j = Segment {
+            origin: Point::new(100.0, 0.0),
+            velocity: Point::new(-5.0, 0.0),
+            start: now,
+            until: now + SimDuration::from_secs(60),
+        };
+        let d2 = 100.0f64 * 100.0;
+        let bound = pair_flip_bound(
+            now,
+            range,
+            10.0,
+            &seg_i,
+            &seg_j,
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            d2,
+        );
+        assert!(bound <= SimTime::from_millis(17_000), "late bound");
+        // …and the analytic solve should beat the trivial rate bound by a
+        // hair at most (here they coincide: margin 70 m at 10 m/s).
+        assert!(bound >= SimTime::from_millis(16_000), "needlessly early");
+    }
+
+    /// A pair receding inside the window gets its deadline extended all the
+    /// way to the window edge — the case that pays for the quadratic.
+    #[test]
+    fn flip_bound_extends_to_window_for_receding_pair() {
+        let now = SimTime::ZERO;
+        let range = 30.0;
+        let w = now + SimDuration::from_secs(40);
+        // 35 m apart (out of range, margin 5 m), receding at 4 m/s: the
+        // rate bound alone would be 5/16 s, but no crossing can happen
+        // before the window closes.
+        let seg_i = Segment {
+            origin: Point::new(0.0, 0.0),
+            velocity: Point::new(-2.0, 0.0),
+            start: now,
+            until: w,
+        };
+        let seg_j = Segment {
+            origin: Point::new(35.0, 0.0),
+            velocity: Point::new(2.0, 0.0),
+            start: now,
+            until: w,
+        };
+        let bound = pair_flip_bound(
+            now,
+            range,
+            12.0 + 2.0,
+            &seg_i,
+            &seg_j,
+            Point::new(0.0, 0.0),
+            Point::new(35.0, 0.0),
+            35.0f64 * 35.0,
+        );
+        assert_eq!(bound, w);
     }
 }

@@ -490,7 +490,10 @@ mod tests {
         sender.insert(msg(1, 100, 0.0, 60)).unwrap();
         recv.buffer.insert(msg(1, 100, 0.0, 60)).unwrap();
         index.sync(SchedulingPolicy::Fifo, &sender, &recv, &offered);
-        assert!(index.ids_in_rank_order(sender.arena()).is_empty(), "peer knows it");
+        assert!(
+            index.ids_in_rank_order(sender.arena()).is_empty(),
+            "peer knows it"
+        );
 
         recv.buffer.remove(MessageId(1)).unwrap(); // peer evicted its copy
         index.sync(SchedulingPolicy::Fifo, &sender, &recv, &offered);

@@ -26,14 +26,19 @@ use std::collections::BinaryHeap;
 /// * [`TrafficDue`](EngineEvent::TrafficDue) — the traffic generator's next
 ///   message creation time (one pending instance, rescheduled after each
 ///   drain).
-/// * [`MovementWake`](EngineEvent::MovementWake) — a parked node's wait
-///   deadline: the next instant stepping its movement model can change
-///   state (plan a trip, draw RNG). Driving nodes are not scheduled this
-///   way — they are stepped every tick via `ContactRecheck`.
-/// * [`ContactRecheck`](EngineEvent::ContactRecheck) — at least one node is
-///   moving, so positions (and therefore the in-range pair set) must be
-///   re-evaluated next tick. Doubles as the waypoint-arrival clock: a
-///   driving node's arrival is detected by stepping it each tick.
+/// * [`MovementWake`](EngineEvent::MovementWake) — a node's motion-segment
+///   expiry (`Segment::until`): the next instant stepping its movement
+///   model can change anything it exports (plan a trip, turn at a
+///   waypoint, draw RNG). Between expiries the node's position follows the
+///   segment's closed form, so driving nodes wake per *leg*, not per tick.
+/// * [`ContactRecheck`](EngineEvent::ContactRecheck) — the build-time
+///   "first tick always executes" marker; superseded between ticks by
+///   `ContactWindow`, which carries the detector's analytic bound.
+/// * [`ContactWindow`](EngineEvent::ContactWindow) — the contact
+///   detector's earliest slack deadline: the first grid tick at which some
+///   pair's worst-case relative motion could flip its in-range status.
+///   Derived from per-node slack radii and pairwise quadratic
+///   contact-window bounds over the exported motion segments.
 /// * [`LinkRound`](EngineEvent::LinkRound) — a routing round may do work
 ///   next tick: some idle connection has a direction that is not provably
 ///   silent (see the engine's silent-round memo).
@@ -58,11 +63,16 @@ use std::collections::BinaryHeap;
 pub enum EngineEvent {
     /// Next message creation is due at the traffic generator.
     TrafficDue,
-    /// A parked node's movement-decision deadline (trip planning / waypoint
-    /// departure) is due.
+    /// A node's motion-segment deadline (trip planning, waypoint departure,
+    /// leg arrival) is due: advance the model across the boundary and
+    /// refresh its kinematics columns.
     MovementWake(NodeId),
     /// Node positions changed recently: re-evaluate contacts next tick.
     ContactRecheck,
+    /// The contact detector's earliest slack deadline may elapse: some node
+    /// could have drifted within range of a new neighbour (or out of range
+    /// of a current one) by this instant. Re-query due nodes only.
+    ContactWindow,
     /// Some idle connection may produce a transfer: run a routing round
     /// next tick.
     LinkRound,

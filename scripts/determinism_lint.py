@@ -14,7 +14,15 @@ feeding only order-insensitive sinks like counters and membership tests)
 are listed in `scripts/determinism_allowlist.txt` as `path:identifier`
 pairs, one per line, each with a trailing `# why it is safe` comment.
 
-Exit status: 0 clean, 1 unaudited iteration found.
+A second check flags wall-clock reads (`Instant::now`, `SystemTime::now`)
+in simulation crates (everything but `bench`): the motion-segment
+protocol makes positions, contact windows and movement wakes pure
+functions of simulated time, so a wall-clock value reaching any of them
+would silently break engine-mode equivalence. Audited sites (e.g. the
+engine's `wall_secs` stopwatch, which only feeds a report field the
+identity checks zero out) use the allowlist identifier `wallclock`.
+
+Exit status: 0 clean, 1 unaudited iteration or wall-clock read found.
 """
 
 from __future__ import annotations
@@ -83,12 +91,22 @@ def load_allowlist() -> set[tuple[str, str]]:
     return allowed
 
 
+WALLCLOCK_RE = re.compile(r"\b(?:Instant|SystemTime)\s*::\s*now\s*\(")
+
+
 def main() -> int:
     allowed = load_allowlist()
     failures = []
     for path in sorted(ROOT.glob("crates/*/src/**/*.rs")):
         rel = path.relative_to(ROOT).as_posix()
         src = strip_test_modules(path.read_text())
+        # Wall-clock reads in simulation crates (bench is measurement code).
+        if not rel.startswith("crates/bench/") and (rel, "wallclock") not in allowed:
+            for i, line in enumerate(src.splitlines(), start=1):
+                if line.lstrip().startswith("//"):
+                    continue
+                if WALLCLOCK_RE.search(line):
+                    failures.append(f"{rel}:{i}: wall-clock read in simulation code: {line.strip()}")
         hashy = set()
         for m in DECL_RE.finditer(src):
             hashy.add(m.group(1) or m.group(2))
