@@ -38,11 +38,24 @@
 //! child runs one world and prints its row. On platforms without
 //! `/proc/self/status` the RSS fields are recorded as JSON `null`.
 //!
-//! Both JSON files carry `"schema_version"` (currently 5; v3 added the
+//! Both JSON files carry `"schema_version"` (currently 6; v3 added the
 //! parallel engine columns, v4 the `memory` section and the 100k-node
 //! sweep row, v5 the `motion` skip-rate section and the
-//! `parallel_overhead` warning field); an unwritable output path is a
-//! clean, explained non-zero exit, not a panic.
+//! `parallel_overhead` warning field, v6 the `sweep` orchestrator
+//! section); an unwritable output path is a clean, explained non-zero
+//! exit, not a panic.
+//!
+//! With `--sweep-bench` the run also measures the sweep orchestrator
+//! (`vdtn::orchestrator`) on a 1000-run manifest (mini base, the four
+//! comparison protocols × the paper TTL axis × 50 seeds; scale with
+//! `--sweep-seeds`): work-stealing throughput in runs/sec against the
+//! plain per-cell `run_sweep` + `average_reports` path on the *same*
+//! expansion, aggregate bit-identity at 1/2/4/8-thread pools, journal
+//! write + truncate-at-half + `--resume` replay bit-identity, and peak
+//! RSS at quarter vs full run count (fresh probe process per size via
+//! the hidden `--sweep-probe` flag, like the memory section) — flat RSS
+//! is the O(cells) streaming-accumulator claim, measured. Recorded under
+//! `"sweep"` in the engine JSON; any identity failure fails the run.
 //!
 //! The `motion` section records the event engine's movement counters per
 //! sweep size — ticks executed/skipped and movement-model advances versus
@@ -66,10 +79,13 @@
 //! engine_bench [--json [PATH]] [--routing [PATH]] [--routing-nodes N,N]
 //!              [--nodes 50,200,1000,5000,10000,100000] [--memory-nodes N,N]
 //!              [--mobility-nodes N,N] [--duration-secs N] [--seed N]
-//!              [--threads N]
+//!              [--threads N] [--sweep-bench] [--sweep-seeds N]
 //! ```
 
 use vdtn::engine::EngineMode;
+use vdtn::orchestrator::{run_manifest, RunSpec, ScenarioBase, SweepManifest, SweepOptions};
+use vdtn::presets::{PaperProtocol, PAPER_TTLS_MIN};
+use vdtn::sweep::{average_reports, run_sweep_with_options, SweepPoint};
 use vdtn::{PolicyCombo, RouterKind, RoutingBackend};
 use vdtn_bench::engine_perf::{
     canon, dense_routing_scenario, engine_scenario, mobility_bound_scenario, run_mode,
@@ -80,8 +96,9 @@ use vdtn_bench::engine_perf::{
 /// change; PR 5 added the routing section's index/rescan split, PR 6 the
 /// sharded parallel engine's `parallel_wall_secs`/`threads` columns, PR 7
 /// the `memory` section and the 100k-node sweep row, PR 8 the `motion`
-/// skip-rate section and the `parallel_overhead` warning field).
-const SCHEMA_VERSION: u32 = 5;
+/// skip-rate section and the `parallel_overhead` warning field, PR 9 the
+/// `sweep` orchestrator section).
+const SCHEMA_VERSION: u32 = 6;
 
 /// Write a benchmark JSON document, exiting non-zero with a clear message
 /// when the path cannot be written (read-only dir, missing parent, …).
@@ -116,6 +133,9 @@ fn main() {
     let mut mobility_nodes: Vec<usize> = vec![2000];
     let mut memory_nodes: Vec<usize> = vec![1000, 10000, 100000];
     let mut memory_probe: Option<usize> = None;
+    let mut sweep_bench = false;
+    let mut sweep_seeds: usize = 50;
+    let mut sweep_probe: Option<usize> = None;
     let mut duration_override: Option<f64> = None;
     let mut seed = 42u64;
     let mut threads: usize = rayon::current_num_threads();
@@ -181,6 +201,25 @@ fn main() {
                         .expect("node count"),
                 );
             }
+            "--sweep-bench" => {
+                sweep_bench = true;
+            }
+            "--sweep-seeds" => {
+                sweep_seeds = args
+                    .next()
+                    .expect("--sweep-seeds needs a value")
+                    .parse()
+                    .expect("seed count");
+                assert!(sweep_seeds >= 2, "--sweep-seeds needs at least 2");
+            }
+            "--sweep-probe" => {
+                sweep_probe = Some(
+                    args.next()
+                        .expect("--sweep-probe needs a seed count")
+                        .parse()
+                        .expect("seed count"),
+                );
+            }
             "--duration-secs" => {
                 duration_override = Some(
                     args.next()
@@ -206,7 +245,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: engine_bench [--json [PATH]] [--routing [PATH]] [--routing-nodes N,N] [--nodes 50,200,1000,5000,10000] [--mobility-nodes N,N] [--memory-nodes N,N] [--duration-secs N] [--seed N] [--threads N]");
+                eprintln!("usage: engine_bench [--json [PATH]] [--routing [PATH]] [--routing-nodes N,N] [--nodes 50,200,1000,5000,10000] [--mobility-nodes N,N] [--memory-nodes N,N] [--duration-secs N] [--seed N] [--threads N] [--sweep-bench] [--sweep-seeds N]");
                 std::process::exit(2);
             }
         }
@@ -214,6 +253,9 @@ fn main() {
 
     if let Some(n) = memory_probe {
         run_memory_probe(n, duration_override.unwrap_or(60.0), seed, threads);
+    }
+    if let Some(n) = sweep_probe {
+        run_sweep_probe(n, threads);
     }
 
     println!(
@@ -381,12 +423,22 @@ fn main() {
         (Vec::new(), true)
     };
 
+    // Sweep-orchestrator section: opt-in (it runs the 1000-run manifest
+    // about nine times over for the reference/thread/resume/RSS checks).
+    let (sweep_json, sweep_ok) = if sweep_bench {
+        let (json, ok) = run_sweep_section(sweep_seeds, threads);
+        (Some(json), ok)
+    } else {
+        (None, true)
+    };
+
     let any_mismatch = entries
         .iter()
         .chain(transfer_entries.iter())
         .chain(mobility_entries.iter())
         .any(|e| !e.identical)
-        || !memory_identical;
+        || !memory_identical
+        || !sweep_ok;
     if let Some(path) = json_path {
         // Hand-rolled JSON keeps the schema explicit and the vendored
         // serde_json shim out of the float-formatting hot seat.
@@ -409,20 +461,25 @@ fn main() {
             .chain(mobility_motion_rows.iter())
             .cloned()
             .collect();
+        let sweep_field = match &sweep_json {
+            Some(obj) => format!(",\n  \"sweep\": {obj}"),
+            None => String::new(),
+        };
         let doc = format!(
-            "{{\n  \"benchmark\": \"engine_modes\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"description\": \"World::run wall time, ticked vs event-driven vs sharded-parallel scheduler, identical scenarios (paper mobility, Epidemic + Lifetime policies)\",\n  \"seed\": {},\n  \"threads\": {},\n  \"entries\": [\n{}\n  ],\n  \"motion\": [\n{}\n  ],\n  \"transfer_bound\": [\n{}\n  ],\n  \"mobility_bound\": [\n{}\n  ],\n  \"memory\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"benchmark\": \"engine_modes\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"description\": \"World::run wall time, ticked vs event-driven vs sharded-parallel scheduler, identical scenarios (paper mobility, Epidemic + Lifetime policies)\",\n  \"seed\": {},\n  \"threads\": {},\n  \"entries\": [\n{}\n  ],\n  \"motion\": [\n{}\n  ],\n  \"transfer_bound\": [\n{}\n  ],\n  \"mobility_bound\": [\n{}\n  ],\n  \"memory\": [\n{}\n  ]{}\n}}\n",
             seed,
             threads,
             rows.join(",\n"),
             all_motion_rows.join(",\n"),
             transfer_rows.join(",\n"),
             mobility_rows.join(",\n"),
-            memory_rows.join(",\n")
+            memory_rows.join(",\n"),
+            sweep_field
         );
         write_json(&path, &doc);
     }
     if any_mismatch {
-        eprintln!("ERROR: event-driven/parallel report diverged from ticked reference");
+        eprintln!("ERROR: a bit-identity check failed (see the tables above)");
         std::process::exit(1);
     }
     if let Some(path) = routing_path {
@@ -531,6 +588,227 @@ fn run_memory_section(
         }
     }
     (rows, all_identical)
+}
+
+/// The sweep-orchestrator benchmark manifest: mini base, the four
+/// comparison protocols × the paper TTL axis × `seeds` seeds — 50 seeds
+/// give 1000 runs over 20 cells. A 900-second horizon keeps each run a
+/// few milliseconds while leaving enough traffic for the aggregates to
+/// differ per cell (so identity checks compare real numbers, not zeros).
+fn sweep_bench_manifest(seeds: usize) -> SweepManifest {
+    let seed_list: Vec<u64> = (0..seeds as u64).map(|s| 1_000 + s).collect();
+    let mut m = SweepManifest::paper(
+        "bench-sweep",
+        &PaperProtocol::protocol_comparison(),
+        &PAPER_TTLS_MIN,
+        &seed_list,
+    );
+    m.base = ScenarioBase::Mini;
+    m.duration_secs = 900.0;
+    m
+}
+
+/// Child mode behind the hidden `--sweep-probe SEEDS` flag: execute the
+/// sweep-bench manifest at `SEEDS` seeds once in a fresh process (the
+/// `VmHWM` rationale of [`run_memory_probe`]) and print one JSON row. The
+/// parent runs this at quarter and full seed counts: with the streaming
+/// accumulator the peak is set by worlds-in-flight and the O(cells)
+/// aggregation state, so it must be flat in the run count.
+fn run_sweep_probe(seeds: usize, threads: usize) -> ! {
+    let manifest = sweep_bench_manifest(seeds);
+    let opts = SweepOptions {
+        threads,
+        ..SweepOptions::default()
+    };
+    let outcome = match run_manifest(&manifest, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: sweep probe at {seeds} seeds failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let peak = match proc_status_kb("VmHWM") {
+        Some(kb) => (kb * 1024).to_string(),
+        None => "null".to_string(),
+    };
+    println!(
+        "{{\"runs\": {}, \"cells\": {}, \"peak_rss_bytes\": {peak}}}",
+        outcome.runs_total,
+        outcome.points.len(),
+    );
+    std::process::exit(0);
+}
+
+/// Canonical JSON of a point list — the bit-identity comparand for the
+/// thread-count and kill/resume checks (wall time is not part of a point).
+fn points_json(points: &[SweepPoint]) -> String {
+    serde_json::to_string(&points.to_vec()).expect("points serialise")
+}
+
+/// Measure the sweep orchestrator on the 1000-run bench manifest and
+/// return the `"sweep"` JSON object plus whether every identity check
+/// passed: reference-path equality, 1/2/4/8-thread invariance, and
+/// journal truncate-and-resume equality.
+fn run_sweep_section(seeds: usize, threads: usize) -> (String, bool) {
+    let manifest = sweep_bench_manifest(seeds);
+    let plan = manifest.expand().expect("bench manifest is well-formed");
+    let (cells, runs) = (plan.cells.len(), plan.len());
+    println!(
+        "sweep orchestrator: {runs} runs over {cells} cells (mini base, 4 protocols x {} TTLs x {seeds} seeds)",
+        PAPER_TTLS_MIN.len()
+    );
+
+    // Reference: the plain pre-orchestrator path — `run_sweep` per cell,
+    // then `average_reports` — over the very same expansion.
+    let t0 = std::time::Instant::now();
+    let mut cell_runs: Vec<Vec<&RunSpec>> = vec![Vec::new(); cells];
+    for spec in &plan.runs {
+        cell_runs[spec.cell].push(spec);
+    }
+    let mut ref_points = Vec::with_capacity(cells);
+    for (idx, specs) in cell_runs.iter().enumerate() {
+        let scenarios: Vec<_> = specs.iter().map(|s| s.scenario(&manifest)).collect();
+        let reports = run_sweep_with_options(&scenarios, specs[0].engine, manifest.backend);
+        ref_points.push(
+            average_reports(&plan.cells[idx].label(), &reports).expect("bench cell has runs"),
+        );
+    }
+    let ref_wall = t0.elapsed().as_secs_f64();
+    let ref_json = points_json(&ref_points);
+
+    // Work-stealing orchestrator at the requested thread count (no
+    // journal: this is the throughput row the reference is compared to).
+    let opts = |t: usize| SweepOptions {
+        threads: t,
+        ..SweepOptions::default()
+    };
+    let outcome = run_manifest(&manifest, &opts(threads)).expect("bench manifest runs");
+    let base_json = points_json(&outcome.points);
+    let matches_run_sweep = base_json == ref_json;
+    let runs_per_sec = runs as f64 / outcome.wall_secs.max(1e-9);
+    let speedup = ref_wall / outcome.wall_secs.max(1e-9);
+    println!(
+        "  orchestrator {:.3}s ({runs_per_sec:.0} runs/s, {} chunks) vs run_sweep {ref_wall:.3}s = {speedup:.2}x, aggregates identical: {matches_run_sweep}",
+        outcome.wall_secs, outcome.chunks
+    );
+
+    // Aggregate bit-identity across pool sizes.
+    let thread_set = [1usize, 2, 4, 8];
+    let mut thread_invariant = true;
+    for &t in &thread_set {
+        if t == threads {
+            continue; // already have this one (`outcome`)
+        }
+        let o = run_manifest(&manifest, &opts(t)).expect("bench manifest runs");
+        thread_invariant &= points_json(&o.points) == base_json;
+    }
+    println!("  aggregate bit-identical across {thread_set:?}-thread pools: {thread_invariant}");
+
+    // Kill-and-resume: journal a cold run, truncate the journal to the
+    // header plus half the records (any line boundary is a record
+    // boundary), resume, and demand the identical aggregate.
+    let journal =
+        std::env::temp_dir().join(format!("vdtn_sweep_bench_{}.jsonl", std::process::id()));
+    let journal_opts = |resume: bool| SweepOptions {
+        threads,
+        journal: Some(journal.clone()),
+        resume,
+        ..SweepOptions::default()
+    };
+    let cold = run_manifest(&manifest, &journal_opts(false)).expect("journaled run succeeds");
+    let mut ok = matches_run_sweep && thread_invariant && points_json(&cold.points) == base_json;
+    let text = std::fs::read_to_string(&journal).expect("journal readable");
+    let kept_runs = runs / 2;
+    let mut kept: String = text
+        .lines()
+        .take(1 + kept_runs)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    // Simulate a kill mid-write: leave a torn half-record at the tail,
+    // which replay must discard.
+    kept.push_str("{\"id\": \"bench-sweep/torn");
+    std::fs::write(&journal, kept).expect("journal writable");
+    let resumed = run_manifest(&manifest, &journal_opts(true)).expect("resume succeeds");
+    let resume_identical = points_json(&resumed.points) == base_json;
+    ok &= resume_identical && resumed.runs_replayed == kept_runs;
+    println!(
+        "  resume after truncation to {kept_runs} runs: {} replayed + {} executed in {:.3}s, aggregate identical: {resume_identical}",
+        resumed.runs_replayed, resumed.runs_executed, resumed.wall_secs
+    );
+    std::fs::remove_file(&journal).ok();
+
+    // Peak-RSS flatness: quarter vs full run count, fresh process each.
+    let (rss_rows, rss_ratio) = run_sweep_rss_probes(&[seeds.div_ceil(4), seeds], threads);
+    let ratio_field = match rss_ratio {
+        Some(r) => format!("{r:.3}"),
+        None => "null".to_string(),
+    };
+
+    let json = format!(
+        "{{\n    \"manifest\": {{\"name\": \"{}\", \"cells\": {cells}, \"runs\": {runs}, \"seeds\": {seeds}, \"sim_duration_secs\": {}}},\n    \"threads\": {threads},\n    \"orchestrator_wall_secs\": {:.6},\n    \"runs_per_sec\": {runs_per_sec:.1},\n    \"chunks\": {},\n    \"run_sweep_wall_secs\": {ref_wall:.6},\n    \"speedup_vs_run_sweep\": {speedup:.3},\n    \"matches_run_sweep\": {matches_run_sweep},\n    \"threads_checked\": [1, 2, 4, 8],\n    \"thread_invariant\": {thread_invariant},\n    \"resume\": {{\"journal_runs_kept\": {kept_runs}, \"runs_replayed\": {}, \"runs_executed\": {}, \"wall_secs\": {:.6}, \"identical\": {resume_identical}}},\n    \"memory\": [\n{}\n    ],\n    \"peak_rss_ratio\": {ratio_field}\n  }}",
+        manifest.name,
+        manifest.duration_secs,
+        outcome.wall_secs,
+        outcome.chunks,
+        resumed.runs_replayed,
+        resumed.runs_executed,
+        resumed.wall_secs,
+        rss_rows.join(",\n")
+    );
+    (json, ok)
+}
+
+/// Re-exec this binary with `--sweep-probe` once per seed count and
+/// collect the peak-RSS rows, plus the full/quarter peak ratio (JSON
+/// `null` when procfs is unavailable or a probe fails to spawn).
+fn run_sweep_rss_probes(seed_counts: &[usize], threads: usize) -> (Vec<String>, Option<f64>) {
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("warning: cannot locate own binary for sweep probes: {e}; section empty");
+            return (Vec::new(), None);
+        }
+    };
+    let mut rows = Vec::new();
+    let mut peaks = Vec::new();
+    for &s in seed_counts {
+        let out = std::process::Command::new(&exe)
+            .args(["--sweep-probe", &s.to_string()])
+            .args(["--threads", &threads.to_string()])
+            .output();
+        match out {
+            Ok(out) => {
+                let stdout = String::from_utf8_lossy(&out.stdout);
+                let Some(row) = stdout
+                    .lines()
+                    .rev()
+                    .find(|l| l.trim_start().starts_with('{'))
+                else {
+                    eprintln!("warning: sweep probe at {s} seeds produced no row; skipped");
+                    continue;
+                };
+                let peak = row
+                    .split("\"peak_rss_bytes\": ")
+                    .nth(1)
+                    .and_then(|r| r.split(&[',', '}'][..]).next())
+                    .and_then(|v| v.trim().parse::<f64>().ok());
+                peaks.push(peak);
+                println!("  {}", row.trim());
+                rows.push(format!("      {}", row.trim()));
+            }
+            Err(e) => {
+                eprintln!("warning: sweep probe at {s} seeds failed to spawn: {e}; skipped");
+            }
+        }
+    }
+    let ratio = match peaks.as_slice() {
+        [Some(quarter), Some(full)] if *quarter > 0.0 => Some(full / quarter),
+        _ => None,
+    };
+    if let Some(r) = ratio {
+        println!("  peak RSS full/quarter run count: {r:.3}x (flat = O(cells) accumulator memory)");
+    }
+    (rows, ratio)
 }
 
 /// Measure the dense-contact, routing-round-dominated scenario across fleet

@@ -21,12 +21,13 @@
 
 use std::collections::HashMap;
 use std::io::Write as _;
+use vdtn::orchestrator::{run_manifest_with, ScenarioBase, SweepManifest, SweepOptions};
 use vdtn::presets::{paper_scenario, PaperProtocol};
 use vdtn::scenario::{MapSpec, MobilitySpec};
-use vdtn::sweep::{average_reports, run_sweep, SweepPoint};
-use vdtn::Scenario;
+use vdtn::sweep::{SweepError, SweepPoint};
+use vdtn::{RoutingBackend, Scenario};
 use vdtn_bench::harness::{
-    assemble_figure, format_csv, format_table, paper_ttls, run_cells, FigureSpec,
+    assemble_figure, format_csv, format_table, paper_ttls, run_cells, FigureSpec, ScenarioTweak,
 };
 use vdtn_bench::reference::{paper_delta_reference, paper_ordering_claims};
 use vdtn_geo::SyntheticCityGen;
@@ -228,56 +229,78 @@ fn print_delta_comparison(cache: &HashMap<(PaperProtocol, u64), SweepPoint>, ttl
     println!();
 }
 
-fn ablation_copies(seeds: u64, tweak: &dyn Fn(&mut Scenario), out_dir: &str) {
+/// Run one ablation variant — a customised scenario template over the seed
+/// axis — through the orchestrator, returning its single averaged cell.
+/// Expansion/averaging failures surface as typed [`SweepError`]s.
+fn run_template_cell(
+    label: &str,
+    template: Scenario,
+    ttl: u64,
+    seeds: u64,
+    tweak: &ScenarioTweak<'_>,
+) -> Result<SweepPoint, SweepError> {
+    let manifest = SweepManifest {
+        name: template.name.clone(),
+        base: ScenarioBase::Custom(Box::new(template)),
+        protocols: Vec::new(),
+        policies: Vec::new(),
+        vehicles: Vec::new(),
+        ttls_mins: vec![ttl],
+        engines: Vec::new(),
+        seeds: (0..seeds).map(|s| 1000 + s).collect(),
+        backend: RoutingBackend::default(),
+        duration_secs: 0.0,
+    };
+    let outcome = run_manifest_with(&manifest, &SweepOptions::default(), Some(tweak))?;
+    let mut point = outcome
+        .points
+        .into_iter()
+        .next()
+        .ok_or(SweepError::EmptyCell {
+            label: label.to_string(),
+        })?;
+    point.label = label.to_string();
+    Ok(point)
+}
+
+fn ablation_copies(seeds: u64, tweak: &ScenarioTweak<'_>, out_dir: &str) -> Result<(), SweepError> {
     println!("## Ablation — Spray and Wait initial copies L (paper fixes L = 12)\n");
     let ttl = 120;
     let mut rows = Vec::new();
     for copies in [4u32, 8, 12, 16] {
-        let scenarios: Vec<Scenario> = (0..seeds)
-            .map(|seed| {
-                let mut s = paper_scenario(PaperProtocol::SnwLifetime, ttl, 1000 + seed);
-                s.router = vdtn::RouterKind::SprayAndWait {
-                    copies,
-                    binary: true,
-                };
-                s.name = format!("ablation/snw-L{copies}");
-                tweak(&mut s);
-                s
-            })
-            .collect();
-        let reports = run_sweep(&scenarios);
-        let p = average_reports(&format!("SnW L={copies}"), &reports);
+        let mut template = paper_scenario(PaperProtocol::SnwLifetime, ttl, 0);
+        template.router = vdtn::RouterKind::SprayAndWait {
+            copies,
+            binary: true,
+        };
+        template.name = format!("ablation/snw-L{copies}");
+        let p = run_template_cell(&format!("SnW L={copies}"), template, ttl, seeds, tweak)?;
         println!("  {}", p.table_row());
         rows.push(p);
     }
     write_csv_points(out_dir, "ablation_copies", &rows);
     println!();
+    Ok(())
 }
 
-fn ablation_tick(seeds: u64, tweak: &dyn Fn(&mut Scenario), out_dir: &str) {
+fn ablation_tick(seeds: u64, tweak: &ScenarioTweak<'_>, out_dir: &str) -> Result<(), SweepError> {
     println!("## Ablation — engine tick length (metric drift vs 1 s baseline)\n");
     let ttl = 120;
     let mut rows = Vec::new();
     for tick in [0.5, 1.0, 2.0] {
-        let scenarios: Vec<Scenario> = (0..seeds)
-            .map(|seed| {
-                let mut s = paper_scenario(PaperProtocol::EpidemicLifetime, ttl, 1000 + seed);
-                s.tick_secs = tick;
-                s.name = format!("ablation/tick{tick}");
-                tweak(&mut s);
-                s
-            })
-            .collect();
-        let reports = run_sweep(&scenarios);
-        let p = average_reports(&format!("tick={tick}s"), &reports);
+        let mut template = paper_scenario(PaperProtocol::EpidemicLifetime, ttl, 0);
+        template.tick_secs = tick;
+        template.name = format!("ablation/tick{tick}");
+        let p = run_template_cell(&format!("tick={tick}s"), template, ttl, seeds, tweak)?;
         println!("  {}", p.table_row());
         rows.push(p);
     }
     write_csv_points(out_dir, "ablation_tick", &rows);
     println!();
+    Ok(())
 }
 
-fn ablation_map(seeds: u64, tweak: &dyn Fn(&mut Scenario), out_dir: &str) {
+fn ablation_map(seeds: u64, tweak: &ScenarioTweak<'_>, out_dir: &str) -> Result<(), SweepError> {
     println!("## Ablation — calibrated downtown map vs full-city extent\n");
     let ttl = 120;
     let mut rows = Vec::new();
@@ -285,22 +308,16 @@ fn ablation_map(seeds: u64, tweak: &dyn Fn(&mut Scenario), out_dir: &str) {
         ("downtown 1300x1000 (default)", SyntheticCityGen::default()),
         ("full city 4500x3400", SyntheticCityGen::full_city()),
     ] {
-        let scenarios: Vec<Scenario> = (0..seeds)
-            .map(|seed| {
-                let mut s = paper_scenario(PaperProtocol::EpidemicLifetime, ttl, 1000 + seed);
-                s.map = MapSpec::Synthetic(gen.clone());
-                s.name = format!("ablation/map/{label}");
-                tweak(&mut s);
-                s
-            })
-            .collect();
-        let reports = run_sweep(&scenarios);
-        let p = average_reports(label, &reports);
+        let mut template = paper_scenario(PaperProtocol::EpidemicLifetime, ttl, 0);
+        template.map = MapSpec::Synthetic(gen.clone());
+        template.name = format!("ablation/map/{label}");
+        let p = run_template_cell(label, template, ttl, seeds, tweak)?;
         println!("  {}", p.table_row());
         rows.push(p);
     }
     write_csv_points(out_dir, "ablation_map", &rows);
     println!();
+    Ok(())
 }
 
 fn write_csv_points(out_dir: &str, name: &str, points: &[SweepPoint]) {
@@ -368,12 +385,19 @@ fn replot(out_dir: &str) {
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("figures: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), SweepError> {
     let opts = parse_args();
     std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
 
     if opts.replot {
         replot(&opts.out_dir);
-        return;
+        return Ok(());
     }
 
     let seeds = if opts.quick { 1 } else { opts.seeds };
@@ -446,12 +470,13 @@ fn main() {
     }
 
     if opts.ablation_copies {
-        ablation_copies(seeds, &tweak, &opts.out_dir);
+        ablation_copies(seeds, &tweak, &opts.out_dir)?;
     }
     if opts.ablation_tick {
-        ablation_tick(seeds, &tweak, &opts.out_dir);
+        ablation_tick(seeds, &tweak, &opts.out_dir)?;
     }
     if opts.ablation_map {
-        ablation_map(seeds, &tweak, &opts.out_dir);
+        ablation_map(seeds, &tweak, &opts.out_dir)?;
     }
+    Ok(())
 }

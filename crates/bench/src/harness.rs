@@ -1,7 +1,15 @@
 //! Figure execution harness.
+//!
+//! Figures are declared as [`FigureSpec`]s and executed through the sweep
+//! orchestrator: the requested (protocol, TTL) cells become one
+//! [`SweepManifest`] whose canonical expansion drives work-stealing
+//! execution and streaming per-cell aggregation
+//! (`vdtn::orchestrator`), replacing the hand-rolled scenario loops each
+//! figure used to build.
 
-use vdtn::presets::{paper_scenario, PaperProtocol, PAPER_TTLS_MIN};
-use vdtn::sweep::{average_reports, run_sweep, SweepPoint};
+use vdtn::orchestrator::{run_manifest_with, SweepManifest, SweepOptions};
+use vdtn::presets::{PaperProtocol, PAPER_TTLS_MIN};
+use vdtn::sweep::SweepPoint;
 use vdtn::Scenario;
 
 /// Which paper metric a figure plots.
@@ -135,44 +143,22 @@ pub type ScenarioTweak<'a> = dyn Fn(&mut Scenario) + Sync + 'a;
 /// Run one figure: `seeds` runs per (configuration, TTL) cell, averaged.
 ///
 /// `tweak` is applied to every generated scenario (e.g. shorter duration for
-/// CI). Cells are executed through [`run_sweep`], which parallelises across
-/// available cores.
+/// CI). The figure's rows × TTLs product is one manifest, executed by the
+/// orchestrator with work-stealing dispatch and streaming per-cell
+/// aggregation.
 pub fn run_figure(
     spec: &FigureSpec,
     ttls: &[u64],
     seeds: u64,
     tweak: &ScenarioTweak<'_>,
 ) -> FigureResult {
-    assert!(seeds >= 1);
-    // Build the full scenario list: rows × ttls × seeds.
-    let mut scenarios = Vec::new();
-    for &proto in &spec.protocols {
-        for &ttl in ttls {
-            for seed in 0..seeds {
-                let mut s = paper_scenario(proto, ttl, 1000 + seed);
-                tweak(&mut s);
-                scenarios.push(s);
-            }
-        }
-    }
-    let reports = run_sweep(&scenarios);
-
-    let mut points = Vec::with_capacity(spec.protocols.len());
-    let mut idx = 0;
-    for &proto in &spec.protocols {
-        let mut row = Vec::with_capacity(ttls.len());
-        for _ in ttls {
-            let cell = &reports[idx..idx + seeds as usize];
-            row.push(average_reports(proto.label(), cell));
-            idx += seeds as usize;
-        }
-        points.push(row);
-    }
-    FigureResult {
-        spec: spec.clone(),
-        points,
-        ttls: ttls.to_vec(),
-    }
+    let cells: Vec<(PaperProtocol, u64)> = spec
+        .protocols
+        .iter()
+        .flat_map(|&p| ttls.iter().map(move |&t| (p, t)))
+        .collect();
+    let cache = run_cells(&cells, seeds, tweak);
+    assemble_figure(spec, ttls, &cache)
 }
 
 /// Render a figure as the table of values the paper plots.
@@ -235,29 +221,43 @@ pub fn paper_ttls() -> Vec<u64> {
     PAPER_TTLS_MIN.to_vec()
 }
 
-/// Run an arbitrary set of (configuration, TTL) cells once each and return
-/// the averaged points keyed by cell. Figures sharing cells (e.g. Epidemic
-/// Lifetime appears in Figures 4, 5, 8 and 9) are then assembled from the
-/// cache without re-running.
+/// Run a set of (configuration, TTL) cells and return the averaged points
+/// keyed by cell. Figures sharing cells (e.g. Epidemic Lifetime appears in
+/// Figures 4, 5, 8 and 9) are then assembled from the cache without
+/// re-running.
+///
+/// The cells become one paper-base [`SweepManifest`] over the union of
+/// their protocol and TTL axes, so the sweep is executed (and checkpoint-
+/// able, thread-invariant, O(cells)-memory) exactly like any other
+/// manifest. The expansion covers the *product* of the unions; only the
+/// requested cells are returned. Every current caller passes a full
+/// product, so nothing extra runs.
 pub fn run_cells(
     cells: &[(PaperProtocol, u64)],
     seeds: u64,
     tweak: &ScenarioTweak<'_>,
 ) -> std::collections::HashMap<(PaperProtocol, u64), SweepPoint> {
     assert!(seeds >= 1);
-    let mut scenarios = Vec::new();
+    let mut protocols: Vec<PaperProtocol> = Vec::new();
+    let mut ttls: Vec<u64> = Vec::new();
     for &(proto, ttl) in cells {
-        for seed in 0..seeds {
-            let mut s = paper_scenario(proto, ttl, 1000 + seed);
-            tweak(&mut s);
-            scenarios.push(s);
+        if !protocols.contains(&proto) {
+            protocols.push(proto);
+        }
+        if !ttls.contains(&ttl) {
+            ttls.push(ttl);
         }
     }
-    let reports = run_sweep(&scenarios);
+    let seed_list: Vec<u64> = (0..seeds).map(|s| 1000 + s).collect();
+    let manifest = SweepManifest::paper("figures", &protocols, &ttls, &seed_list);
+    let outcome = run_manifest_with(&manifest, &SweepOptions::default(), Some(tweak))
+        .expect("figure manifest is well-formed");
     let mut out = std::collections::HashMap::new();
-    for (i, &(proto, ttl)) in cells.iter().enumerate() {
-        let chunk = &reports[i * seeds as usize..(i + 1) * seeds as usize];
-        out.insert((proto, ttl), average_reports(proto.label(), chunk));
+    for (cell, point) in outcome.cells.iter().zip(&outcome.points) {
+        let proto = cell.protocol.expect("paper-base cells carry a protocol");
+        if cells.contains(&(proto, cell.ttl_mins)) {
+            out.insert((proto, cell.ttl_mins), point.clone());
+        }
     }
     out
 }

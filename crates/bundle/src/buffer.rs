@@ -8,7 +8,7 @@
 //! Since the arena refactor a buffer does **not** store full [`Message`]
 //! structs. The immutable metadata of each logical message lives once per
 //! world in a shared [`MessageArena`]; the buffer keeps a single flat
-//! reception-ordered `Vec` of [`CopyEntry`] records — the arena handle plus
+//! reception-ordered `Vec` of `CopyEntry` records — the arena handle plus
 //! the genuinely per-copy fields (hop count, spray quota, reception time,
 //! insertion sequence) — and reconstructs `Message` values on demand.
 //! Accessors therefore return messages **by value** (`Message` is `Copy`).

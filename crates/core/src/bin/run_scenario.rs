@@ -2,26 +2,40 @@
 //!
 //! ```text
 //! run_scenario SCENARIO.json [--report REPORT.json] [--csv] [--oracle]
+//! run_scenario --sweep MANIFEST.json [--journal J.jsonl] [--resume]
+//!              [--threads N] [--out POINTS.json]
 //! ```
 //!
 //! Reads a [`vdtn::Scenario`] (the same structure `serde_json` serialises),
 //! runs it, prints the one-line summary, optionally writes the full report
 //! as JSON, a CSV row, and the omniscient-routing oracle bound.
 //!
-//! Generate a template to start from:
+//! `--sweep` is the batch path: a [`vdtn::SweepManifest`] is expanded into
+//! its canonical run list and executed by the sweep orchestrator —
+//! work-stealing dispatch, streaming per-cell aggregation, and (with
+//! `--journal`) an fsync-per-chunk resume journal so a killed sweep
+//! continues with `--resume` instead of restarting. Aggregate output is
+//! bit-identical at any `--threads` value and across kill/resume.
+//!
+//! Generate templates to start from:
 //!
 //! ```text
-//! run_scenario --template > my_scenario.json
+//! run_scenario --template        > my_scenario.json
+//! run_scenario --sweep-template  > my_sweep.json
 //! ```
 
-use vdtn::presets::{paper_scenario, PaperProtocol};
+use vdtn::orchestrator::{run_manifest, SweepManifest, SweepOptions};
+use vdtn::presets::{paper_scenario, PaperProtocol, PAPER_TTLS_MIN};
 use vdtn::{oracle_summary, Scenario, World};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" {
         eprintln!("usage: run_scenario SCENARIO.json [--report OUT.json] [--csv] [--oracle]");
-        eprintln!("       run_scenario --template   # print a scenario template to stdout");
+        eprintln!("       run_scenario --sweep MANIFEST.json [--journal J.jsonl] [--resume]");
+        eprintln!("                    [--threads N] [--out POINTS.json]");
+        eprintln!("       run_scenario --template        # print a scenario template");
+        eprintln!("       run_scenario --sweep-template  # print a sweep manifest template");
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
 
@@ -31,6 +45,25 @@ fn main() {
             "{}",
             serde_json::to_string_pretty(&template).expect("template serialises")
         );
+        return;
+    }
+
+    if args[0] == "--sweep-template" {
+        let manifest = SweepManifest::paper(
+            "example-sweep",
+            &PaperProtocol::protocol_comparison(),
+            &PAPER_TTLS_MIN,
+            &[1, 2, 3],
+        );
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&manifest).expect("manifest serialises")
+        );
+        return;
+    }
+
+    if args[0] == "--sweep" {
+        run_sweep_manifest(&args);
         return;
     }
 
@@ -67,6 +100,65 @@ fn main() {
         let report = world.run();
         println!("{}", report.summary());
         finish(&report, want_csv, report_path);
+    }
+}
+
+/// The `--sweep` batch path: manifest in, aggregate points out.
+fn run_sweep_manifest(args: &[String]) {
+    let path = args.get(1).unwrap_or_else(|| {
+        eprintln!("--sweep needs a manifest path");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read manifest {path}: {e}"));
+    let manifest: SweepManifest =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("invalid manifest JSON: {e}"));
+
+    let flag_value = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .clone()
+        })
+    };
+    let opts = SweepOptions {
+        threads: flag_value("--threads")
+            .map(|v| v.parse().expect("--threads needs a number"))
+            .unwrap_or(0),
+        chunk_size: 0,
+        journal: flag_value("--journal").map(std::path::PathBuf::from),
+        resume: args.iter().any(|a| a == "--resume"),
+    };
+    let out_path = flag_value("--out");
+
+    let outcome = match run_manifest(&manifest, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "sweep `{}`: {} runs ({} executed, {} replayed) over {} cells, \
+         {} chunks on {} threads, {:.1} s wall",
+        manifest.name,
+        outcome.runs_total,
+        outcome.runs_executed,
+        outcome.runs_replayed,
+        outcome.points.len(),
+        outcome.chunks,
+        outcome.threads,
+        outcome.wall_secs,
+    );
+    for p in &outcome.points {
+        println!("{}", p.table_row());
+    }
+    if let Some(path) = out_path {
+        // Aggregate file holds only the points: deterministic content,
+        // byte-identical across thread counts and kill/resume.
+        let json = serde_json::to_string_pretty(&outcome.points).expect("points serialise");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("aggregate points written to {path}");
     }
 }
 

@@ -112,7 +112,7 @@ fn pair_mut<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
 }
 
 /// How the engine advances simulated time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum EngineMode {
     /// Execute every tick, scanning every node in every phase. The
     /// reference implementation: simple, obviously correct, and kept as the

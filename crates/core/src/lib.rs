@@ -39,6 +39,7 @@
 pub mod analysis;
 pub mod engine;
 pub mod logging;
+pub mod orchestrator;
 pub mod presets;
 pub mod report;
 pub mod scenario;
@@ -47,9 +48,13 @@ pub mod sweep;
 pub use analysis::{oracle_delays, oracle_summary, MeetingModel, OracleSummary};
 pub use engine::{EngineMode, EngineStats, World};
 pub use logging::{ContactRecord, SimLog};
+pub use orchestrator::{
+    run_manifest, run_manifest_with, CellAccumulator, RunRecord, ScenarioBase, SweepManifest,
+    SweepOptions, SweepOutcome,
+};
 pub use report::{DropCause, MessageStats, SimReport};
 pub use scenario::{MapSpec, MobilitySpec, NodeGroup, RelayPlacement, Scenario};
-pub use sweep::{average_reports, run_sweep, SweepPoint};
+pub use sweep::{average_reports, run_sweep, run_sweep_with_options, SweepError, SweepPoint};
 
 // Convenience re-exports so downstream users need only `vdtn`.
 pub use vdtn_bundle::{DropPolicy, PolicyCombo, SchedulingPolicy};

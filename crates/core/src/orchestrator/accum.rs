@@ -1,0 +1,261 @@
+//! Streaming aggregation: O(1)-per-run cell accumulators and the compact
+//! per-run record the resume journal stores.
+//!
+//! A production sweep is thousands of runs per cell; materialising every
+//! [`SimReport`] (buffer-occupancy series, per-delivery statistics) to
+//! average them at the end would make sweep memory O(runs). Instead each
+//! finished run is collapsed into a [`RunRecord`] — eleven integers — and
+//! folded into its cell's [`CellAccumulator`]: Welford mean/variance
+//! accumulators for every figure metric plus a fixed-size deterministic
+//! reservoir over per-seed delays for percentiles. Resident memory is
+//! O(cells), independent of seed count.
+//!
+//! **Bit-identity rule:** [`CellAccumulator::push_report`] routes through
+//! [`RunRecord::from_report`], so aggregating live reports and replaying
+//! journalled records are the *same arithmetic on the same numbers* — a
+//! resumed sweep reproduces a cold sweep's aggregates byte-for-byte. The
+//! one float a record carries (the run's mean delay) is stored as raw IEEE
+//! bits (`u64`), so the journal round-trip is exact by construction.
+
+use crate::report::SimReport;
+use crate::sweep::SweepPoint;
+use serde::{Deserialize, Serialize};
+use vdtn_sim_core::stats::{Reservoir, Welford};
+
+/// Delay-reservoir capacity per cell: exact percentiles up to 512 seeds,
+/// deterministic subsample beyond.
+const DELAY_RESERVOIR_CAP: usize = 512;
+
+/// The compact result of one run: everything the figure metrics need,
+/// nothing else. This is the journal's record type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Stable run ID ([`crate::orchestrator::RunSpec::id`]).
+    pub id: String,
+    /// Messages created.
+    pub created: u64,
+    /// Unique deliveries.
+    pub delivered: u64,
+    /// Relay transfers.
+    pub relayed: u64,
+    /// Transfers started.
+    pub transfers_started: u64,
+    /// Transfers aborted.
+    pub transfers_aborted: u64,
+    /// All buffer exits that were not deliveries.
+    pub dropped: u64,
+    /// Payload bytes moved.
+    pub bytes_transferred: u64,
+    /// Contacts observed.
+    pub contacts: u64,
+    /// IEEE-754 bits of the run's mean end-to-end delay in **seconds**.
+    /// Stored as bits so the JSONL journal round-trips it exactly.
+    pub delay_mean_bits: u64,
+    /// Deliveries behind that mean (0 ⇒ the mean is the empty-default 0.0).
+    pub delay_count: u64,
+}
+
+impl RunRecord {
+    /// Collapse a full report into the compact record.
+    pub fn from_report(id: &str, r: &SimReport) -> Self {
+        RunRecord {
+            id: id.to_string(),
+            created: r.messages.created,
+            delivered: r.messages.delivered_unique,
+            relayed: r.messages.relayed,
+            transfers_started: r.messages.transfers_started,
+            transfers_aborted: r.messages.transfers_aborted,
+            dropped: r.messages.total_drops(),
+            bytes_transferred: r.messages.bytes_transferred,
+            contacts: r.contacts,
+            delay_mean_bits: r.messages.delay.mean().to_bits(),
+            delay_count: r.messages.delay.count(),
+        }
+    }
+
+    /// Delivery probability — the same arithmetic as
+    /// [`SimReport::delivery_probability`], so report and record paths
+    /// agree bit-for-bit.
+    pub fn delivery_probability(&self) -> f64 {
+        if self.created == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.created as f64
+        }
+    }
+
+    /// Mean delay in minutes — exact round-trip of the report's value.
+    pub fn avg_delay_mins(&self) -> f64 {
+        f64::from_bits(self.delay_mean_bits) / 60.0
+    }
+
+    /// Overhead ratio — same arithmetic as
+    /// [`crate::report::MessageStats::overhead_ratio`].
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            (self.relayed.saturating_sub(self.delivered)) as f64 / self.delivered as f64
+        }
+    }
+}
+
+/// Streaming aggregator for one figure cell. Constant memory per cell;
+/// push order must be canonical (the plan's run order) for the reservoir
+/// to be deterministic.
+#[derive(Debug, Clone)]
+pub struct CellAccumulator {
+    label: String,
+    ttl_mins: f64,
+    delivery: Welford,
+    delay: Welford,
+    delivered: Welford,
+    created: Welford,
+    overhead: Welford,
+    delay_samples: Reservoir,
+}
+
+impl CellAccumulator {
+    /// Fresh accumulator for a `(label, ttl)` cell.
+    pub fn new(label: &str, ttl_mins: f64) -> Self {
+        CellAccumulator {
+            label: label.to_string(),
+            ttl_mins,
+            delivery: Welford::new(),
+            delay: Welford::new(),
+            delivered: Welford::new(),
+            created: Welford::new(),
+            overhead: Welford::new(),
+            delay_samples: Reservoir::new(DELAY_RESERVOIR_CAP),
+        }
+    }
+
+    /// Fold one run record in. O(1) time and memory.
+    pub fn push_record(&mut self, rec: &RunRecord) {
+        self.delivery.push(rec.delivery_probability());
+        let delay_mins = rec.avg_delay_mins();
+        self.delay.push(delay_mins);
+        self.delay_samples.push(delay_mins);
+        self.delivered.push(rec.delivered as f64);
+        self.created.push(rec.created as f64);
+        self.overhead.push(rec.overhead_ratio());
+    }
+
+    /// Fold one full report in (collapses to a [`RunRecord`] first, so the
+    /// live path and the journal-replay path share their arithmetic).
+    pub fn push_report(&mut self, r: &SimReport) {
+        self.push_record(&RunRecord::from_report("", r));
+    }
+
+    /// Runs folded in so far.
+    pub fn runs(&self) -> u64 {
+        self.delivery.count()
+    }
+
+    /// Close the cell into a figure point.
+    pub fn finish(&self) -> SweepPoint {
+        let n = self.delivery.count();
+        let ci = |w: &Welford| {
+            if n < 2 {
+                0.0
+            } else {
+                1.96 * w.std_dev() / (n as f64).sqrt()
+            }
+        };
+        SweepPoint {
+            label: self.label.clone(),
+            ttl_mins: self.ttl_mins,
+            seeds: n as usize,
+            delivery_probability: self.delivery.mean(),
+            avg_delay_mins: self.delay.mean(),
+            delivered: self.delivered.mean(),
+            created: self.created.mean(),
+            overhead: self.overhead.mean(),
+            delivery_probability_sd: self.delivery.std_dev(),
+            avg_delay_sd: self.delay.std_dev(),
+            delay_p50_mins: self.delay_samples.quantile(0.5).unwrap_or(0.0),
+            delay_p90_mins: self.delay_samples.quantile(0.9).unwrap_or(0.0),
+            delivery_ci95: ci(&self.delivery),
+            avg_delay_ci95: ci(&self.delay),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(created: u64, delivered: u64, relayed: u64, delay_secs: &[f64]) -> SimReport {
+        let mut r = SimReport {
+            ttl_mins: 60.0,
+            ..SimReport::default()
+        };
+        r.messages.created = created;
+        r.messages.delivered_unique = delivered;
+        r.messages.relayed = relayed;
+        for &d in delay_secs {
+            r.messages.delay.push(d);
+        }
+        r
+    }
+
+    #[test]
+    fn record_round_trips_report_metrics_exactly() {
+        let r = report(97, 31, 113, &[601.5, 1203.25, 77.0625]);
+        let rec = RunRecord::from_report("x", &r);
+        assert_eq!(
+            rec.delivery_probability().to_bits(),
+            r.delivery_probability().to_bits()
+        );
+        assert_eq!(rec.avg_delay_mins().to_bits(), r.avg_delay_mins().to_bits());
+        assert_eq!(
+            rec.overhead_ratio().to_bits(),
+            r.messages.overhead_ratio().to_bits()
+        );
+        // And the serde round-trip of the record itself is exact: every
+        // field is an integer (the one float travels as bits).
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: RunRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn report_and_record_paths_agree_bitwise() {
+        let reports = [
+            report(100, 50, 90, &[600.0]),
+            report(100, 70, 150, &[1200.0, 300.0]),
+            report(100, 0, 0, &[]),
+        ];
+        let mut via_reports = CellAccumulator::new("cell", 60.0);
+        let mut via_records = CellAccumulator::new("cell", 60.0);
+        for r in &reports {
+            via_reports.push_report(r);
+            via_records.push_record(&RunRecord::from_report("id", r));
+        }
+        let a = serde_json::to_string(&via_reports.finish()).unwrap();
+        let b = serde_json::to_string(&via_records.finish()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_memory_percentiles_track_distribution() {
+        let mut acc = CellAccumulator::new("big", 60.0);
+        for i in 0..5_000u64 {
+            // Per-run mean delays sweeping 0..5000 seconds.
+            let mut r = report(10, 5, 10, &[]);
+            r.messages.delay.push(i as f64);
+            acc.push_report(&r);
+        }
+        let p = acc.finish();
+        assert_eq!(p.seeds, 5_000);
+        // Reservoir percentiles are approximate beyond cap but must land
+        // in the right region of a uniform ramp (minutes = secs / 60).
+        assert!(
+            p.delay_p50_mins > 20.0 && p.delay_p50_mins < 63.0,
+            "{}",
+            p.delay_p50_mins
+        );
+        assert!(p.delay_p90_mins > p.delay_p50_mins);
+        assert!(p.delivery_ci95 < 1e-9, "delivery is constant across runs");
+    }
+}

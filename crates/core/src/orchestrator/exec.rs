@@ -1,0 +1,371 @@
+//! Work-stealing sweep execution with canonical reduction.
+//!
+//! The run population of a real sweep is wildly uneven — a 180-minute-TTL
+//! 200-vehicle run costs orders of magnitude more than a 60-minute
+//! 12-vehicle one — so a static `par_iter` split serialises on whichever
+//! worker drew the expensive tail. Here runs are sorted by descending cost
+//! estimate, grouped into chunks, and claimed by workers through one atomic
+//! cursor: a worker that finishes early steals the next unclaimed chunk
+//! instead of idling (the irregular-wavefront dispatch pattern).
+//!
+//! **Determinism rule:** execution order is a scheduling detail; *reduction
+//! order is canonical*. Every finished run parks its [`RunRecord`] in a
+//! slot indexed by plan position, and after the pool drains the records are
+//! folded into [`CellAccumulator`]s strictly in plan order. Aggregates are
+//! therefore bit-identical at any thread count, any chunk size, and across
+//! kill/resume — the same discipline the parallel engine established for
+//! intra-run work.
+
+use super::accum::{CellAccumulator, RunRecord};
+use super::journal::{replay_journal, JournalWriter};
+use super::manifest::{CellKey, SweepManifest};
+use crate::engine::World;
+use crate::scenario::Scenario;
+use crate::sweep::{SweepError, SweepPoint};
+use std::cmp::Reverse;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Scenario post-processor hook: the bench harness uses this for figure
+/// ablations (tick length, map scale) that are not manifest axes. Applied
+/// after the run's scenario is materialised, before the world is built;
+/// must be deterministic for resume to stay exact.
+pub type ScenarioTweak<'a> = dyn Fn(&mut Scenario) + Sync + 'a;
+
+/// Execution knobs for [`run_manifest`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads (0: [`rayon::current_num_threads`]).
+    pub threads: usize,
+    /// Runs per work-stealing chunk (0: auto-size from the pending count).
+    pub chunk_size: usize,
+    /// Journal path; `None` disables checkpointing.
+    pub journal: Option<PathBuf>,
+    /// Replay an existing journal at `journal` before executing the
+    /// remainder. A missing journal file degrades to a cold start.
+    pub resume: bool,
+}
+
+/// What a sweep produced, plus enough bookkeeping to reason about resume
+/// and throughput. Only `points`/`cells` are aggregate *data*; everything
+/// else (notably `wall_secs`) is measurement and excluded from identity
+/// comparisons.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// One figure point per cell, in canonical cell order.
+    pub points: Vec<SweepPoint>,
+    /// The cells, parallel to `points`.
+    pub cells: Vec<CellKey>,
+    /// Runs in the expanded plan.
+    pub runs_total: usize,
+    /// Runs executed this invocation.
+    pub runs_executed: usize,
+    /// Runs replayed from the journal.
+    pub runs_replayed: usize,
+    /// Work-stealing chunks executed.
+    pub chunks: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds of the execute+reduce phase (measurement only).
+    pub wall_secs: f64,
+}
+
+/// Execute a manifest. See [`run_manifest_with`] for the tweak-accepting
+/// variant.
+pub fn run_manifest(
+    manifest: &SweepManifest,
+    opts: &SweepOptions,
+) -> Result<SweepOutcome, SweepError> {
+    run_manifest_with(manifest, opts, None)
+}
+
+/// Execute a manifest with an optional scenario tweak.
+///
+/// Expansion → journal replay (resume) → work-stealing execution of the
+/// remainder (checkpointing each finished chunk) → canonical reduce.
+pub fn run_manifest_with(
+    manifest: &SweepManifest,
+    opts: &SweepOptions,
+    tweak: Option<&ScenarioTweak<'_>>,
+) -> Result<SweepOutcome, SweepError> {
+    let start = Instant::now();
+    let plan = manifest.expand()?;
+    let fnv = manifest.fingerprint();
+    let threads = if opts.threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        opts.threads
+    }
+    .max(1);
+
+    // Phase 1: replay. `done` maps run ID → journalled record.
+    let mut done: HashMap<String, RunRecord> = HashMap::new();
+    let mut journal: Option<Mutex<JournalWriter>> = None;
+    if let Some(path) = &opts.journal {
+        if opts.resume && path.exists() {
+            let replay = replay_journal(path)?;
+            if replay.header.manifest_fnv != fnv {
+                return Err(SweepError::Journal {
+                    detail: format!(
+                        "journal belongs to a different manifest \
+                         (fnv {:#x}, expected {:#x})",
+                        replay.header.manifest_fnv, fnv
+                    ),
+                });
+            }
+            if replay.header.runs != plan.len() as u64 {
+                return Err(SweepError::Journal {
+                    detail: format!(
+                        "journal plan size {} != expanded plan size {}",
+                        replay.header.runs,
+                        plan.len()
+                    ),
+                });
+            }
+            for rec in replay.records {
+                done.insert(rec.id.clone(), rec);
+            }
+            journal = Some(Mutex::new(JournalWriter::resume(path, replay.valid_bytes)?));
+        } else {
+            journal = Some(Mutex::new(JournalWriter::create(
+                path,
+                fnv,
+                plan.len() as u64,
+            )?));
+        }
+    }
+
+    // Phase 2: schedule. Pending runs sorted by descending cost estimate
+    // (ties broken by plan position, so the schedule is deterministic),
+    // then grouped into chunks claimed via an atomic cursor.
+    let base_vehicles = manifest.base_vehicles();
+    let mut pending: Vec<usize> = (0..plan.len())
+        .filter(|&i| !done.contains_key(&plan.runs[i].id(&plan.name)))
+        .collect();
+    pending.sort_by_key(|&i| (Reverse(plan.runs[i].cost(base_vehicles)), i));
+    let chunk_size = if opts.chunk_size == 0 {
+        (pending.len().div_ceil(threads * 8)).clamp(1, 32)
+    } else {
+        opts.chunk_size
+    };
+    let chunks: Vec<&[usize]> = pending.chunks(chunk_size).collect();
+
+    // Phase 3: execute. Workers steal chunks; each finished chunk commits
+    // its records to plan-indexed slots and (fsync'd) to the journal.
+    let slots: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; plan.len()]);
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let io_error: Mutex<Option<SweepError>> = Mutex::new(None);
+    let pool = rayon::ThreadPool::new(threads);
+    pool.scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= chunks.len() {
+                    break;
+                }
+                let mut batch: Vec<(usize, RunRecord)> = Vec::with_capacity(chunks[k].len());
+                for &i in chunks[k] {
+                    let spec = &plan.runs[i];
+                    let mut scenario = spec.scenario(manifest);
+                    if let Some(t) = tweak {
+                        t(&mut scenario);
+                    }
+                    let report =
+                        World::build_with_options(&scenario, spec.engine, manifest.backend).run();
+                    batch.push((i, RunRecord::from_report(&spec.id(&plan.name), &report)));
+                }
+                if let Some(j) = &journal {
+                    let records: Vec<RunRecord> = batch.iter().map(|(_, r)| r.clone()).collect();
+                    let res = j.lock().expect("journal lock").append_chunk(&records);
+                    if let Err(e) = res {
+                        *io_error.lock().expect("error lock") = Some(e);
+                        abort.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                let mut s = slots.lock().expect("slots lock");
+                for (i, rec) in batch {
+                    s[i] = Some(rec);
+                }
+            });
+        }
+    });
+    if let Some(e) = io_error.into_inner().expect("error lock") {
+        return Err(e);
+    }
+
+    // Phase 4: canonical reduce, strictly in plan order — the step that
+    // makes aggregates independent of scheduling and of resume history.
+    let slots = slots.into_inner().expect("slots lock");
+    let mut accs: Vec<CellAccumulator> = plan
+        .cells
+        .iter()
+        .map(|c| CellAccumulator::new(&c.label(), c.ttl_mins as f64))
+        .collect();
+    for (i, spec) in plan.runs.iter().enumerate() {
+        let rec = match &slots[i] {
+            Some(r) => r,
+            None => done
+                .get(&spec.id(&plan.name))
+                .expect("every planned run is executed or replayed"),
+        };
+        accs[spec.cell].push_record(rec);
+    }
+
+    Ok(SweepOutcome {
+        points: accs.iter().map(|a| a.finish()).collect(),
+        cells: plan.cells.clone(),
+        runs_total: plan.len(),
+        runs_executed: pending.len(),
+        runs_replayed: plan.len() - pending.len(),
+        chunks: chunks.len(),
+        threads,
+        wall_secs: start.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::PaperProtocol;
+    use crate::sweep::{average_reports, run_sweep};
+
+    fn tiny_manifest() -> SweepManifest {
+        let mut m = SweepManifest::paper(
+            "tiny",
+            &[PaperProtocol::EpidemicFifo, PaperProtocol::EpidemicLifetime],
+            &[30, 60],
+            &[1, 2, 3],
+        );
+        m.base = super::super::manifest::ScenarioBase::Mini;
+        m.duration_secs = 600.0;
+        m
+    }
+
+    fn canon_points(o: &SweepOutcome) -> String {
+        serde_json::to_string(&o.points).expect("points serialise")
+    }
+
+    #[test]
+    fn orchestrator_matches_run_sweep_plus_average_reports() {
+        let m = tiny_manifest();
+        let plan = m.expand().unwrap();
+        let outcome = run_manifest(&m, &SweepOptions::default()).unwrap();
+        assert_eq!(outcome.runs_total, 12);
+        assert_eq!(outcome.runs_executed, 12);
+        assert_eq!(outcome.points.len(), 4);
+
+        // Reference path: materialise every report, average per cell.
+        let scenarios: Vec<Scenario> = plan.runs.iter().map(|r| r.scenario(&m)).collect();
+        let reports = run_sweep(&scenarios);
+        for (c, cell) in plan.cells.iter().enumerate() {
+            let cell_reports: Vec<_> = plan
+                .runs
+                .iter()
+                .zip(&reports)
+                .filter(|(r, _)| r.cell == c)
+                .map(|(_, rep)| rep.clone())
+                .collect();
+            let reference = average_reports(&cell.label(), &cell_reports).unwrap();
+            let a = serde_json::to_string(&reference).unwrap();
+            let b = serde_json::to_string(&outcome.points[c]).unwrap();
+            assert_eq!(a, b, "cell {c} ({})", cell.label());
+        }
+    }
+
+    #[test]
+    fn aggregates_invariant_across_threads_and_chunk_sizes() {
+        let m = tiny_manifest();
+        let baseline = canon_points(
+            &run_manifest(
+                &m,
+                &SweepOptions {
+                    threads: 1,
+                    ..SweepOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        for (threads, chunk) in [(2, 1), (3, 2), (4, 5)] {
+            let o = run_manifest(
+                &m,
+                &SweepOptions {
+                    threads,
+                    chunk_size: chunk,
+                    ..SweepOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                canon_points(&o),
+                baseline,
+                "threads={threads} chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn journal_then_full_resume_replays_everything() {
+        let dir = std::env::temp_dir().join("vdtn-exec-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("full.jsonl");
+        let m = tiny_manifest();
+        let cold = run_manifest(
+            &m,
+            &SweepOptions {
+                journal: Some(path.clone()),
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        let resumed = run_manifest(
+            &m,
+            &SweepOptions {
+                journal: Some(path.clone()),
+                resume: true,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.runs_executed, 0);
+        assert_eq!(resumed.runs_replayed, 12);
+        assert_eq!(canon_points(&cold), canon_points(&resumed));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_journal_is_rejected() {
+        let dir = std::env::temp_dir().join("vdtn-exec-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("foreign.jsonl");
+        let m = tiny_manifest();
+        run_manifest(
+            &m,
+            &SweepOptions {
+                journal: Some(path.clone()),
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        let mut other = m.clone();
+        other.seeds.push(99);
+        let err = run_manifest(
+            &other,
+            &SweepOptions {
+                journal: Some(path.clone()),
+                resume: true,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SweepError::Journal { .. }));
+        std::fs::remove_file(&path).ok();
+    }
+}

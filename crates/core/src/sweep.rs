@@ -5,18 +5,113 @@
 //! RNG lanes, no shared state), so the sweep is embarrassingly parallel —
 //! [`run_sweep`] fans the scenario list across a rayon thread pool and
 //! collects reports in input order.
+//!
+//! This module holds the small, report-level surface (run a scenario list,
+//! average one cell); the batch experiment system built on top of it —
+//! manifests, work-stealing chunks, streaming accumulators, the resume
+//! journal — lives in [`crate::orchestrator`].
 
-use crate::engine::World;
+use crate::engine::{EngineMode, World};
+use crate::orchestrator::CellAccumulator;
 use crate::report::SimReport;
 use crate::scenario::Scenario;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use vdtn_routing::RoutingBackend;
+
+/// Typed failure of a sweep: bad cell input, a malformed manifest, or a
+/// journal that cannot be trusted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// A cell was averaged over zero reports.
+    EmptyCell {
+        /// Cell label.
+        label: String,
+    },
+    /// One cell mixed reports with different TTLs.
+    MixedTtl {
+        /// Cell label.
+        label: String,
+        /// TTL of the first report, minutes.
+        expected: f64,
+        /// Offending TTL, minutes.
+        got: f64,
+    },
+    /// A required manifest axis was empty.
+    EmptyAxis {
+        /// Axis name.
+        axis: &'static str,
+    },
+    /// The manifest was structurally invalid.
+    Manifest {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The resume journal was unusable (wrong magic, version, or it was
+    /// written by a different manifest).
+    Journal {
+        /// What was wrong.
+        detail: String,
+    },
+    /// An I/O failure while reading or writing the journal.
+    Io {
+        /// Rendered `std::io::Error`.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::EmptyCell { label } => {
+                write!(f, "cell `{label}`: cannot average zero reports")
+            }
+            SweepError::MixedTtl {
+                label,
+                expected,
+                got,
+            } => write!(
+                f,
+                "cell `{label}`: mixed TTLs ({expected} min vs {got} min)"
+            ),
+            SweepError::EmptyAxis { axis } => write!(f, "manifest axis `{axis}` is empty"),
+            SweepError::Manifest { detail } => write!(f, "invalid manifest: {detail}"),
+            SweepError::Journal { detail } => write!(f, "unusable journal: {detail}"),
+            SweepError::Io { detail } => write!(f, "journal I/O failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<std::io::Error> for SweepError {
+    fn from(e: std::io::Error) -> Self {
+        SweepError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
 
 /// Run every scenario, in parallel, returning reports in input order.
+/// Uses the default engine mode and routing backend; sweeps that want the
+/// parallel engine or the rescan backend go through
+/// [`run_sweep_with_options`].
 pub fn run_sweep(scenarios: &[Scenario]) -> Vec<SimReport> {
+    run_sweep_with_options(scenarios, EngineMode::default(), RoutingBackend::default())
+}
+
+/// [`run_sweep`] with an explicit engine mode and routing backend for every
+/// run. Reports come back in input order and are bit-identical to serial
+/// execution (each run is independent and internally deterministic).
+pub fn run_sweep_with_options(
+    scenarios: &[Scenario],
+    mode: EngineMode,
+    backend: RoutingBackend,
+) -> Vec<SimReport> {
     scenarios
         .par_iter()
-        .map(|s| World::build(s).run())
+        .map(|s| World::build_with_options(s, mode, backend).run())
         .collect()
 }
 
@@ -43,41 +138,39 @@ pub struct SweepPoint {
     pub delivery_probability_sd: f64,
     /// Std-dev of delay across seeds, minutes.
     pub avg_delay_sd: f64,
+    /// Median of per-seed average delay, minutes (reservoir-sampled).
+    pub delay_p50_mins: f64,
+    /// 90th percentile of per-seed average delay, minutes.
+    pub delay_p90_mins: f64,
+    /// 95 % confidence half-width on the delivery probability mean.
+    pub delivery_ci95: f64,
+    /// 95 % confidence half-width on the mean delay, minutes.
+    pub avg_delay_ci95: f64,
 }
 
 /// Average per-seed reports of one experimental cell into a [`SweepPoint`].
 ///
-/// All reports must share the same TTL (they are one figure cell).
-pub fn average_reports(label: &str, reports: &[SimReport]) -> SweepPoint {
-    assert!(!reports.is_empty(), "cannot average zero reports");
-    let ttl = reports[0].ttl_mins;
-    assert!(
-        reports.iter().all(|r| (r.ttl_mins - ttl).abs() < 1e-9),
-        "mixed TTLs in one cell"
-    );
-    let n = reports.len() as f64;
-    let mean = |f: &dyn Fn(&SimReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
-    let sd = |f: &dyn Fn(&SimReport) -> f64, mu: f64| {
-        if reports.len() < 2 {
-            0.0
-        } else {
-            (reports.iter().map(|r| (f(r) - mu).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
-        }
-    };
-    let dp = mean(&|r: &SimReport| r.delivery_probability());
-    let delay = mean(&|r: &SimReport| r.avg_delay_mins());
-    SweepPoint {
+/// All reports must share the same TTL (they are one figure cell);
+/// violations come back as a typed [`SweepError`] instead of a panic. The
+/// math is the streaming [`CellAccumulator`], so this is bit-identical to
+/// what the orchestrator produces for the same reports in the same order.
+pub fn average_reports(label: &str, reports: &[SimReport]) -> Result<SweepPoint, SweepError> {
+    let first = reports.first().ok_or_else(|| SweepError::EmptyCell {
         label: label.to_string(),
-        ttl_mins: ttl,
-        seeds: reports.len(),
-        delivery_probability: dp,
-        avg_delay_mins: delay,
-        delivered: mean(&|r: &SimReport| r.messages.delivered_unique as f64),
-        created: mean(&|r: &SimReport| r.messages.created as f64),
-        overhead: mean(&|r: &SimReport| r.messages.overhead_ratio()),
-        delivery_probability_sd: sd(&|r: &SimReport| r.delivery_probability(), dp),
-        avg_delay_sd: sd(&|r: &SimReport| r.avg_delay_mins(), delay),
+    })?;
+    let ttl = first.ttl_mins;
+    let mut acc = CellAccumulator::new(label, ttl);
+    for r in reports {
+        if (r.ttl_mins - ttl).abs() >= 1e-9 {
+            return Err(SweepError::MixedTtl {
+                label: label.to_string(),
+                expected: ttl,
+                got: r.ttl_mins,
+            });
+        }
+        acc.push_report(r);
     }
+    Ok(acc.finish())
 }
 
 impl SweepPoint {
@@ -125,6 +218,24 @@ mod tests {
     }
 
     #[test]
+    fn sweep_with_options_matches_default_engine() {
+        let scenarios: Vec<Scenario> = (0..2)
+            .map(|seed| {
+                let mut s = mini_scenario(PaperProtocol::EpidemicFifo, 30, seed);
+                s.duration_secs = 600.0;
+                s
+            })
+            .collect();
+        let default = run_sweep(&scenarios);
+        let ticked = run_sweep_with_options(&scenarios, EngineMode::Ticked, RoutingBackend::Rescan);
+        for (d, t) in default.iter().zip(&ticked) {
+            assert_eq!(d.messages.created, t.messages.created);
+            assert_eq!(d.messages.delivered_unique, t.messages.delivered_unique);
+            assert_eq!(d.messages.relayed, t.messages.relayed);
+        }
+    }
+
+    #[test]
     fn averaging_means_and_sds() {
         let mut a = SimReport {
             ttl_mins: 60.0,
@@ -141,16 +252,19 @@ mod tests {
         b.messages.delivered_unique = 70;
         b.messages.delay.push(1200.0); // 20 min
 
-        let p = average_reports("test", &[a, b]);
+        let p = average_reports("test", &[a, b]).unwrap();
         assert_eq!(p.seeds, 2);
         assert!((p.delivery_probability - 0.6).abs() < 1e-12);
         assert!((p.avg_delay_mins - 15.0).abs() < 1e-12);
         assert!(p.delivery_probability_sd > 0.0);
+        assert!(p.delivery_ci95 > 0.0);
+        // The reservoir holds both per-seed delays: p50 picks the midpoint
+        // neighbour, p90 the larger one.
+        assert!(p.delay_p90_mins >= p.delay_p50_mins);
         assert!(p.table_row().contains("ttl= 60m"));
     }
 
     #[test]
-    #[should_panic(expected = "mixed TTLs")]
     fn averaging_rejects_mixed_ttls() {
         let a = SimReport {
             ttl_mins: 60.0,
@@ -160,12 +274,15 @@ mod tests {
             ttl_mins: 90.0,
             ..SimReport::default()
         };
-        average_reports("bad", &[a, b]);
+        let err = average_reports("bad", &[a, b]).unwrap_err();
+        assert!(matches!(err, SweepError::MixedTtl { .. }));
+        assert!(err.to_string().contains("mixed TTLs"));
     }
 
     #[test]
-    #[should_panic(expected = "zero reports")]
     fn averaging_rejects_empty() {
-        average_reports("empty", &[]);
+        let err = average_reports("empty", &[]).unwrap_err();
+        assert!(matches!(err, SweepError::EmptyCell { .. }));
+        assert!(err.to_string().contains("zero reports"));
     }
 }

@@ -3,7 +3,7 @@
 //! # The motion segment protocol
 //!
 //! Every model exposes its current motion as a piecewise-linear
-//! [`Segment`](vdtn_geo::Segment): position ≡ `origin + velocity · (t − start)`
+//! [`Segment`]: position ≡ `origin + velocity · (t − start)`
 //! over `[start, until]`. The engine's two disciplines both evaluate positions
 //! through that one closed form — the ticked loop via [`MovementModel::step`]
 //! (which is just `advance_to(now + dt)`), the event-driven loop via the

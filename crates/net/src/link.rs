@@ -135,7 +135,7 @@ struct Connection {
 /// All active connections plus node busy-state.
 ///
 /// Storage is node-indexed and slot-indexed throughout — per-node sorted
-/// adjacency lists of `(peer, slot)`, a dense [`Connection`] slab, and a
+/// adjacency lists of `(peer, slot)`, a dense `Connection` slab, and a
 /// node-indexed busy bitmap — so a world's link state costs a handful of
 /// bytes per node plus one slab entry per live connection, with no
 /// hash-table or tree-node overhead.

@@ -71,7 +71,7 @@ use vdtn_bundle::{
 };
 
 /// How a policy-driven router materialises its per-peer transmission order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum RoutingBackend {
     /// Delta-maintained per-direction candidate sets (this PR; the
     /// default). `Random` scheduling transparently falls back to `Rescan`

@@ -4,7 +4,8 @@
 The simulator's bit-identity guarantees (engine-mode equivalence, thread
 invariance, bench report identity) only hold if no observable ordering ever
 derives from std hash-table iteration order, which is randomised per
-instance. This lint scans `crates/*/src/**/*.rs`, strips `#[cfg(test)]`
+instance. This lint scans `crates/*/src/**/*.rs` plus the umbrella
+crate's `src/**/*.rs`, strips `#[cfg(test)]`
 modules, and fails on any `for`-loop or ordering-sensitive method call
 (`iter`, `keys`, `values`, `drain`, `difference`, ...) applied to an
 identifier whose declared type in the same file is `HashMap`/`HashSet`.
@@ -97,7 +98,8 @@ WALLCLOCK_RE = re.compile(r"\b(?:Instant|SystemTime)\s*::\s*now\s*\(")
 def main() -> int:
     allowed = load_allowlist()
     failures = []
-    for path in sorted(ROOT.glob("crates/*/src/**/*.rs")):
+    paths = list(ROOT.glob("crates/*/src/**/*.rs")) + list(ROOT.glob("src/**/*.rs"))
+    for path in sorted(paths):
         rel = path.relative_to(ROOT).as_posix()
         src = strip_test_modules(path.read_text())
         # Wall-clock reads in simulation crates (bench is measurement code).
