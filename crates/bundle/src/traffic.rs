@@ -133,6 +133,39 @@ impl TrafficGenerator {
     pub fn created_count(&self) -> u64 {
         self.next_id
     }
+
+    /// The workload parameters this generator draws from.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.cfg
+    }
+
+    /// Dynamic state for snapshotting: (RNG, next creation time, next id).
+    /// The config is not included — restore re-supplies it from the scenario.
+    pub fn snapshot_state(&self) -> (SimRng, SimTime, u64) {
+        (self.rng.clone(), self.next_time, self.next_id)
+    }
+
+    /// Rebuild a generator mid-stream from snapshotted state. Unlike
+    /// [`TrafficGenerator::new`] this draws nothing: the first interval was
+    /// already consumed by the original generator.
+    pub fn restore(cfg: TrafficConfig, rng: SimRng, next_time: SimTime, next_id: u64) -> Self {
+        cfg.validate();
+        TrafficGenerator {
+            cfg,
+            rng,
+            next_time,
+            next_id,
+        }
+    }
+
+    /// Fold the generator's dynamic state into a canonical state hash.
+    pub fn hash_into(&self, h: &mut vdtn_sim_core::StateHash) {
+        for w in self.rng.state_words() {
+            h.write_u64(w);
+        }
+        h.write_u64(self.next_time.as_millis());
+        h.write_u64(self.next_id);
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +249,19 @@ mod tests {
         let mut a = TrafficGenerator::new(cfg(), SimRng::seed_from_u64(6));
         let mut b = TrafficGenerator::new(cfg(), SimRng::seed_from_u64(6));
         for _ in 0..200 {
+            assert_eq!(a.next_message(), b.next_message());
+        }
+    }
+
+    #[test]
+    fn restore_resumes_identical_stream() {
+        let mut a = TrafficGenerator::new(cfg(), SimRng::seed_from_u64(7));
+        for _ in 0..50 {
+            a.next_message();
+        }
+        let (rng, t, id) = a.snapshot_state();
+        let mut b = TrafficGenerator::restore(cfg(), rng, t, id);
+        for _ in 0..50 {
             assert_eq!(a.next_message(), b.next_message());
         }
     }

@@ -2,6 +2,10 @@
 //!
 //! ```text
 //! run_scenario SCENARIO.json [--report REPORT.json] [--csv] [--oracle]
+//!              [--engine ticked|event|parallel] [--threads N]
+//!              [--hash-stream] [--hash-every SECS]
+//!              [--save-at SECS --snapshot FILE.snap]
+//! run_scenario --restore FILE.snap [--engine MODE] [--threads N] [...]
 //! run_scenario --sweep MANIFEST.json [--journal J.jsonl] [--resume]
 //!              [--threads N] [--out POINTS.json]
 //! ```
@@ -9,6 +13,20 @@
 //! Reads a [`vdtn::Scenario`] (the same structure `serde_json` serialises),
 //! runs it, prints the one-line summary, optionally writes the full report
 //! as JSON, a CSV row, and the omniscient-routing oracle bound.
+//!
+//! `--hash-stream` emits one `<now_ms> <state_hash_hex>` line per
+//! `--hash-every` seconds (default 60) of simulated time to stdout — and
+//! *only* those lines, the summary moves to stderr — so CI can `cmp` the
+//! streams of two runs directly. Because the hash is identical by
+//! construction across engine modes and thread counts, any two invocations
+//! of the same scenario must produce bytewise-equal streams; the drift
+//! matrix in CI pins exactly that across the full mode × thread grid.
+//!
+//! `--save-at T --snapshot F` checkpoints the world at simulated time `T`
+//! into `F` and then *continues to the end* (the snapshot is a side effect,
+//! not an exit). `--restore F` rebuilds the world from `F` — under any
+//! `--engine`/`--threads`, not just the capturing one — and runs the
+//! remainder; the final report is bit-identical to the uninterrupted run.
 //!
 //! `--sweep` is the batch path: a [`vdtn::SweepManifest`] is expanded into
 //! its canonical run list and executed by the sweep orchestrator —
@@ -26,17 +44,30 @@
 
 use vdtn::orchestrator::{run_manifest, SweepManifest, SweepOptions};
 use vdtn::presets::{paper_scenario, PaperProtocol, PAPER_TTLS_MIN};
-use vdtn::{oracle_summary, Scenario, World};
+use vdtn::{load_snapshot, oracle_summary, save_snapshot, EngineMode, Scenario, World};
+use vdtn_routing::RoutingBackend;
+use vdtn_sim_core::SimTime;
+
+fn usage(code: i32) -> ! {
+    eprintln!("usage: run_scenario SCENARIO.json [--report OUT.json] [--csv] [--oracle]");
+    eprintln!("                    [--engine ticked|event|parallel] [--threads N]");
+    eprintln!("                    [--hash-stream] [--hash-every SECS]");
+    eprintln!("                    [--save-at SECS --snapshot FILE.snap]");
+    eprintln!("       run_scenario --restore FILE.snap [--engine MODE] [--threads N]");
+    eprintln!("       run_scenario --sweep MANIFEST.json [--journal J.jsonl] [--resume]");
+    eprintln!("                    [--threads N] [--out POINTS.json]");
+    eprintln!("       run_scenario --template        # print a scenario template");
+    eprintln!("       run_scenario --sweep-template  # print a sweep manifest template");
+    std::process::exit(code);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args[0] == "--help" {
-        eprintln!("usage: run_scenario SCENARIO.json [--report OUT.json] [--csv] [--oracle]");
-        eprintln!("       run_scenario --sweep MANIFEST.json [--journal J.jsonl] [--resume]");
-        eprintln!("                    [--threads N] [--out POINTS.json]");
-        eprintln!("       run_scenario --template        # print a scenario template");
-        eprintln!("       run_scenario --sweep-template  # print a sweep manifest template");
-        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    if args.is_empty() {
+        usage(2);
+    }
+    if args[0] == "--help" {
+        usage(0);
     }
 
     if args[0] == "--template" {
@@ -67,21 +98,78 @@ fn main() {
         return;
     }
 
-    let path = &args[0];
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read scenario {path}: {e}"));
-    let scenario: Scenario =
-        serde_json::from_str(&text).unwrap_or_else(|e| panic!("invalid scenario JSON: {e}"));
-
+    let flag_value = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .clone()
+        })
+    };
+    let engine = match flag_value("--engine").as_deref() {
+        None => EngineMode::default(),
+        Some("ticked") => EngineMode::Ticked,
+        Some("event") => EngineMode::EventDriven,
+        Some("parallel") => EngineMode::Parallel,
+        Some(other) => {
+            eprintln!("unknown --engine `{other}` (want ticked|event|parallel)");
+            std::process::exit(2);
+        }
+    };
+    let threads: Option<usize> =
+        flag_value("--threads").map(|v| v.parse().expect("--threads needs a number"));
     let want_oracle = args.iter().any(|a| a == "--oracle");
     let want_csv = args.iter().any(|a| a == "--csv");
-    let report_path = args
-        .iter()
-        .position(|a| a == "--report")
-        .map(|i| args.get(i + 1).expect("--report needs a path").clone());
+    let want_hash_stream = args.iter().any(|a| a == "--hash-stream");
+    let hash_every = flag_value("--hash-every")
+        .map(|v| v.parse::<f64>().expect("--hash-every needs seconds"))
+        .unwrap_or(60.0);
+    assert!(hash_every > 0.0, "--hash-every must be positive");
+    let save_at =
+        flag_value("--save-at").map(|v| v.parse::<f64>().expect("--save-at needs seconds"));
+    let snapshot_path = flag_value("--snapshot");
+    assert_eq!(
+        save_at.is_some(),
+        snapshot_path.is_some(),
+        "--save-at and --snapshot must be given together"
+    );
+    let report_path = flag_value("--report");
 
-    let world = World::build(&scenario);
+    // Materialise the world: fresh from a scenario file, or resumed from a
+    // snapshot. Either way the remainder of the pipeline is identical.
+    let (scenario, mut world) = if let Some(snap_path) = flag_value("--restore") {
+        let snap = load_snapshot(snap_path.as_ref())
+            .unwrap_or_else(|e| panic!("cannot restore snapshot {snap_path}: {e}"));
+        let world = World::restore(&snap, engine, RoutingBackend::default(), threads);
+        eprintln!(
+            "restored `{}` at t={:.0}s (state hash {:016x})",
+            snap.scenario.name,
+            snap.now.as_secs_f64(),
+            snap.state_hash,
+        );
+        (snap.scenario, world)
+    } else {
+        let path = &args[0];
+        if path.starts_with("--") {
+            usage(2);
+        }
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read scenario {path}: {e}"));
+        let scenario: Scenario =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("invalid scenario JSON: {e}"));
+        let world = match threads {
+            Some(n) if engine == EngineMode::Parallel => {
+                World::build_parallel_with_threads(&scenario, RoutingBackend::default(), n)
+            }
+            _ => World::build_with_options(&scenario, engine, RoutingBackend::default()),
+        };
+        (scenario, world)
+    };
+
     if want_oracle {
+        if want_hash_stream || save_at.is_some() {
+            eprintln!("--oracle cannot combine with --hash-stream or --save-at");
+            std::process::exit(2);
+        }
         let (report, log) = world.run_logged();
         println!("{}", report.summary());
         let oracle = oracle_summary(&log);
@@ -96,11 +184,53 @@ fn main() {
             report.avg_delay_mins(),
         );
         finish(&report, want_csv, report_path);
+        return;
+    }
+
+    // Checkpoint side effect: drive to the save point, capture, continue.
+    if let (Some(at), Some(path)) = (save_at, &snapshot_path) {
+        let at = SimTime::from_secs_f64(at);
+        if at < world.now() {
+            eprintln!(
+                "--save-at {:.0}s is before the world's clock ({:.0}s)",
+                at.as_secs_f64(),
+                world.now().as_secs_f64()
+            );
+            std::process::exit(2);
+        }
+        world.run_until(at);
+        let snap = world.snapshot(&scenario);
+        save_snapshot(path.as_ref(), &snap)
+            .unwrap_or_else(|e| panic!("cannot write snapshot {path}: {e}"));
+        eprintln!(
+            "snapshot at t={:.0}s written to {path} (state hash {:016x})",
+            snap.now.as_secs_f64(),
+            snap.state_hash,
+        );
+    }
+
+    let report = if want_hash_stream {
+        // Hashes only on stdout (one `<now_ms> <hash_hex>` line per period)
+        // so two streams can be `cmp`'d; everything human goes to stderr.
+        let end = SimTime::from_secs_f64(scenario.duration_secs);
+        let period = vdtn::SimDuration::from_secs_f64(hash_every);
+        let mut next = world.now() + period;
+        while next < end {
+            world.run_until(next);
+            println!("{} {:016x}", world.now().as_millis(), world.state_hash());
+            next += period;
+        }
+        world.run_until(end);
+        println!("{} {:016x}", world.now().as_millis(), world.state_hash());
+        let report = world.run();
+        eprintln!("{}", report.summary());
+        report
     } else {
         let report = world.run();
         println!("{}", report.summary());
-        finish(&report, want_csv, report_path);
-    }
+        report
+    };
+    finish(&report, want_csv, report_path);
 }
 
 /// The `--sweep` batch path: manifest in, aggregate points out.
@@ -128,7 +258,15 @@ fn run_sweep_manifest(args: &[String]) {
         chunk_size: 0,
         journal: flag_value("--journal").map(std::path::PathBuf::from),
         resume: args.iter().any(|a| a == "--resume"),
+        checkpoint_dir: flag_value("--checkpoint-dir").map(std::path::PathBuf::from),
+        checkpoint_every_secs: flag_value("--checkpoint-every")
+            .map(|v| v.parse().expect("--checkpoint-every needs seconds"))
+            .unwrap_or(0.0),
     };
+    if let Some(dir) = &opts.checkpoint_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create checkpoint dir: {e}"));
+    }
     let out_path = flag_value("--out");
 
     let outcome = match run_manifest(&manifest, &opts) {

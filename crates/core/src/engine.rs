@@ -88,16 +88,17 @@
 use crate::logging::{SimLog, SimLogBuilder};
 use crate::report::{DropCause, Sample, SimReport};
 use crate::scenario::{place_relays_high_degree, MobilitySpec, RelayPlacement, Scenario};
+use crate::snapshot::{LinkSnapshot, NodeSnapshot, TransferSnapshot, WorldSnapshot};
 use std::sync::Arc;
-use vdtn_bundle::{MessageId, TrafficConfig, TrafficGenerator};
+use vdtn_bundle::{Message, MessageId, TrafficConfig, TrafficGenerator};
 use vdtn_geo::{Point, Segment, ShardMap};
-use vdtn_mobility::{MovementModel, ShortestPathMapBased, Stationary};
+use vdtn_mobility::{restore_mover, MovementModel, ShortestPathMapBased, Stationary};
 use vdtn_net::{
     pair_key, ContactDetector, ContactTrace, LinkEvent, LinkTable, MotionCols, TransferOutcome,
 };
 use vdtn_routing::offers::SilenceKey;
 use vdtn_routing::{ContactOffers, NodeState, ReceiveOutcome, Router, RoutingBackend};
-use vdtn_sim_core::{EngineEvent, EventQueue, NodeId, SimDuration, SimRng, SimTime};
+use vdtn_sim_core::{EngineEvent, EventQueue, NodeId, SimDuration, SimRng, SimTime, StateHash};
 
 /// Split two distinct mutable references out of a slice.
 fn pair_mut<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
@@ -662,13 +663,26 @@ impl World {
     }
 
     fn run_to_end(&mut self) {
+        self.run_until(self.end);
+    }
+
+    /// Advance the simulation to the first tick boundary at or past `stop`
+    /// (clamped to the run horizon), preserving each mode's scheduling
+    /// discipline — the event-driven modes still skip work-free ticks.
+    ///
+    /// Splitting a run into `run_until` segments is exact: skipped-tick
+    /// arithmetic is pure time arithmetic, so `run_until(t)` followed by
+    /// `run_until(end)` reproduces `run()` bit-for-bit. This is what the
+    /// hash-stream driver and the checkpoint/restore machinery build on.
+    pub fn run_until(&mut self, stop: SimTime) {
+        let stop = stop.min(self.end);
         match self.mode {
             EngineMode::Ticked => {
-                while self.now < self.end {
+                while self.now < stop {
                     self.step_ticked();
                 }
             }
-            EngineMode::EventDriven | EngineMode::Parallel => self.run_event(),
+            EngineMode::EventDriven | EngineMode::Parallel => self.run_event_until(stop),
         }
     }
 
@@ -683,12 +697,13 @@ impl World {
 
     /// Event-driven driver: execute only ticks with a due wake-up, jumping
     /// the clock (and the tick counter, which phase 5 uses for initiative
-    /// parity) across provably work-free ticks.
-    fn run_event(&mut self) {
+    /// parity) across provably work-free ticks. Runs to the first tick
+    /// boundary at or past `stop` (callers clamp to the horizon).
+    fn run_event_until(&mut self, stop: SimTime) {
         let tick_ms = self.tick.as_millis().max(1);
-        while self.now < self.end {
+        while self.now < stop {
             let now_ms = self.now.as_millis();
-            let ticks_to_end = (self.end.as_millis() - now_ms).div_ceil(tick_ms);
+            let ticks_to_end = (stop.as_millis() - now_ms).div_ceil(tick_ms);
             let ticks_to_wake = match self.events.peek_time() {
                 Some(t) => t
                     .as_millis()
@@ -1708,6 +1723,421 @@ impl World {
         let node_count = self.states.len();
         let log = self.log.take().map(|l| l.finish(node_count, self.now));
         (self.report, log)
+    }
+}
+
+// --- State hashing and checkpoint/restore (see ARCHITECTURE.md, "The
+//     state hash and snapshot protocol") ---
+
+impl World {
+    /// Canonical hash of the world's semantic state at the current tick
+    /// boundary.
+    ///
+    /// **Identical by construction across all three [`EngineMode`]s and
+    /// every thread count**: it folds in only state the modes keep
+    /// bit-identical — the clock, positions evaluated through
+    /// [`World::node_position`] (the one closed form both disciplines
+    /// share), buffers in reception order, delivered sets in sorted order,
+    /// router protocol state, RNG stream positions, live links with their
+    /// transfers in ordered-pair-key order, the traffic stream, the
+    /// contact trace, and the report counters. It deliberately excludes
+    /// everything call-pattern-dependent: mover clock/position anchors,
+    /// the raw kinematics columns (never refreshed between boundaries
+    /// under `Ticked`), silence memos, cursors, candidate indexes, the
+    /// event queue, `wall_secs`, and [`EngineStats`].
+    ///
+    /// Must be sampled between ticks (never mid-phase). The CI drift
+    /// matrix compares streams of these hashes across the full
+    /// mode × thread grid.
+    pub fn state_hash(&self) -> u64 {
+        let mut h = StateHash::new();
+        self.hash_state(&mut h);
+        h.finish()
+    }
+
+    /// Fold the canonical state into an existing [`StateHash`] (see
+    /// [`World::state_hash`] for what is included and why).
+    pub fn hash_state(&self, h: &mut StateHash) {
+        h.write_tag("world");
+        h.write_u64(self.now.as_millis());
+        h.write_u64(self.tick_index);
+
+        h.write_tag("nodes");
+        h.write_len(self.states.len());
+        for i in 0..self.states.len() {
+            let st = &self.states[i];
+            self.node_position(NodeId(i as u32)).hash_into(h);
+            h.write_u64(st.buffer.used());
+            let msgs: Vec<Message> = st.buffer.iter().collect();
+            h.write_len(msgs.len());
+            for m in &msgs {
+                hash_message(h, m);
+            }
+            let mut delivered: Vec<MessageId> = st.delivered.iter().copied().collect();
+            delivered.sort_unstable();
+            h.write_len(delivered.len());
+            for d in delivered {
+                h.write_u64(d.0);
+            }
+            self.routers[i].hash_state(h);
+            for w in self.node_rngs[i].state_words() {
+                h.write_u64(w);
+            }
+        }
+
+        h.write_tag("movers");
+        for m in &self.movers {
+            m.hash_state(h);
+        }
+
+        h.write_tag("traffic");
+        self.traffic.hash_into(h);
+
+        h.write_tag("links");
+        let conns = self.links.connections();
+        h.write_len(conns.len());
+        for (a, b, up_since, rate, transfer) in conns {
+            h.write_u32(a.0);
+            h.write_u32(b.0);
+            h.write_u64(up_since.as_millis());
+            h.write_f64(rate);
+            match transfer {
+                Some(t) => {
+                    h.write_u8(1);
+                    h.write_u32(t.from.0);
+                    h.write_u32(t.to.0);
+                    hash_message(h, &t.msg);
+                    h.write_u64(t.started.as_millis());
+                    h.write_f64(t.rate);
+                }
+                None => h.write_u8(0),
+            }
+            let slot = self
+                .links
+                .slot_of(a, b)
+                .expect("listed connection has a slot");
+            match self.contacts.get(slot as usize).and_then(Option::as_ref) {
+                Some(c) => {
+                    h.write_u8(1);
+                    c.hash_into(h);
+                }
+                None => h.write_u8(0),
+            }
+        }
+
+        h.write_tag("trace");
+        self.trace.hash_into(h);
+
+        h.write_tag("report");
+        hash_report(h, &self.report);
+
+        h.write_tag("sampling");
+        h.write_u64(self.next_sample.as_millis());
+    }
+
+    /// Capture the world's full dynamic state between two ticks.
+    ///
+    /// `scenario` must be the scenario this world was built from (it is
+    /// embedded so [`World::restore`] can re-materialise the static side);
+    /// panics if the node count disagrees. The returned snapshot restores
+    /// under any engine mode and thread count.
+    pub fn snapshot(&self, scenario: &Scenario) -> WorldSnapshot {
+        assert_eq!(
+            scenario.node_count(),
+            self.states.len(),
+            "snapshot scenario does not match the running world"
+        );
+        let nodes: Vec<NodeSnapshot> = self
+            .states
+            .iter()
+            .enumerate()
+            .map(|(i, st)| {
+                let mut delivered: Vec<MessageId> = st.delivered.iter().copied().collect();
+                delivered.sort_unstable();
+                NodeSnapshot {
+                    buffer: st.buffer.iter().collect(),
+                    delivered,
+                    router: self.routers[i].snapshot_state(),
+                }
+            })
+            .collect();
+        let links: Vec<LinkSnapshot> = self
+            .links
+            .connections()
+            .into_iter()
+            .map(|(a, b, up_since, rate, transfer)| {
+                let slot = self
+                    .links
+                    .slot_of(a, b)
+                    .expect("listed connection has a slot");
+                let offers = self.contacts[slot as usize]
+                    .as_ref()
+                    .expect("live connection has offer state");
+                LinkSnapshot {
+                    a,
+                    b,
+                    up_since,
+                    rate,
+                    transfer: transfer.map(|t| TransferSnapshot {
+                        from: t.from,
+                        to: t.to,
+                        msg: t.msg,
+                        started: t.started,
+                    }),
+                    offered: offers.offered_ids().to_vec(),
+                    sent_bytes: offers.sent_bytes(),
+                }
+            })
+            .collect();
+        let (trace_open, trace_last_end) = self.trace.snapshot_maps();
+        let (traffic_rng, traffic_next_time, traffic_next_id) = self.traffic.snapshot_state();
+        WorldSnapshot {
+            scenario: scenario.clone(),
+            now: self.now,
+            tick_index: self.tick_index,
+            state_hash: self.state_hash(),
+            nodes,
+            movers: self.movers.iter().map(|m| m.snapshot()).collect(),
+            node_rngs: self.node_rngs.clone(),
+            traffic_rng,
+            traffic_next_time,
+            traffic_next_id,
+            links,
+            trace: self.trace.clone(),
+            trace_open,
+            trace_last_end,
+            report: self.report.clone(),
+            next_sample: self.next_sample,
+        }
+    }
+
+    /// Rebuild a world from a snapshot and continue bit-identically.
+    ///
+    /// The engine mode and thread count are free choices — they need not
+    /// match the world that took the snapshot, because the snapshot holds
+    /// only mode-invariant state. The recipe: build the world fresh from
+    /// the embedded scenario (static side: map, detector, pools), then
+    /// overwrite every piece of dynamic state and rebuild the caches
+    /// conservatively — the detector re-primes on the restored layout, the
+    /// event queue is re-seeded with conservative wake-ups (stale wake-ups
+    /// are harmless by the engine's events-are-markers discipline), and
+    /// silence memos/cursors/candidate indexes start cold and rebuild on
+    /// first use.
+    ///
+    /// Panics if the restored world's [`World::state_hash`] does not
+    /// reproduce the snapshot's recorded hash: a failed round trip is a
+    /// bug, never a degradation to tolerate.
+    pub fn restore(
+        snap: &WorldSnapshot,
+        mode: EngineMode,
+        backend: RoutingBackend,
+        threads: Option<usize>,
+    ) -> World {
+        let scenario = &snap.scenario;
+        let mut w = Self::build_full(scenario, mode, backend, threads);
+        let n = w.states.len();
+        assert_eq!(n, snap.nodes.len(), "snapshot node count mismatch");
+        assert_eq!(n, snap.movers.len(), "snapshot mover count mismatch");
+        assert_eq!(n, snap.node_rngs.len(), "snapshot RNG lane count mismatch");
+        w.now = snap.now;
+        w.tick_index = snap.tick_index;
+
+        // Movers: the road graph is not stored on the world, but its
+        // construction is deterministic in the scenario seed — rebuild it
+        // exactly as `build_full` did.
+        let root = SimRng::seed_from_u64(scenario.seed);
+        let map = Arc::new(scenario.map.build(&mut root.derive("map", 0)));
+        for (i, ms) in snap.movers.iter().enumerate() {
+            w.movers[i] = restore_mover(ms.clone(), &map);
+            // Normalise the advance anchor to the restore instant. Every
+            // restored segment satisfies `until > now` (a boundary at or
+            // before `now` would have been crossed before the snapshot),
+            // so this stays within-segment: clock and position update, no
+            // boundary crossing, no RNG draw.
+            w.movers[i].advance_to(w.now);
+            let seg = w.movers[i].motion();
+            w.positions[i] = w.movers[i].position();
+            w.seg_origin[i] = seg.origin;
+            w.seg_vel[i] = seg.velocity;
+            w.seg_start[i] = seg.start;
+            w.seg_until[i] = seg.until;
+            w.mover_wake[i] = w.movers[i].next_decision_time();
+        }
+
+        // Node state: ordered buffer re-insertion reproduces the relative
+        // sequence order FIFO policies sort by; fresh buffers were
+        // `watch()`ed at build, so these inserts feed the candidate-index
+        // delta logs exactly like live insertions.
+        for (i, ns) in snap.nodes.iter().enumerate() {
+            for m in &ns.buffer {
+                w.states[i]
+                    .buffer
+                    .insert(*m)
+                    .expect("snapshot buffer contents fit the configured capacity");
+            }
+            w.states[i].delivered = ns.delivered.iter().copied().collect();
+            w.routers[i].restore_state(ns.router.clone());
+        }
+        w.node_rngs = snap.node_rngs.clone();
+        w.traffic = TrafficGenerator::restore(
+            w.traffic.config().clone(),
+            snap.traffic_rng.clone(),
+            snap.traffic_next_time,
+            snap.traffic_next_id,
+        );
+
+        // Links: replay `link_up` in the snapshot's ordered-pair-key order,
+        // then re-start in-flight transfers at their original start
+        // instants, reproducing each exact byte-drain completion time.
+        // Slot handles may renumber relative to the donor world; that is
+        // invisible because every link iteration walks the adjacency
+        // mirror in pair-key order, never slot order.
+        w.links = LinkTable::with_nodes(n);
+        w.contacts = Vec::new();
+        let mut inflight: Vec<(SimTime, NodeId, NodeId)> = Vec::new();
+        for ls in &snap.links {
+            let slot = w
+                .links
+                .link_up(ls.a, ls.b, ls.up_since, ls.rate)
+                .expect("snapshot link rate was validated at capture");
+            if w.contacts.len() <= slot as usize {
+                w.contacts.resize_with(slot as usize + 1, || None);
+            }
+            w.contacts[slot as usize] =
+                Some(ContactOffers::restore(ls.offered.clone(), ls.sent_bytes));
+            if let Some(t) = &ls.transfer {
+                let completes = w.links.start_transfer(t.from, t.to, t.msg, t.started);
+                inflight.push((completes, t.from, t.to));
+            }
+        }
+
+        w.trace = snap.trace.clone();
+        w.trace
+            .restore_maps(snap.trace_open.clone(), snap.trace_last_end.clone());
+        w.report = snap.report.clone();
+        w.next_sample = snap.next_sample;
+
+        // Re-prime the contact detector on the restored layout, discarding
+        // the events: the diff it reports is exactly the restored live-link
+        // set, which the link table already holds.
+        let primed = match w.mode {
+            EngineMode::Ticked => w.detector.update(&w.positions),
+            EngineMode::EventDriven | EngineMode::Parallel => {
+                let cols = MotionCols {
+                    origin: &w.seg_origin,
+                    velocity: &w.seg_vel,
+                    start: &w.seg_start,
+                    until: &w.seg_until,
+                };
+                w.detector.prime_kinematic(w.now, &cols)
+            }
+        };
+        let ups = primed
+            .iter()
+            .filter(|e| matches!(e, LinkEvent::Up(_, _)))
+            .count();
+        assert_eq!(
+            (ups, primed.len() - ups),
+            (snap.links.len(), 0),
+            "detector re-prime disagrees with the snapshot's live-link set"
+        );
+
+        // Event queue: rebuilt from scratch with conservative wake-ups.
+        // Extra executed ticks this causes are semantic no-ops (stale
+        // events are markers, and every re-derived phase finds its true
+        // work), so the rebuild cannot perturb the run.
+        w.events = EventQueue::with_capacity(n + 8);
+        w.movement_due.clear();
+        w.pending_transfer_wakes.clear();
+        w.link_round_scheduled = false;
+        w.contact_window_scheduled = SimTime::MAX;
+        w.ttl_wake = vec![SimTime::MAX; n];
+        if w.event_driven() {
+            w.events
+                .schedule(w.traffic.peek_time(), EngineEvent::TrafficDue);
+            for (i, &wake) in w.mover_wake.iter().enumerate() {
+                if wake < SimTime::MAX {
+                    w.events
+                        .schedule(wake, EngineEvent::MovementWake(NodeId(i as u32)));
+                }
+            }
+            // Force the first post-restore tick to execute: the re-primed
+            // detector re-queries there, and the routing round re-derives
+            // (and re-memoises) every idle direction's verdict.
+            w.events
+                .schedule(w.now + w.tick, EngineEvent::ContactRecheck);
+            for &(completes, from, to) in &inflight {
+                w.events
+                    .schedule(completes, EngineEvent::TransferComplete(from, to));
+            }
+            for i in 0..n {
+                if let Some(e) = w.states[i].buffer.next_expiry() {
+                    w.ttl_wake[i] = e;
+                    w.events
+                        .schedule(e, EngineEvent::TtlExpiry(NodeId(i as u32)));
+                }
+            }
+            if w.sample_period.is_some() {
+                w.events.schedule(w.next_sample, EngineEvent::Sample);
+            }
+            if w.routing_work_possible() {
+                w.link_round_scheduled = true;
+                w.events.schedule(w.now + w.tick, EngineEvent::LinkRound);
+            }
+        }
+
+        let hash = w.state_hash();
+        assert_eq!(
+            hash, snap.state_hash,
+            "restored world does not reproduce the snapshot's state hash"
+        );
+        w
+    }
+}
+
+/// Fold one message copy into a state hash (all fields drive behaviour:
+/// identity, routing, size/drain time, TTL, FIFO order, spray quotas).
+fn hash_message(h: &mut StateHash, m: &Message) {
+    h.write_u64(m.id.0);
+    h.write_u32(m.src.0);
+    h.write_u32(m.dst.0);
+    h.write_u64(m.size);
+    h.write_u64(m.created.as_millis());
+    h.write_u64(m.ttl.as_millis());
+    h.write_u32(m.hops);
+    h.write_u32(m.copies);
+    h.write_u64(m.received.as_millis());
+}
+
+/// Fold the report's accumulated metrics into a state hash — everything
+/// except `wall_secs` (measurement, not state) and the static labels.
+fn hash_report(h: &mut StateHash, r: &SimReport) {
+    let m = &r.messages;
+    for c in [
+        m.created,
+        m.delivered_unique,
+        m.delivered_duplicate,
+        m.relayed,
+        m.transfers_started,
+        m.transfers_aborted,
+        m.transfers_rejected,
+        m.dropped_congestion,
+        m.dropped_expired,
+        m.dropped_ack,
+        m.dropped_at_creation,
+        m.bytes_transferred,
+        m.bytes_aborted,
+    ] {
+        h.write_u64(c);
+    }
+    m.delay.hash_into(h);
+    m.hops.hash_into(h);
+    for series in [&r.buffer_occupancy, &r.deliveries_over_time] {
+        h.write_len(series.len());
+        for s in series {
+            h.write_f64(s.t_secs);
+            h.write_f64(s.value);
+        }
     }
 }
 

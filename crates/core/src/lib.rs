@@ -43,6 +43,7 @@ pub mod orchestrator;
 pub mod presets;
 pub mod report;
 pub mod scenario;
+pub mod snapshot;
 pub mod sweep;
 
 pub use analysis::{oracle_delays, oracle_summary, MeetingModel, OracleSummary};
@@ -54,6 +55,9 @@ pub use orchestrator::{
 };
 pub use report::{DropCause, MessageStats, SimReport};
 pub use scenario::{MapSpec, MobilitySpec, NodeGroup, RelayPlacement, Scenario};
+pub use snapshot::{
+    load_snapshot, save_snapshot, scenario_fingerprint, SnapshotHeader, WorldSnapshot,
+};
 pub use sweep::{average_reports, run_sweep, run_sweep_with_options, SweepError, SweepPoint};
 
 // Convenience re-exports so downstream users need only `vdtn`.

@@ -19,15 +19,20 @@
 use super::accum::{CellAccumulator, RunRecord};
 use super::journal::{replay_journal, JournalWriter};
 use super::manifest::{CellKey, SweepManifest};
-use crate::engine::World;
+use crate::engine::{EngineMode, World};
+use crate::report::SimReport;
 use crate::scenario::Scenario;
+use crate::snapshot::{load_snapshot, save_snapshot, scenario_fingerprint};
 use crate::sweep::{SweepError, SweepPoint};
 use std::cmp::Reverse;
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+use vdtn_routing::RoutingBackend;
+use vdtn_sim_core::statehash::fnv1a_64;
+use vdtn_sim_core::SimTime;
 
 /// Scenario post-processor hook: the bench harness uses this for figure
 /// ablations (tick length, map scale) that are not manifest axes. Applied
@@ -47,6 +52,67 @@ pub struct SweepOptions {
     /// Replay an existing journal at `journal` before executing the
     /// remainder. A missing journal file degrades to a cold start.
     pub resume: bool,
+    /// Directory for *per-run* mid-flight checkpoints; `None` disables
+    /// them. The journal resumes at run granularity — a killed sweep
+    /// re-executes its in-flight runs from scratch. With a checkpoint dir,
+    /// each worker also snapshots its current world every
+    /// [`SweepOptions::checkpoint_every_secs`] of simulated time, and
+    /// `resume` picks long runs back up *mid-run*, bit-identically (the
+    /// engine's restore guarantee). Checkpoints are deleted as their run
+    /// completes; a stale file against a changed scenario is ignored.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Simulated seconds between per-run checkpoints (0: a single
+    /// checkpoint at the run's midpoint).
+    pub checkpoint_every_secs: f64,
+}
+
+/// Checkpoint file for one run: named by the FNV of the run ID, so any
+/// id alphabet maps to a safe filename.
+fn checkpoint_path(dir: &Path, run_id: &str) -> PathBuf {
+    dir.join(format!("{:016x}.ckpt", fnv1a_64(run_id.as_bytes())))
+}
+
+/// Execute one run to completion, checkpointing every `every_secs` of
+/// simulated time, resuming from an existing checkpoint when `resume` is
+/// set. Splitting the run at checkpoint boundaries is exact
+/// (`World::run_until` composes bit-identically), so the report is the
+/// same whether the run executed straight through, checkpointed along the
+/// way, or resumed after a kill.
+fn run_one_with_checkpoints(
+    scenario: &Scenario,
+    engine: EngineMode,
+    backend: RoutingBackend,
+    ckpt: &Path,
+    every_secs: f64,
+    resume: bool,
+) -> std::io::Result<SimReport> {
+    let every = if every_secs > 0.0 {
+        every_secs
+    } else {
+        scenario.duration_secs / 2.0
+    };
+    let restored = if resume && ckpt.exists() {
+        match load_snapshot(ckpt) {
+            Ok(snap) if scenario_fingerprint(&snap.scenario) == scenario_fingerprint(scenario) => {
+                Some(World::restore(&snap, engine, backend, None))
+            }
+            _ => None,
+        }
+    } else {
+        None
+    };
+    let mut world =
+        restored.unwrap_or_else(|| World::build_with_options(scenario, engine, backend));
+    let end = scenario.duration_secs;
+    let mut t = world.now().as_secs_f64() + every;
+    while t < end {
+        world.run_until(SimTime::from_secs_f64(t));
+        save_snapshot(ckpt, &world.snapshot(scenario))?;
+        t += every;
+    }
+    let report = world.run();
+    std::fs::remove_file(ckpt).ok();
+    Ok(report)
 }
 
 /// What a sweep produced, plus enough bookkeeping to reason about resume
@@ -177,9 +243,35 @@ pub fn run_manifest_with(
                     if let Some(t) = tweak {
                         t(&mut scenario);
                     }
-                    let report =
-                        World::build_with_options(&scenario, spec.engine, manifest.backend).run();
-                    batch.push((i, RunRecord::from_report(&spec.id(&plan.name), &report)));
+                    let id = spec.id(&plan.name);
+                    let report = match &opts.checkpoint_dir {
+                        Some(dir) => {
+                            match run_one_with_checkpoints(
+                                &scenario,
+                                spec.engine,
+                                manifest.backend,
+                                &checkpoint_path(dir, &id),
+                                opts.checkpoint_every_secs,
+                                opts.resume,
+                            ) {
+                                Ok(r) => r,
+                                Err(e) => {
+                                    *io_error.lock().expect("error lock") =
+                                        Some(SweepError::Journal {
+                                            detail: format!("checkpoint for run {id}: {e}"),
+                                        });
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                        None => World::build_with_options(&scenario, spec.engine, manifest.backend)
+                            .run(),
+                    };
+                    batch.push((i, RunRecord::from_report(&id, &report)));
+                }
+                if abort.load(Ordering::Relaxed) {
+                    break;
                 }
                 if let Some(j) = &journal {
                     let records: Vec<RunRecord> = batch.iter().map(|(_, r)| r.clone()).collect();
@@ -338,6 +430,84 @@ mod tests {
         assert_eq!(resumed.runs_replayed, 12);
         assert_eq!(canon_points(&cold), canon_points(&resumed));
         std::fs::remove_file(&path).ok();
+    }
+
+    fn canon_report(mut r: SimReport) -> String {
+        r.wall_secs = 0.0;
+        serde_json::to_string(&r).expect("report serialises")
+    }
+
+    #[test]
+    fn per_run_checkpoints_resume_mid_run_bit_identically() {
+        let dir = std::env::temp_dir().join("vdtn-ckpt-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = tiny_manifest();
+        let plan = m.expand().unwrap();
+        let spec = &plan.runs[0];
+        let scenario = spec.scenario(&m);
+        let ckpt = checkpoint_path(&dir, &spec.id(&plan.name));
+        std::fs::remove_file(&ckpt).ok();
+        let reference =
+            canon_report(World::build_with_options(&scenario, spec.engine, m.backend).run());
+
+        // Straight through with periodic checkpoints: identical report,
+        // and the checkpoint is cleaned up on completion.
+        let straight =
+            run_one_with_checkpoints(&scenario, spec.engine, m.backend, &ckpt, 120.0, false)
+                .unwrap();
+        assert_eq!(reference, canon_report(straight));
+        assert!(!ckpt.exists(), "completed run must remove its checkpoint");
+
+        // Simulated kill: a mid-run checkpoint is left behind; resume must
+        // pick the run up there and still land on the identical report.
+        let mut donor = World::build_with_options(&scenario, spec.engine, m.backend);
+        donor.run_until(SimTime::from_secs_f64(300.0));
+        save_snapshot(&ckpt, &donor.snapshot(&scenario)).unwrap();
+        let resumed =
+            run_one_with_checkpoints(&scenario, spec.engine, m.backend, &ckpt, 120.0, true)
+                .unwrap();
+        assert_eq!(reference, canon_report(resumed));
+        assert!(!ckpt.exists());
+
+        // A stale checkpoint from a *different* scenario is ignored, not
+        // trusted: the run cold-starts and produces its own reference.
+        let mut other = scenario.clone();
+        other.seed += 1_000;
+        let other_reference =
+            canon_report(World::build_with_options(&other, spec.engine, m.backend).run());
+        let mut donor = World::build_with_options(&scenario, spec.engine, m.backend);
+        donor.run_until(SimTime::from_secs_f64(300.0));
+        save_snapshot(&ckpt, &donor.snapshot(&scenario)).unwrap();
+        let cold =
+            run_one_with_checkpoints(&other, spec.engine, m.backend, &ckpt, 120.0, true).unwrap();
+        assert_eq!(other_reference, canon_report(cold));
+    }
+
+    #[test]
+    fn sweep_with_checkpoints_matches_plain_sweep() {
+        let dir = std::env::temp_dir().join("vdtn-ckpt-sweep-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = tiny_manifest();
+        let baseline = canon_points(&run_manifest(&m, &SweepOptions::default()).unwrap());
+        let ckpt = canon_points(
+            &run_manifest(
+                &m,
+                &SweepOptions {
+                    threads: 2,
+                    checkpoint_dir: Some(dir.clone()),
+                    checkpoint_every_secs: 200.0,
+                    ..SweepOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        assert_eq!(baseline, ckpt);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+            .collect();
+        assert!(leftovers.is_empty(), "completed sweep left checkpoints");
     }
 
     #[test]

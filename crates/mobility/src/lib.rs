@@ -32,11 +32,13 @@
 
 pub mod model;
 pub mod route;
+pub mod snapshot;
 pub mod spmb;
 pub mod waypoint;
 
 pub use model::{MovementModel, Stationary};
 pub use route::{MapRouteMovement, RouteConfig};
+pub use snapshot::{restore_mover, FreePhase, MoverSnapshot, PathPhase};
 pub use spmb::{ShortestPathMapBased, SpmbConfig};
 pub use waypoint::{RandomWaypoint, WaypointConfig};
 

@@ -16,8 +16,9 @@
 //! of the call pattern (stepping every tick vs. jumping straight to the
 //! deadline).
 
+use crate::snapshot::MoverSnapshot;
 use vdtn_geo::{Point, Segment};
-use vdtn_sim_core::{SimDuration, SimTime};
+use vdtn_sim_core::{SimDuration, SimTime, StateHash};
 
 /// Minimum length of any waiting segment. A parked phase always lasts at
 /// least one millisecond, which guarantees `advance_to` makes progress even
@@ -100,6 +101,20 @@ pub trait MovementModel: Send {
 
     /// Diagnostic name for reports.
     fn name(&self) -> &'static str;
+
+    /// Capture the model's full dynamic state for checkpointing.
+    ///
+    /// Restoring the snapshot with [`crate::restore_mover`] reproduces the
+    /// model bit-for-bit: identical future RNG draws, boundary crossings,
+    /// and positions.
+    fn snapshot(&self) -> MoverSnapshot;
+
+    /// Fold the model's *mode-invariant* semantic state into a canonical
+    /// state hash: phase, motion segment, planned path, and RNG words — but
+    /// not the `advance_to` clock/position anchor, which depends on how
+    /// often the engine happened to call the model (see
+    /// [`crate::snapshot`] module docs).
+    fn hash_state(&self, h: &mut StateHash);
 }
 
 /// A node that never moves (the paper's stationary relay nodes).
@@ -138,6 +153,15 @@ impl MovementModel for Stationary {
 
     fn name(&self) -> &'static str {
         "Stationary"
+    }
+
+    fn snapshot(&self) -> MoverSnapshot {
+        MoverSnapshot::Stationary { pos: self.pos }
+    }
+
+    fn hash_state(&self, h: &mut StateHash) {
+        h.write_tag("mov.stationary");
+        self.pos.hash_into(h);
     }
 }
 

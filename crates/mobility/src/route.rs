@@ -7,10 +7,11 @@
 //! sweep ablations.
 
 use crate::model::{leg_segment, project_legs, MovementModel, MIN_WAIT};
+use crate::snapshot::{MoverSnapshot, PathPhase};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use vdtn_geo::{astar, Point, RoadGraph, Segment, VertexId};
-use vdtn_sim_core::{SimDuration, SimRng, SimTime};
+use vdtn_sim_core::{SimDuration, SimRng, SimTime, StateHash};
 
 /// Parameters for [`MapRouteMovement`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,6 +78,33 @@ impl MapRouteMovement {
                 seg: Segment::stationary(pos, SimTime::ZERO, until),
             },
             cfg,
+        }
+    }
+
+    /// Rebuild a route node from its [`MoverSnapshot::MapRoute`] parts.
+    /// Exact inverse of [`MovementModel::snapshot`]. The snapshot's `speed`
+    /// field is redundant with `cfg.speed` and is ignored here.
+    pub(crate) fn from_snapshot(
+        graph: Arc<RoadGraph>,
+        cfg: RouteConfig,
+        pos: Point,
+        clock: SimTime,
+        next_stop: usize,
+        phase: PathPhase,
+    ) -> Self {
+        cfg.validate(&graph);
+        assert!(next_stop < cfg.stops.len(), "next_stop outside route");
+        let phase = match phase {
+            PathPhase::Waiting { seg } => Phase::Dwelling { seg },
+            PathPhase::Driving { path, leg, seg, .. } => Phase::Driving { path, leg, seg },
+        };
+        MapRouteMovement {
+            graph,
+            cfg,
+            pos,
+            clock,
+            next_stop,
+            phase,
         }
     }
 
@@ -175,6 +203,45 @@ impl MovementModel for MapRouteMovement {
 
     fn name(&self) -> &'static str {
         "MapRoute"
+    }
+
+    fn snapshot(&self) -> MoverSnapshot {
+        let phase = match &self.phase {
+            Phase::Dwelling { seg } => PathPhase::Waiting { seg: *seg },
+            Phase::Driving { path, leg, seg } => PathPhase::Driving {
+                path: path.clone(),
+                leg: *leg,
+                speed: self.cfg.speed,
+                seg: *seg,
+            },
+        };
+        MoverSnapshot::MapRoute {
+            cfg: self.cfg.clone(),
+            pos: self.pos,
+            clock: self.clock,
+            next_stop: self.next_stop,
+            phase,
+        }
+    }
+
+    fn hash_state(&self, h: &mut StateHash) {
+        h.write_tag("mov.route");
+        h.write_len(self.next_stop);
+        match &self.phase {
+            Phase::Dwelling { seg } => {
+                h.write_u8(0);
+                seg.hash_into(h);
+            }
+            Phase::Driving { path, leg, seg } => {
+                h.write_u8(1);
+                h.write_len(path.len());
+                for p in path {
+                    p.hash_into(h);
+                }
+                h.write_len(*leg);
+                seg.hash_into(h);
+            }
+        }
     }
 }
 

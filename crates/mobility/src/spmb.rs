@@ -21,10 +21,11 @@
 //! a whole trip is deterministic once planned.
 
 use crate::model::{leg_segment, project_legs, MovementModel, MIN_WAIT};
+use crate::snapshot::{MoverSnapshot, PathPhase};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use vdtn_geo::{astar, distance_lower_bound, Point, RoadGraph, Segment, VertexId};
-use vdtn_sim_core::{SimDuration, SimRng, SimTime};
+use vdtn_sim_core::{SimDuration, SimRng, SimTime, StateHash};
 
 /// Parameters for [`ShortestPathMapBased`]. Defaults are the paper's.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -126,6 +127,47 @@ impl ShortestPathMapBased {
             phase: Phase::Waiting {
                 seg: Segment::stationary(pos, SimTime::ZERO, until),
             },
+        }
+    }
+
+    /// Rebuild a vehicle from its [`MoverSnapshot::Spmb`] parts. Exact
+    /// inverse of [`MovementModel::snapshot`]: no RNG draws, no validation
+    /// beyond the config's own invariants.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_snapshot(
+        graph: Arc<RoadGraph>,
+        cfg: SpmbConfig,
+        rng: SimRng,
+        pos: Point,
+        clock: SimTime,
+        anchor_a: VertexId,
+        anchor_b: VertexId,
+        phase: PathPhase,
+    ) -> Self {
+        cfg.validate();
+        let phase = match phase {
+            PathPhase::Waiting { seg } => Phase::Waiting { seg },
+            PathPhase::Driving {
+                path,
+                leg,
+                speed,
+                seg,
+            } => Phase::Driving {
+                path,
+                leg,
+                speed,
+                seg,
+            },
+        };
+        ShortestPathMapBased {
+            graph,
+            cfg,
+            rng,
+            pos,
+            clock,
+            anchor_a,
+            anchor_b,
+            phase,
         }
     }
 
@@ -286,6 +328,62 @@ impl MovementModel for ShortestPathMapBased {
 
     fn name(&self) -> &'static str {
         "ShortestPathMapBased"
+    }
+
+    fn snapshot(&self) -> MoverSnapshot {
+        let phase = match &self.phase {
+            Phase::Waiting { seg } => PathPhase::Waiting { seg: *seg },
+            Phase::Driving {
+                path,
+                leg,
+                speed,
+                seg,
+            } => PathPhase::Driving {
+                path: path.clone(),
+                leg: *leg,
+                speed: *speed,
+                seg: *seg,
+            },
+        };
+        MoverSnapshot::Spmb {
+            cfg: self.cfg,
+            rng: self.rng.clone(),
+            pos: self.pos,
+            clock: self.clock,
+            anchor_a: self.anchor_a,
+            anchor_b: self.anchor_b,
+            phase,
+        }
+    }
+
+    fn hash_state(&self, h: &mut StateHash) {
+        h.write_tag("mov.spmb");
+        h.write_u32(self.anchor_a.0);
+        h.write_u32(self.anchor_b.0);
+        for w in self.rng.state_words() {
+            h.write_u64(w);
+        }
+        match &self.phase {
+            Phase::Waiting { seg } => {
+                h.write_u8(0);
+                seg.hash_into(h);
+            }
+            Phase::Driving {
+                path,
+                leg,
+                speed,
+                seg,
+            } => {
+                h.write_u8(1);
+                h.write_len(path.len());
+                for p in path {
+                    p.hash_into(h);
+                }
+                h.write_len(*leg);
+                h.write_f64(*speed);
+                seg.hash_into(h);
+            }
+        }
     }
 }
 

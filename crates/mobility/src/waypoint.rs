@@ -6,9 +6,10 @@
 //! the effect of map constraints on contact statistics can be measured.
 
 use crate::model::{leg_segment, MovementModel, MIN_WAIT};
+use crate::snapshot::{FreePhase, MoverSnapshot};
 use serde::{Deserialize, Serialize};
 use vdtn_geo::{Bounds, Point, Segment};
-use vdtn_sim_core::{SimDuration, SimRng, SimTime};
+use vdtn_sim_core::{SimDuration, SimRng, SimTime, StateHash};
 
 /// Parameters for [`RandomWaypoint`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -66,6 +67,29 @@ impl RandomWaypoint {
             phase: Phase::Waiting {
                 seg: Segment::stationary(pos, SimTime::ZERO, SimTime::ZERO),
             },
+        }
+    }
+
+    /// Rebuild a node from its [`MoverSnapshot::Waypoint`] parts. Exact
+    /// inverse of [`MovementModel::snapshot`]: no RNG draws.
+    pub(crate) fn from_snapshot(
+        cfg: WaypointConfig,
+        rng: SimRng,
+        pos: Point,
+        clock: SimTime,
+        phase: FreePhase,
+    ) -> Self {
+        cfg.validate();
+        let phase = match phase {
+            FreePhase::Waiting { seg } => Phase::Waiting { seg },
+            FreePhase::Moving { target, seg } => Phase::Moving { target, seg },
+        };
+        RandomWaypoint {
+            cfg,
+            rng,
+            pos,
+            clock,
+            phase,
         }
     }
 
@@ -146,6 +170,41 @@ impl MovementModel for RandomWaypoint {
 
     fn name(&self) -> &'static str {
         "RandomWaypoint"
+    }
+
+    fn snapshot(&self) -> MoverSnapshot {
+        let phase = match &self.phase {
+            Phase::Waiting { seg } => FreePhase::Waiting { seg: *seg },
+            Phase::Moving { target, seg } => FreePhase::Moving {
+                target: *target,
+                seg: *seg,
+            },
+        };
+        MoverSnapshot::Waypoint {
+            cfg: self.cfg,
+            rng: self.rng.clone(),
+            pos: self.pos,
+            clock: self.clock,
+            phase,
+        }
+    }
+
+    fn hash_state(&self, h: &mut StateHash) {
+        h.write_tag("mov.waypoint");
+        for w in self.rng.state_words() {
+            h.write_u64(w);
+        }
+        match &self.phase {
+            Phase::Waiting { seg } => {
+                h.write_u8(0);
+                seg.hash_into(h);
+            }
+            Phase::Moving { target, seg } => {
+                h.write_u8(1);
+                target.hash_into(h);
+                seg.hash_into(h);
+            }
+        }
     }
 }
 

@@ -365,6 +365,32 @@ impl LinkTable {
         idle
     }
 
+    /// Every live connection in ordered-pair-key order:
+    /// `(lo, hi, up_since, rate, in-flight transfer)`. This is the canonical
+    /// enumeration snapshotting and state hashing fold over — the same order
+    /// the drain entry points use, so it is deterministic by construction.
+    pub fn connections(&self) -> Vec<(NodeId, NodeId, SimTime, f64, Option<&Transfer>)> {
+        let mut out = Vec::with_capacity(self.conn_count);
+        for (lo, peers) in self.adj.iter().enumerate() {
+            for &(hi, slot) in peers {
+                if (hi as usize) <= lo {
+                    continue;
+                }
+                let conn = self.slots[slot as usize]
+                    .as_ref()
+                    .expect("adjacency names a live slot");
+                out.push((
+                    NodeId(lo as u32),
+                    NodeId(hi),
+                    conn.up_since,
+                    conn.rate,
+                    conn.transfer.as_ref(),
+                ));
+            }
+        }
+        out
+    }
+
     /// Begin transmitting `msg` from `from` to `to`; returns the exact
     /// instant the transfer will complete (for completion-event
     /// scheduling).

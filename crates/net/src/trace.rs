@@ -11,6 +11,9 @@ use std::collections::HashMap;
 use vdtn_sim_core::stats::Welford;
 use vdtn_sim_core::{NodeId, SimTime};
 
+/// One dynamic-map entry reified for snapshotting: canonical pair → time.
+pub type PairTime = ((u32, u32), SimTime);
+
 /// Aggregate contact statistics, fed from link events.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ContactTrace {
@@ -91,6 +94,41 @@ impl ContactTrace {
     /// Estimated bytes transferable per average contact at `rate` B/s.
     pub fn mean_bytes_per_contact(&self, rate: f64) -> f64 {
         self.mean_duration() * rate
+    }
+
+    /// The serde-skipped dynamic maps, reified in sorted-key order:
+    /// `(open contacts, last contact end per pair)`. Snapshotting needs them
+    /// explicitly because the serde derive persists only the accumulators.
+    pub fn snapshot_maps(&self) -> (Vec<PairTime>, Vec<PairTime>) {
+        let mut open: Vec<_> = self.open.iter().map(|(&k, &v)| (k, v)).collect();
+        open.sort_unstable_by_key(|&(k, _)| k);
+        let mut last_end: Vec<_> = self.last_end.iter().map(|(&k, &v)| (k, v)).collect();
+        last_end.sort_unstable_by_key(|&(k, _)| k);
+        (open, last_end)
+    }
+
+    /// Re-install dynamic maps captured by [`ContactTrace::snapshot_maps`].
+    pub fn restore_maps(&mut self, open: Vec<PairTime>, last_end: Vec<PairTime>) {
+        self.open = open.into_iter().collect();
+        self.last_end = last_end.into_iter().collect();
+    }
+
+    /// Fold the full trace state (accumulators + dynamic maps in sorted-key
+    /// order) into a canonical state hash.
+    pub fn hash_into(&self, h: &mut vdtn_sim_core::StateHash) {
+        h.write_u64(self.contact_count);
+        self.durations.hash_into(h);
+        self.intercontact.hash_into(h);
+        let (open, last_end) = self.snapshot_maps();
+        for (label, map) in [("open", &open), ("last_end", &last_end)] {
+            h.write_tag(label);
+            h.write_len(map.len());
+            for &((a, b), t) in map {
+                h.write_u32(a);
+                h.write_u32(b);
+                h.write_u64(t.as_millis());
+            }
+        }
     }
 }
 

@@ -63,7 +63,9 @@ pub use epidemic::EpidemicRouter;
 pub use maxprop::{MaxPropConfig, MaxPropRouter};
 pub use offers::{ContactOffers, OfferView};
 pub use prophet::{ProphetConfig, ProphetRouter};
-pub use router::{CreateOutcome, Digest, ReceiveOutcome, RejectReason, Router, RouterKind};
+pub use router::{
+    CreateOutcome, Digest, ReceiveOutcome, RejectReason, Router, RouterKind, RouterSnapshot,
+};
 pub use snw::SprayAndWaitRouter;
 pub use sprayfocus::SprayAndFocusRouter;
 pub use state::NodeState;

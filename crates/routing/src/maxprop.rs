@@ -24,13 +24,13 @@
 //! DESIGN.md.)
 
 use crate::offers::OfferView;
-use crate::router::{CreateOutcome, Digest, ReceiveOutcome, Router};
+use crate::router::{CreateOutcome, Digest, ReceiveOutcome, Router, RouterSnapshot};
 use crate::state::NodeState;
 use crate::util::{make_room_and_store, standard_receive};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use vdtn_bundle::{Message, MessageId};
-use vdtn_sim_core::{NodeId, SimRng, SimTime};
+use vdtn_sim_core::{NodeId, SimRng, SimTime, StateHash};
 
 /// MaxProp tuning parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -439,6 +439,81 @@ impl Router for MaxPropRouter {
         // Eligibility depends on the ack set (and, through rank only, the
         // cost vectors); both move exactly with `state_gen`.
         self.state_gen
+    }
+
+    fn hash_state(&self, h: &mut StateHash) {
+        // Semantic state only: probability vectors, acks, costs, and the
+        // adaptive-threshold inputs. `state_gen` and the two memo caches are
+        // within-run bookkeeping. Hash-set/map contents fold in sorted order.
+        h.write_len(self.probs.len());
+        for &p in &self.probs {
+            h.write_f64(p);
+        }
+        let mut peers: Vec<u32> = self.known.keys().copied().collect();
+        peers.sort_unstable();
+        h.write_len(peers.len());
+        for peer in peers {
+            h.write_u32(peer);
+            for &p in &self.known[&peer] {
+                h.write_f64(p);
+            }
+        }
+        let mut acks: Vec<MessageId> = self.acks.iter().copied().collect();
+        acks.sort_unstable();
+        h.write_len(acks.len());
+        for ack in acks {
+            h.write_u64(ack.0);
+        }
+        h.write_len(self.costs.len());
+        for &c in &self.costs {
+            h.write_f64(c);
+        }
+        h.write_f64(self.avg_contact_bytes);
+        h.write_u64(self.contacts_closed);
+    }
+
+    fn snapshot_state(&self) -> RouterSnapshot {
+        let mut known: Vec<(u32, Vec<f64>)> = self
+            .known
+            .iter()
+            .map(|(&peer, v)| (peer, v.clone()))
+            .collect();
+        known.sort_unstable_by_key(|&(peer, _)| peer);
+        let mut acks: Vec<MessageId> = self.acks.iter().copied().collect();
+        acks.sort_unstable();
+        RouterSnapshot::MaxProp {
+            probs: self.probs.clone(),
+            known,
+            acks,
+            costs: self.costs.clone(),
+            avg_contact_bytes: self.avg_contact_bytes,
+            contacts_closed: self.contacts_closed,
+        }
+    }
+
+    fn restore_state(&mut self, snap: RouterSnapshot) {
+        match snap {
+            RouterSnapshot::MaxProp {
+                probs,
+                known,
+                acks,
+                costs,
+                avg_contact_bytes,
+                contacts_closed,
+            } => {
+                assert_eq!(probs.len(), self.n, "node count mismatch");
+                self.probs = probs;
+                self.known = known.into_iter().collect();
+                self.acks = acks.into_iter().collect();
+                self.costs = costs;
+                self.avg_contact_bytes = avg_contact_bytes;
+                self.contacts_closed = contacts_closed;
+                self.state_gen = 0;
+                self.digest_cache = None;
+                self.threshold_cache = None;
+            }
+            other => panic!("MaxProp cannot restore {other:?}"),
+        }
     }
 }
 

@@ -198,6 +198,38 @@ impl ContactOffers {
         self.silence[side] = Some(key);
     }
 
+    /// The offered ids, sorted — the canonical enumeration snapshotting and
+    /// state hashing fold over.
+    pub fn offered_ids(&self) -> &[MessageId] {
+        &self.offered.ids
+    }
+
+    /// Rebuild contact state from snapshotted semantic fields: the offered
+    /// ids (sorted) and per-direction sent bytes. Cursors, candidate
+    /// indexes, and silence memos are caches — they start cold and rebuild
+    /// on first use, degrading only to rescans, never to different
+    /// decisions.
+    pub fn restore(offered_ids: Vec<MessageId>, sent_bytes: [u64; 2]) -> Self {
+        debug_assert!(offered_ids.windows(2).all(|w| w[0] < w[1]), "ids sorted");
+        ContactOffers {
+            offered: OfferedSet { ids: offered_ids },
+            sent_bytes,
+            ..Self::default()
+        }
+    }
+
+    /// Fold the contact's semantic state (offered ids + sent bytes) into a
+    /// canonical state hash. Cursors, indexes, and silence memos are
+    /// excluded for the same reason [`ContactOffers::restore`] drops them.
+    pub fn hash_into(&self, h: &mut vdtn_sim_core::StateHash) {
+        h.write_len(self.offered.ids.len());
+        for id in &self.offered.ids {
+            h.write_u64(id.0);
+        }
+        h.write_u64(self.sent_bytes[0]);
+        h.write_u64(self.sent_bytes[1]);
+    }
+
     /// Directional view for the sender on `side` (0 = lower node id).
     pub fn view(&mut self, side: usize) -> OfferView<'_> {
         OfferView {

@@ -19,12 +19,12 @@
 //! access instead of O(n) per tick.
 
 use crate::offers::OfferView;
-use crate::router::{CreateOutcome, Digest, ReceiveOutcome, Router};
+use crate::router::{CreateOutcome, Digest, ReceiveOutcome, Router, RouterSnapshot};
 use crate::state::NodeState;
 use crate::util::{make_room_and_store, standard_receive};
 use serde::{Deserialize, Serialize};
 use vdtn_bundle::{DropPolicy, Message, MessageId};
-use vdtn_sim_core::{NodeId, SimRng, SimTime};
+use vdtn_sim_core::{NodeId, SimRng, SimTime, StateHash};
 
 /// PRoPHET parameters (defaults from the draft / ONE).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -297,6 +297,40 @@ impl Router for ProphetRouter {
         // both sides of the comparison by the same factor, so the verdict
         // can only change when the table itself does.
         self.table_gen
+    }
+
+    fn hash_state(&self, h: &mut StateHash) {
+        // The table is the protocol's entire semantic state; `table_gen` and
+        // the digest cache are within-run bookkeeping and excluded.
+        h.write_len(self.table.len());
+        for e in &self.table {
+            h.write_f64(e.p);
+            h.write_u64(e.last_update.as_millis());
+        }
+    }
+
+    fn snapshot_state(&self) -> RouterSnapshot {
+        RouterSnapshot::Prophet {
+            table: self.table.iter().map(|e| (e.p, e.last_update)).collect(),
+        }
+    }
+
+    fn restore_state(&mut self, snap: RouterSnapshot) {
+        match snap {
+            RouterSnapshot::Prophet { table } => {
+                assert_eq!(table.len(), self.table.len(), "node count mismatch");
+                self.table = table
+                    .into_iter()
+                    .map(|(p, last_update)| Entry { p, last_update })
+                    .collect();
+                // Restart generations at 0: every consumer of the old
+                // counter (silence memos, digest caches) is rebuilt fresh
+                // alongside the router, so only monotonicity matters.
+                self.table_gen = 0;
+                self.digest_cache = None;
+            }
+            other => panic!("PRoPHET cannot restore {other:?}"),
+        }
     }
 }
 

@@ -9,7 +9,7 @@ use crate::{
 };
 use serde::{Deserialize, Serialize};
 use vdtn_bundle::{Message, MessageId, PolicyCombo};
-use vdtn_sim_core::{NodeId, SimRng, SimTime};
+use vdtn_sim_core::{NodeId, SimRng, SimTime, StateHash};
 
 /// Result of handing a freshly created message to its source's router.
 #[derive(Debug, Clone, PartialEq)]
@@ -240,6 +240,32 @@ pub trait Router: Send + Sync {
         false
     }
 
+    /// Fold this protocol's *semantic* state — everything that influences
+    /// future routing decisions — into the canonical state hash, in a fixed
+    /// field order. Memoisation caches (digest caches, threshold caches) and
+    /// within-run generation counters are excluded: they are rebuilt lazily
+    /// and never change a decision. Default: nothing (stateless protocols).
+    fn hash_state(&self, _h: &mut StateHash) {}
+
+    /// Capture this protocol's semantic state for checkpointing. The
+    /// counterpart of [`Router::restore_state`]; the same cache exclusions
+    /// as [`Router::hash_state`] apply (caches rebuild after restore).
+    /// Default: [`RouterSnapshot::Stateless`].
+    fn snapshot_state(&self) -> RouterSnapshot {
+        RouterSnapshot::Stateless
+    }
+
+    /// Re-install state captured by [`Router::snapshot_state`] on a freshly
+    /// built router of the same kind. Panics on a kind mismatch — a
+    /// snapshot only ever restores into the scenario that produced it.
+    fn restore_state(&mut self, snap: RouterSnapshot) {
+        assert!(
+            matches!(snap, RouterSnapshot::Stateless),
+            "{} router cannot restore stateful snapshot",
+            self.kind_label()
+        );
+    }
+
     /// True when this router patches per-direction candidate indexes from
     /// buffer deltas (the [`crate::candidates::RoutingBackend::Index`]
     /// backend under a non-`Random` scheduling policy). The engine calls
@@ -251,6 +277,46 @@ pub trait Router: Send + Sync {
     fn wants_buffer_deltas(&self) -> bool {
         false
     }
+}
+
+/// Serializable semantic state of one router, for checkpointing.
+///
+/// Only *decision-relevant* state appears here; memoisation caches and
+/// within-run generation counters are deliberately absent (they rebuild
+/// lazily after restore, degrading only to rescans, never to different
+/// decisions). Configuration is also absent: restore re-creates the router
+/// from the scenario's [`RouterKind`] first, then installs this on top.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RouterSnapshot {
+    /// Protocol carries no per-node semantic state beyond configuration
+    /// (Epidemic, SnW, Direct Delivery, First Contact).
+    Stateless,
+    /// PRoPHET: delivery predictability `(p, last_update)` per peer id.
+    Prophet {
+        /// Dense table indexed by peer id.
+        table: Vec<(f64, SimTime)>,
+    },
+    /// MaxProp: meeting probabilities, peers' reported vectors, flooded
+    /// acks, Dijkstra path costs, and the adaptive-threshold inputs.
+    MaxProp {
+        /// Own normalised meeting probabilities, dense by peer id.
+        probs: Vec<f64>,
+        /// Peers' probability vectors learned from digests, sorted by peer.
+        known: Vec<(u32, Vec<f64>)>,
+        /// Delivered-message acks, sorted by id.
+        acks: Vec<MessageId>,
+        /// Cached per-destination path costs, dense by peer id.
+        costs: Vec<f64>,
+        /// Running mean of bytes moved per closed contact.
+        avg_contact_bytes: f64,
+        /// Closed contacts folded into the running mean.
+        contacts_closed: u64,
+    },
+    /// Spray and Focus: last-encounter timestamp per peer id.
+    SprayFocus {
+        /// `last_met[peer]` — time this node last met `peer`.
+        last_met: Vec<Option<SimTime>>,
+    },
 }
 
 /// Serializable protocol selector + parameters; the factory for [`Router`]

@@ -10,11 +10,11 @@
 
 use crate::candidates::{CandidateSource, RoutingBackend, Verdict};
 use crate::offers::OfferView;
-use crate::router::{CreateOutcome, ReceiveOutcome, Router};
+use crate::router::{CreateOutcome, ReceiveOutcome, Router, RouterSnapshot};
 use crate::state::NodeState;
 use crate::util::{make_room_and_store, policy_victim, scan_policy, standard_receive};
 use vdtn_bundle::{Message, MessageId, PolicyCombo, SchedulingPolicy};
-use vdtn_sim_core::{NodeId, SimRng, SimTime};
+use vdtn_sim_core::{NodeId, SimRng, SimTime, StateHash};
 
 /// Quota-replication router with utility-based focus phase.
 pub struct SprayAndFocusRouter {
@@ -248,6 +248,38 @@ impl Router for SprayAndFocusRouter {
     fn delivery_metric(&self, dest: NodeId, now: SimTime) -> Option<f64> {
         // Negated recency: higher (closer to zero) = met more recently.
         self.recency_secs(dest, now).map(|s| -s)
+    }
+
+    fn hash_state(&self, h: &mut StateHash) {
+        // The encounter table is the only semantic state; `met_gen` and the
+        // candidate-source cache are within-run bookkeeping.
+        h.write_len(self.last_met.len());
+        for met in &self.last_met {
+            match met {
+                Some(t) => {
+                    h.write_bool(true);
+                    h.write_u64(t.as_millis());
+                }
+                None => h.write_bool(false),
+            }
+        }
+    }
+
+    fn snapshot_state(&self) -> RouterSnapshot {
+        RouterSnapshot::SprayFocus {
+            last_met: self.last_met.clone(),
+        }
+    }
+
+    fn restore_state(&mut self, snap: RouterSnapshot) {
+        match snap {
+            RouterSnapshot::SprayFocus { last_met } => {
+                assert_eq!(last_met.len(), self.last_met.len(), "node count mismatch");
+                self.last_met = last_met;
+                self.met_gen = 0;
+            }
+            other => panic!("Spray and Focus cannot restore {other:?}"),
+        }
     }
 }
 

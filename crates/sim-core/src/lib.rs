@@ -39,10 +39,12 @@ pub mod events;
 pub mod ids;
 pub mod par;
 pub mod rng;
+pub mod statehash;
 pub mod stats;
 pub mod time;
 
 pub use events::{EngineEvent, EventQueue};
 pub use ids::NodeId;
 pub use rng::SimRng;
+pub use statehash::StateHash;
 pub use time::{SimDuration, SimTime};

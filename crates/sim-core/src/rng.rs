@@ -78,6 +78,14 @@ impl SimRng {
         }
     }
 
+    /// The raw 256-bit generator state, for canonical state hashing. The
+    /// words fully determine the stream position, so two generators with
+    /// equal state words produce identical futures.
+    #[inline]
+    pub fn state_words(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Next 64 random bits (xoshiro256++ step).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

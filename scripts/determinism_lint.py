@@ -2,13 +2,17 @@
 """Determinism lint: flag iteration over HashMap/HashSet in non-test code.
 
 The simulator's bit-identity guarantees (engine-mode equivalence, thread
-invariance, bench report identity) only hold if no observable ordering ever
-derives from std hash-table iteration order, which is randomised per
-instance. This lint scans `crates/*/src/**/*.rs` plus the umbrella
+invariance, bench report identity, snapshot/restore hash stability) only
+hold if no observable ordering ever derives from std hash-table iteration
+order, which is randomised per instance. This lint scans
+`crates/*/src/**/*.rs`, `crates/*/examples/**/*.rs` and the umbrella
 crate's `src/**/*.rs`, strips `#[cfg(test)]`
 modules, and fails on any `for`-loop or ordering-sensitive method call
 (`iter`, `keys`, `values`, `drain`, `difference`, ...) applied to an
 identifier whose declared type in the same file is `HashMap`/`HashSet`.
+Snapshot and state-hash code is the highest-stakes audience: a hash-order
+leak there turns into CI drift-matrix failures that reproduce on no
+developer machine.
 
 Sites that have been audited (sorted immediately after collection, or
 feeding only order-insensitive sinks like counters and membership tests)
@@ -23,7 +27,14 @@ would silently break engine-mode equivalence. Audited sites (e.g. the
 engine's `wall_secs` stopwatch, which only feeds a report field the
 identity checks zero out) use the allowlist identifier `wallclock`.
 
-Exit status: 0 clean, 1 unaudited iteration or wall-clock read found.
+The allowlist itself is checked: every line must parse as
+`path:identifier  # justification`, name a file that exists, carry a
+non-empty justification, be unique — and actually suppress something. A
+stale entry (its site was removed or rewritten) fails the lint, so the
+audit record can never rot into a blanket waiver.
+
+Exit status: 0 clean, 1 on unaudited iteration, wall-clock read, or a
+malformed/stale allowlist.
 """
 
 from __future__ import annotations
@@ -80,35 +91,71 @@ def strip_test_modules(src: str) -> str:
     return "".join(out)
 
 
-def load_allowlist() -> set[tuple[str, str]]:
-    allowed = set()
-    if ALLOWLIST.exists():
-        for line in ALLOWLIST.read_text().splitlines():
-            line = line.split("#", 1)[0].strip()
-            if not line:
-                continue
-            path, ident = line.rsplit(":", 1)
-            allowed.add((path, ident))
-    return allowed
+def load_allowlist() -> tuple[set[tuple[str, str]], list[str]]:
+    """Parse the allowlist, returning (entries, format failures).
+
+    Each meaningful line must be `path:identifier  # justification`: the
+    path must exist in the repo, the identifier must be non-empty, the
+    justification comment is mandatory, and entries must be unique.
+    """
+    allowed: set[tuple[str, str]] = set()
+    problems: list[str] = []
+    if not ALLOWLIST.exists():
+        return allowed, problems
+    for lineno, raw in enumerate(ALLOWLIST.read_text().splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        code, _, comment = stripped.partition("#")
+        code = code.strip()
+        where = f"{ALLOWLIST.name}:{lineno}"
+        if not comment.strip():
+            problems.append(f"{where}: entry `{code}` has no `# why it is safe` justification")
+        if ":" not in code:
+            problems.append(f"{where}: `{code}` is not a `path:identifier` pair")
+            continue
+        path, ident = code.rsplit(":", 1)
+        path, ident = path.strip(), ident.strip()
+        if not ident or not re.fullmatch(r"\w+", ident):
+            problems.append(f"{where}: identifier `{ident}` is not a plain identifier")
+            continue
+        if not (ROOT / path).is_file():
+            problems.append(f"{where}: file `{path}` does not exist")
+            continue
+        if (path, ident) in allowed:
+            problems.append(f"{where}: duplicate entry `{path}:{ident}`")
+            continue
+        allowed.add((path, ident))
+    return allowed, problems
 
 
 WALLCLOCK_RE = re.compile(r"\b(?:Instant|SystemTime)\s*::\s*now\s*\(")
 
 
 def main() -> int:
-    allowed = load_allowlist()
+    allowed, problems = load_allowlist()
+    used: set[tuple[str, str]] = set()
     failures = []
-    paths = list(ROOT.glob("crates/*/src/**/*.rs")) + list(ROOT.glob("src/**/*.rs"))
+    paths = (
+        list(ROOT.glob("crates/*/src/**/*.rs"))
+        + list(ROOT.glob("crates/*/examples/**/*.rs"))
+        + list(ROOT.glob("src/**/*.rs"))
+    )
     for path in sorted(paths):
         rel = path.relative_to(ROOT).as_posix()
         src = strip_test_modules(path.read_text())
         # Wall-clock reads in simulation crates (bench is measurement code).
-        if not rel.startswith("crates/bench/") and (rel, "wallclock") not in allowed:
+        if not rel.startswith("crates/bench/"):
             for i, line in enumerate(src.splitlines(), start=1):
                 if line.lstrip().startswith("//"):
                     continue
                 if WALLCLOCK_RE.search(line):
-                    failures.append(f"{rel}:{i}: wall-clock read in simulation code: {line.strip()}")
+                    if (rel, "wallclock") in allowed:
+                        used.add((rel, "wallclock"))
+                    else:
+                        failures.append(
+                            f"{rel}:{i}: wall-clock read in simulation code: {line.strip()}"
+                        )
         hashy = set()
         for m in DECL_RE.finditer(src):
             hashy.add(m.group(1) or m.group(2))
@@ -125,8 +172,23 @@ def main() -> int:
             for i, line in enumerate(src.splitlines(), start=1):
                 if line.lstrip().startswith("//"):
                     continue
-                if pat.search(line) and (rel, name) not in allowed:
-                    failures.append(f"{rel}:{i}: iteration over hash table `{name}`: {line.strip()}")
+                if pat.search(line):
+                    if (rel, name) in allowed:
+                        used.add((rel, name))
+                    else:
+                        failures.append(
+                            f"{rel}:{i}: iteration over hash table `{name}`: {line.strip()}"
+                        )
+    # Stale entries are audit rot: the audited site is gone, so the waiver
+    # must go with it (or be re-justified against the new code).
+    for path, ident in sorted(allowed - used):
+        problems.append(f"stale allowlist entry `{path}:{ident}` suppresses nothing")
+    status = 0
+    if problems:
+        print(f"determinism lint: {ALLOWLIST.relative_to(ROOT)} failed its self-check:")
+        for p in problems:
+            print(f"  {p}")
+        status = 1
     if failures:
         print("determinism lint: unaudited HashMap/HashSet iteration in non-test code:")
         for f in failures:
@@ -136,9 +198,10 @@ def main() -> int:
             f"`<path>:<identifier>  # reason` to {ALLOWLIST.relative_to(ROOT)}, or\n"
             "switch the container to an order-stable structure (sorted Vec, slab)."
         )
-        return 1
-    print("determinism lint: clean")
-    return 0
+        status = 1
+    if status == 0:
+        print(f"determinism lint: clean ({len(paths)} files, {len(allowed)} audited sites)")
+    return status
 
 
 if __name__ == "__main__":
